@@ -1,0 +1,63 @@
+"""ABL-STEP: `step_both` vs. the manual two-breakpoint procedure.
+
+The §VI-C command inserts both ends' breakpoints and continues in one
+interaction; without it the user must resolve the link topology by hand
+and set two catchpoints.  Ablation: interactions and wall time to land on
+both ends of a dataflow assignment.
+"""
+
+from repro.apps.h264.app import build_decoder
+from repro.core import DataflowSession
+from repro.dbg import CommandCli, Debugger, StopKind
+
+
+def _session():
+    sched, platform, runtime, source, sink, mbs = build_decoder(n_mbs=2)
+    dbg = Debugger(sched, runtime)
+    cli = CommandCli(dbg)
+    session = DataflowSession(dbg, cli=cli, stop_on_init=True)
+    dbg.run()
+    dbg.break_source("ipred.c:7", temporary=True)
+    dbg.cont()
+    return cli, dbg, session
+
+
+def _with_step_both():
+    cli, dbg, session = _session()
+    interactions = 1
+    cli.execute("step_both")  # inserts both and continues to the 1st stop
+    interactions += 1
+    cli.execute("continue")  # 2nd stop
+    assert dbg.last_stop.kind == StopKind.DATAFLOW
+    return interactions
+
+
+def _manual():
+    cli, dbg, session = _session()
+    interactions = 0
+    # the user must first discover where the link leads
+    out = cli.execute("iface ipred::Add2Dblock_ipf_out info")
+    interactions += 1
+    assert any("ipf::Add2Dblock_ipred_in" in line for line in out)
+    cli.execute("iface ipf::Add2Dblock_ipred_in catch")
+    interactions += 1
+    cli.execute("iface ipred::Add2Dblock_ipf_out catch")
+    interactions += 1
+    cli.execute("continue")
+    interactions += 1
+    cli.execute("continue")
+    interactions += 1
+    assert dbg.last_stop.kind == StopKind.DATAFLOW
+    return interactions
+
+
+def test_abl_step_both(benchmark):
+    interactions = benchmark(_with_step_both)
+    assert interactions == 2
+
+
+def test_abl_manual_double_breakpoint(benchmark):
+    interactions = benchmark(_manual)
+    assert interactions == 5
+    print()
+    print("ABL-STEP  step_both: 2 interactions; manual: 5 interactions")

@@ -1,0 +1,38 @@
+"""FIG-1: P2012 architecture — topology construction + memory/DMA costs.
+
+Regenerates the content of the paper's Fig. 1: host + 4 clusters x 16
+STxP70 PEs sharing L1, fabric L2, external L3 reached by DMA.  The bench
+times platform elaboration plus a measured DMA transfer, and asserts the
+latency hierarchy the figure implies.
+"""
+
+from repro.eval import fig1_platform_report
+
+
+def test_fig1_platform(benchmark):
+    report = benchmark(fig1_platform_report)
+    assert report["total_pes"] == 64
+    assert len(report["clusters"]) == 4
+    measured = report["measured"]
+    assert (
+        measured["link_cost_intra_cluster"]
+        < measured["link_cost_inter_cluster"]
+        < measured["link_cost_host_fabric"]
+    )
+    print()
+    print("FIG-1  P2012 topology")
+    print(f"  host: {report['host']['name']}")
+    print(f"  clusters: {len(report['clusters'])} x {report['clusters'][0]['pes']} PEs")
+    print(f"  L1: {report['clusters'][0]['l1']}")
+    print(f"  L2: {report['l2']}")
+    print(f"  L3: {report['l3']}")
+    print(f"  DMA engines: {[d['name'] for d in report['dma']]}")
+    print(f"  link push cost (cycles): intra={measured['link_cost_intra_cluster']} "
+          f"inter={measured['link_cost_inter_cluster']} host={measured['link_cost_host_fabric']}")
+    print(f"  256-word DMA transfer: {measured['dma_transfer_cycles']} cycles")
+
+
+def test_fig1_scaling_to_larger_fabrics(benchmark):
+    """Elaboration stays cheap as the fabric grows (8 clusters x 32 PEs)."""
+    report = benchmark(fig1_platform_report, n_clusters=8, pes_per_cluster=32)
+    assert report["total_pes"] == 256

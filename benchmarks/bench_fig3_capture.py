@@ -1,0 +1,25 @@
+"""FIG-3: two-level debugging of an MPSoC platform.
+
+Fig. 3 shows the capture architecture: the dataflow extension's internal
+ACTOR/TOKEN/CONNECTION/LINK model kept in sync by function breakpoints on
+the framework API, on top of a classic debugger.  This bench runs the
+decoder with full capture and verifies the model mirrors the runtime
+*exactly* (zero mismatches) while counting the events that crossed the
+function-breakpoint layer.
+"""
+
+from repro.eval import fig3_capture_report
+
+
+def test_fig3_capture_architecture(benchmark):
+    report = benchmark(fig3_capture_report, n_mbs=6)
+    assert report["decoded"] == 6
+    assert report["model_mismatches"] == []
+    assert report["model_actors"] == 12
+    assert report["model_links"] == 14
+    print()
+    print("FIG-3  capture-layer traffic (entry+exit events per API symbol)")
+    for symbol, count in report["events_by_symbol"].items():
+        print(f"  {symbol:<28} {count:>6}")
+    print(f"  events processed by the extension: {report['events_processed']}")
+    print(f"  of which data-exchange events:     {report['data_events_processed']}")

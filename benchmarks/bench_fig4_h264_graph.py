@@ -1,0 +1,34 @@
+"""FIG-4: the H.264 decoder graph with its stalled token counts.
+
+"The graph presented in Figure 4 shows that the link pipe→ipf currently
+holds 20 tokens, which may indicate a problem in the sending or receiving
+rate.  Link hwcfg→pipe contains three tokens, and all the other links are
+empty."
+
+The bench runs the rate-mismatch bug variant to its stall and regenerates
+the annotated graph, asserting those exact counts.
+"""
+
+from repro.eval import fig4_h264_graph
+
+
+def test_fig4_stalled_decoder_graph(benchmark):
+    dot, occupancy = benchmark(fig4_h264_graph, n_mbs=24)
+    assert occupancy["pipe::Pipe_ipf_out->ipf::Pipe_cfg_in"] == 20
+    assert occupancy["hwcfg::pipe_MbType_out->pipe::MbType_in"] == 3
+    # every pred-module data link is drained
+    for name in (
+        "red::Red2PipeCbMB_out->pipe::Red2PipeCbMB_in",
+        "red::Red2McMB_out->mc::Red_in",
+        "pipe::Pipe_ipred_out->ipred::Pipe_in",
+        "ipred::Add2Dblock_ipf_out->ipf::Add2Dblock_ipred_in",
+        "ipred::Add2Dblock_MB_out->mc::Ipred_in",
+        "mc::Ipf_out->ipf::Mc_in",
+    ):
+        assert occupancy[name] == 0, name
+    assert 'label="20"' in dot and 'label="3"' in dot
+    print()
+    print("FIG-4  per-link queued tokens at the stall")
+    for name, count in sorted(occupancy.items()):
+        marker = "  <-- " if count else ""
+        print(f"  {name:<55} {count:>3}{marker}")

@@ -1,0 +1,29 @@
+"""SEC6-LOC: debugger interactions to localize each §VI bug.
+
+The measurement the paper proposes in §VI-F: compare the dataflow-aware
+strategy against a plain source-level strategy on the same bugs, counting
+every command issued until the fault is localized.  Both strategies must
+actually find the culprit.
+"""
+
+from repro.eval.localization import (
+    SCENARIOS,
+    format_results,
+    run_localization_comparison,
+)
+
+
+def test_sec6_localization(benchmark):
+    results = benchmark.pedantic(run_localization_comparison, rounds=1, iterations=1)
+    assert all(r.located for r in results)
+    by = {(r.scenario, r.strategy): r for r in results}
+    print()
+    print("SEC6-LOC  interactions to localize each bug")
+    for line in format_results(results):
+        print(f"  {line}")
+    for scenario in SCENARIOS:
+        df = by[(scenario, "dataflow")].interactions
+        plain = by[(scenario, "plain")].interactions
+        assert df < plain
+        print(f"  {scenario}: dataflow wins by {plain / df:.1f}x "
+              f"({df} vs {plain} interactions)")

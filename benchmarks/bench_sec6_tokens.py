@@ -1,0 +1,69 @@
+"""SEC6-TOKENS: token recording and provenance (§VI-D transcripts).
+
+Reproduces the two session transcripts — the recorded MbType tokens
+``(U16) 5, 10, 15`` and the two-hop ``info last_token`` walk ending at
+``bh -> red (U32) <wrapped>`` — and measures recording throughput as link
+traffic grows.
+"""
+
+import pytest
+
+from repro.apps.h264.app import build_decoder
+from repro.apps.h264.bugs import build_corrupted_token
+from repro.core import DataflowSession, install_dataflow_commands
+from repro.dbg import CommandCli, Debugger
+
+
+def _record_run(n_mbs, record: bool):
+    sched, platform, runtime, source, sink, mbs = build_decoder(n_mbs=n_mbs)
+    dbg = Debugger(sched, runtime)
+    session = DataflowSession(dbg)
+    if record:
+        session.records.enable("hwcfg::pipe_MbType_out", capacity=0)
+        session.records.enable("ipf::decoded_out", capacity=0)
+    dbg.run()
+    assert len(sink.values) == n_mbs
+    return session
+
+
+def test_sec6_recording_transcript(benchmark):
+    session = benchmark(_record_run, 3, True)
+    buf = session.records.get("hwcfg::pipe_MbType_out")
+    assert buf.format_lines() == ["#1 (U16) 5", "#2 (U16) 10", "#3 (U16) 15"]
+    print()
+    print("SEC6  (gdb) iface hwcfg::pipe_MbType_out print")
+    for line in buf.format_lines():
+        print(f"  {line}")
+
+
+@pytest.mark.parametrize("n_mbs", [10, 40])
+@pytest.mark.parametrize("record", [False, True])
+def test_sec6_recording_throughput(benchmark, n_mbs, record):
+    """Recording cost scales with traffic; baseline = capture w/o record."""
+    session = benchmark(_record_run, n_mbs, record)
+    if record:
+        assert session.records.get("ipf::decoded_out").recorded == n_mbs
+
+
+def _provenance_session():
+    sched, platform, runtime, source, sink, mbs = build_corrupted_token(n_mbs=8, corrupt_at=5)
+    dbg = Debugger(sched, runtime)
+    cli = CommandCli(dbg)
+    session = DataflowSession(dbg, cli=cli, stop_on_init=True)
+    dbg.run()
+    cli.execute("filter red configure splitter")
+    cli.execute(f"filter pipe catch Red2PipeCbMB_in if Addr == {0x1400 + 5}")
+    dbg.cont()
+    return cli.execute("filter pipe info last_token"), mbs
+
+
+def test_sec6_provenance_walk(benchmark):
+    out, mbs = benchmark(_provenance_session)
+    assert out[0].startswith("#1 red -> pipe (CbCrMB_t)")
+    assert out[1].startswith("#2 bh -> red (U32)")
+    wrapped = sum(mbs[5].residuals) & 0xFF
+    assert out[1].endswith(str(wrapped))
+    print()
+    print("SEC6  (gdb) filter pipe info last_token")
+    for line in out:
+        print(f"  {line}")

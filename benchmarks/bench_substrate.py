@@ -1,0 +1,118 @@
+"""Substrate micro-benchmarks: the costs everything else is built on.
+
+Not a paper artefact — these quantify the reproduction's own substrate
+(kernel dispatch, FIFO transfer, Filter-C interpretation, event-bus
+emission) so overhead numbers elsewhere can be put in context, and so
+regressions in the hot paths show up.
+"""
+
+import pytest
+
+from repro.cminus import Interpreter, NullEnvironment, analyze, parse_program, run_sync
+from repro.pedf.api import FrameworkEvent, FrameworkEventBus
+from repro.sim import Delay, Fifo, Scheduler
+
+
+def test_kernel_dispatch_throughput(benchmark):
+    """Cost of one process resume + timed requeue."""
+
+    def run():
+        sched = Scheduler()
+
+        def proc():
+            for _ in range(2000):
+                yield Delay(1)
+
+        sched.spawn(proc(), "p")
+        sched.run()
+        return sched
+
+    sched = benchmark(run)
+    assert sched.now == 2000
+
+
+def test_fifo_transfer_throughput(benchmark):
+    def run():
+        sched = Scheduler()
+        fifo = Fifo(sched, capacity=8)
+        got = []
+
+        def producer():
+            for i in range(1000):
+                yield from fifo.put(i)
+
+        def consumer():
+            for _ in range(1000):
+                got.append((yield from fifo.get()))
+
+        sched.spawn(producer(), "p")
+        sched.spawn(consumer(), "c")
+        sched.run()
+        return got
+
+    got = benchmark(run)
+    assert len(got) == 1000
+
+
+FIB_SRC = """
+U32 fib(U32 n) {
+    if (n < 2) return n;
+    return fib(n - 1) + fib(n - 2);
+}
+U32 main() { return fib(15); }
+"""
+
+LOOP_SRC = """
+U32 main() {
+    U32 s = 0;
+    for (U32 i = 0; i < 5000; i++) {
+        s = (s + i * 3) ^ (i >> 2);
+    }
+    return s;
+}
+"""
+
+
+@pytest.mark.parametrize("name,src,expected", [
+    ("fib15", FIB_SRC, 610),
+    ("loop5k", LOOP_SRC, None),
+])
+def test_interpreter_throughput(benchmark, name, src, expected):
+    prog = parse_program(src)
+    info = analyze(prog, None, src)
+
+    def run():
+        interp = Interpreter(prog, info, env=NullEnvironment(), timed=False)
+        return run_sync(interp.run_function("main")), interp.state.statements_executed
+
+    (value, stmts) = benchmark(run)
+    if expected is not None:
+        assert value == expected
+    assert stmts > 1000
+
+
+def test_event_bus_emission(benchmark):
+    """Cost of one event with and without listeners (the §V overhead's
+    inner loop)."""
+    bus = FrameworkEventBus()
+    seen = []
+    bus.subscribe("sym", lambda e: seen.append(e) or None)
+
+    def run():
+        for i in range(1000):
+            bus.emit(FrameworkEvent("entry", "sym", {"i": i}))
+        return len(seen)
+
+    total = benchmark(run)
+    assert total >= 1000
+
+
+def test_event_bus_no_listeners(benchmark):
+    bus = FrameworkEventBus()
+
+    def run():
+        for i in range(1000):
+            bus.emit(FrameworkEvent("entry", "sym", {"i": i}))
+        return bus.emitted
+
+    assert benchmark(run) >= 1000

@@ -1,0 +1,8 @@
+"""Shared bench configuration.
+
+Every benchmark is also an assertion: each bench re-checks the structural
+property of the paper artefact it regenerates, so `pytest benchmarks/
+--benchmark-only` doubles as an end-to-end reproduction run.
+"""
+
+import pytest

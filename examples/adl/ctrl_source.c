@@ -1,0 +1,11 @@
+// ctrl_source.c — AModule controller
+void work() {
+    pedf.io.cmd_out_1[0] = STEP_COUNT();
+    pedf.io.cmd_out_2[0] = STEP_COUNT();
+    ACTOR_START(filter_1);
+    ACTOR_START(filter_2);
+    WAIT_FOR_ACTOR_INIT();
+    ACTOR_SYNC(filter_1);
+    ACTOR_SYNC(filter_2);
+    WAIT_FOR_ACTOR_SYNC();
+}

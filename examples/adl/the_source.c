@@ -1,0 +1,8 @@
+// the_source.c — AFilter WORK method
+void work() {
+    U32 cmd = pedf.io.cmd_in[0];
+    U32 v = pedf.io.an_input[0];
+    pedf.data.a_private_data = v;
+    U32 r = v * 2 + pedf.attribute.an_attribute;
+    pedf.io.an_output[0] = r + cmd * 0;
+}

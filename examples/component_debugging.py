@@ -1,0 +1,98 @@
+#!/usr/bin/env python3
+"""Future work, demonstrated: the same debugger base hosting a *second*
+programming model — component-based software engineering (paper §VII-B /
+conclusion: "We expect our debugger to be able to easily encompass new
+models, thanks to a generic code base").
+
+A three-component calculator assembly is debugged with the unmodified
+base debugger (source breakpoints, prints, backtraces inside component
+code) plus the component-aware extension (message catchpoints, request/
+response tracing, runtime *rebinding* — the dynamic-architecture feature
+dataflow graphs lack).
+
+Run:  python examples/component_debugging.py
+"""
+
+from repro.ccm import AssemblyDecl, AssemblyRuntime, ComponentDecl, ComponentSession
+from repro.dbg import CommandCli, Debugger
+from repro.p2012.soc import P2012Platform, PlatformConfig
+from repro.sim import Scheduler
+
+STORAGE = """\
+U32 total = 0;
+U32 serve_get(U32 unused) { return total; }
+U32 serve_set(U32 v) { total = v; return v; }
+"""
+
+ADDER = """\
+U32 serve_accumulate(U32 x) {
+    U32 cur = CALL(store_get, 0);
+    U32 next = cur + x;
+    CALL(store_set, next);
+    return next;
+}
+"""
+
+
+def main() -> None:
+    asm = AssemblyDecl(name="calc")
+    asm.add_component(ComponentDecl(name="storage", source=STORAGE, provides=["get", "set"]))
+    asm.add_component(ComponentDecl(
+        name="storage_b", source=STORAGE, provides=["get", "set"], source_name="storage_b.c"))
+    asm.add_component(ComponentDecl(
+        name="adder", source=ADDER, provides=["accumulate"],
+        requires=["store_get", "store_set"]))
+    asm.bind("adder", "store_get", "storage", "get")
+    asm.bind("adder", "store_set", "storage", "set")
+
+    sched = Scheduler()
+    platform = P2012Platform(sched, PlatformConfig(n_clusters=1, pes_per_cluster=8))
+    runtime = AssemblyRuntime(sched, platform, asm)
+    dbg = Debugger(sched, runtime)
+    cli = CommandCli(dbg)
+    session = ComponentSession(dbg, cli=cli, stop_on_init=True)
+
+    r1 = runtime.invoke("adder", "accumulate", 5)
+    r2 = runtime.invoke("adder", "accumulate", 7)
+
+    print("=== architecture reconstruction =========================================")
+    for line in cli.execute_script(["run", "ccm info", "ccm graph"]):
+        print(line)
+
+    print()
+    print("=== message catchpoint + two-level debugging ============================")
+    for line in cli.execute_script([
+        "component adder catch request set",
+        "continue",
+        "ccm pending",
+        "break adder.c:3",
+        "continue",
+        "print cur",
+        "print x",
+        "backtrace",
+        "delete 2",
+    ]):
+        print(line)
+
+    print()
+    print("=== runtime rebinding (dynamic architecture) ============================")
+    for line in cli.execute_script([
+        "ccm rebind adder store_get storage_b get",
+        "ccm rebind adder store_set storage_b set",
+        "ccm delete 1",
+        "continue",
+        "ccm messages",
+    ]):
+        print(line)
+
+    print()
+    print(f"results: first accumulate -> {r1}, second (rebound storage) -> {r2}")
+    assert r1 == [5]
+    # the rebind happened while the second request was mid-service, so the
+    # exact total depends on which storage served its get — both are shown
+    assert r2 and r2[0] in (7, 12)
+    print("component debugging session complete — OK")
+
+
+if __name__ == "__main__":
+    main()

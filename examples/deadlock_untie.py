@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Untying a deadlock by injecting a token (paper §III, "Altering the
+Normal Execution").
+
+The dropped-token decoder variant: ``hwcfg`` silently drops the last
+macroblock's configuration token, so ``ipred`` blocks forever reading its
+``Hwcfg_in`` interface.  The debugger diagnoses the starvation with the
+scheduling monitor and the link inspector, then injects the missing token
+and lets the program finish — with output verified against the golden
+model.
+
+Run:  python examples/deadlock_untie.py
+"""
+
+from repro.apps.h264 import decode_golden
+from repro.apps.h264.bugs import build_dropped_token
+from repro.core import DataflowSession
+from repro.dbg import CommandCli, Debugger, StopKind
+
+
+def main() -> None:
+    n_mbs = 6
+    sched, platform, runtime, source, sink, mbs = build_dropped_token(n_mbs=n_mbs)
+    dbg = Debugger(sched, runtime)
+    cli = CommandCli(dbg)
+    DataflowSession(dbg, cli=cli)
+
+    print("=== run to the hang =====================================================")
+    for line in cli.execute_script(["run"]):
+        print(line)
+    assert dbg.last_stop.kind == StopKind.DEADLOCK
+
+    print()
+    print("=== diagnose ============================================================")
+    for line in cli.execute_script([
+        "sched status",
+        "filter ipred info state",
+        "iface ipred::Hwcfg_in info",
+        "dataflow links",
+    ]):
+        print(line)
+
+    print()
+    print("=== untie: inject the missing configuration token =======================")
+    missing = mbs[n_mbs - 1].header
+    for line in cli.execute_script([
+        f"iface hwcfg::HwCfg_out insert {missing}",
+        "continue",
+    ]):
+        print(line)
+
+    golden = decode_golden(mbs)
+    assert sink.values == [g.decoded for g in golden]
+    print()
+    print(f"decoded all {len(sink.values)} macroblocks correctly after the injection — OK")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Contribution #2 in action: monitoring PEDF controller scheduling.
+
+Stops the decoder at controller step boundaries and on individual filter
+scheduling events, showing which filters are ready / running / finished —
+plus the per-actor source line and blocked status of §III.
+
+Run:  python examples/scheduling_monitor.py
+"""
+
+from repro.apps.h264.app import build_decoder
+from repro.core import DataflowSession
+from repro.dbg import CommandCli, Debugger
+
+
+def main() -> None:
+    sched, platform, runtime, source, sink, mbs = build_decoder(n_mbs=3)
+    dbg = Debugger(sched, runtime)
+    cli = CommandCli(dbg)
+    DataflowSession(dbg, cli=cli, stop_on_init=True)
+
+    print("=== stop at the first pred-module step ==================================")
+    for line in cli.execute_script([
+        "run",
+        "sched catch step-begin pred_controller",
+        "continue",
+        "sched status pred",
+    ]):
+        print(line)
+
+    print()
+    print("=== stop when the controller schedules ipf ==============================")
+    for line in cli.execute_script([
+        "delete 1",
+        "sched catch start ipf",
+        "continue",
+        "sched status pred",
+        "filter ipf info state",
+    ]):
+        print(line)
+
+    print()
+    print("=== watch a step complete ===============================================")
+    for line in cli.execute_script([
+        "delete 2",
+        "sched catch step-end pred_controller",
+        "continue",
+        "sched status",
+        "info actors",
+    ]):
+        print(line)
+
+    print()
+    print("=== run to completion ===================================================")
+    for line in cli.execute_script(["delete 3", "continue"]):
+        print(line)
+    assert len(sink.values) == 3
+    print("scheduling monitor session complete — OK")
+
+
+if __name__ == "__main__":
+    main()

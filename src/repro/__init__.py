@@ -1,0 +1,65 @@
+"""Reproduction of *Interactive Debugging of Dynamic Dataflow Embedded
+Applications* (Pouget, Santana, López Cueva, Méhaut — IPDPS-W 2013).
+
+Subpackages (bottom-up):
+
+- :mod:`repro.sim` — discrete-event kernel (the SystemC substitute);
+- :mod:`repro.p2012` — the P2012 MPSoC platform model;
+- :mod:`repro.cminus` — Filter-C, the restricted C subset of PEDF
+  actors, with a resumable interpreter and DWARF-like debug info;
+- :mod:`repro.mind` — the MIND architecture description language;
+- :mod:`repro.pedf` — the PEDF dynamic dataflow framework;
+- :mod:`repro.dbg` — the base interactive debugger (the GDB substitute);
+- :mod:`repro.core` — **the paper's contribution**: the dataflow-aware
+  debugger extension;
+- :mod:`repro.apps` — AModule (§IV) and the H.264-like decoder (§VI);
+- :mod:`repro.eval` — experiment harnesses for every figure and claim.
+
+The quickest way in::
+
+    from repro import build_debug_session
+    dbg, cli, session, runtime = build_debug_session(adl_text, sources={...})
+
+See README.md for the full tour.
+"""
+
+from typing import Mapping, Optional, Union
+
+__version__ = "1.0.0"
+
+
+def build_debug_session(
+    program,
+    sources: Optional[Mapping[str, str]] = None,
+    scheduler=None,
+    platform_config=None,
+    stop_on_init: bool = True,
+):
+    """One-call assembly of a debuggable PEDF application.
+
+    ``program`` is either a MIND architecture description (text — then
+    ``sources`` maps its ``source foo.c;`` references to Filter-C code)
+    or an already-built :class:`~repro.pedf.decls.ProgramDecl`.
+
+    Returns ``(debugger, cli, dataflow_session, runtime)``.  Attach
+    sources/sinks via ``runtime.add_source`` / ``runtime.add_sink``
+    before the first ``run``.
+    """
+    from .core import DataflowSession
+    from .dbg import CommandCli, Debugger
+    from .mind import compile_adl
+    from .p2012.soc import P2012Platform, PlatformConfig
+    from .pedf.runtime import PedfRuntime
+    from .sim import Scheduler
+
+    if isinstance(program, str):
+        program = compile_adl(program, sources or {})
+    sched = scheduler or Scheduler()
+    platform = P2012Platform(
+        sched, platform_config or PlatformConfig(n_clusters=2, pes_per_cluster=8)
+    )
+    runtime = PedfRuntime(sched, platform, program)
+    dbg = Debugger(sched, runtime)
+    cli = CommandCli(dbg)
+    session = DataflowSession(dbg, cli=cli, stop_on_init=stop_on_init)
+    return dbg, cli, session, runtime

@@ -1,0 +1,127 @@
+"""Interactive entry point: ``python -m repro [options]``.
+
+Loads an architecture (a MIND ``.adl`` file with its Filter-C sources, or
+one of the built-in demo applications), attaches the dataflow debugger
+and drops into the (gdb)-style prompt — or replays a command script.
+
+Examples::
+
+    python -m repro --demo amodule
+    python -m repro --demo h264 --bug rate-mismatch
+    python -m repro --adl app.adl --src filter.c --src ctl.c \
+        --source-values 1,2,3 --script session.gdb
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from . import build_debug_session
+from .errors import ReproError
+
+
+def _build_demo(name: str, bug: Optional[str]):
+    if name == "amodule":
+        from .apps.amodule import build_demo
+        from .core import DataflowSession
+        from .dbg import CommandCli, Debugger
+
+        sched, platform, runtime, source, sink = build_demo()
+        dbg = Debugger(sched, runtime)
+        cli = CommandCli(dbg)
+        DataflowSession(dbg, cli=cli, stop_on_init=True)
+        return cli, sink
+    if name == "h264":
+        from .apps.h264.app import build_decoder
+        from .apps.h264.bugs import BUG_VARIANTS
+        from .core import DataflowSession
+        from .dbg import CommandCli, Debugger
+
+        if bug is not None:
+            variant = BUG_VARIANTS.get(bug)
+            if variant is None:
+                raise ReproError(f"unknown bug variant {bug!r} (choose from {', '.join(BUG_VARIANTS)})")
+            sched, platform, runtime, source, sink, mbs = variant.build()
+            print(f"[loaded h264 decoder with injected bug: {variant.symptom}]")
+        else:
+            sched, platform, runtime, source, sink, mbs = build_decoder(n_mbs=8)
+        dbg = Debugger(sched, runtime)
+        cli = CommandCli(dbg)
+        DataflowSession(dbg, cli=cli, stop_on_init=True)
+        return cli, sink
+    raise ReproError(f"unknown demo {name!r} (amodule/h264)")
+
+
+def _build_from_adl(adl_path: str, src_paths: List[str], values: List[int]):
+    adl_text = Path(adl_path).read_text()
+    sources = {Path(p).name: Path(p).read_text() for p in src_paths}
+    dbg, cli, session, runtime = build_debug_session(adl_text, sources)
+    if values:
+        # feed the first module input found
+        for module in runtime.decl.modules.values():
+            inputs = [i for i in module.ifaces.values() if i.direction == "input"]
+            if inputs:
+                runtime.add_source("stdin", module.name, inputs[0].name, values)
+                break
+        for module in runtime.decl.modules.values():
+            outputs = [i for i in module.ifaces.values() if i.direction == "output"]
+            if outputs:
+                runtime.add_sink("stdout", module.name, outputs[0].name, expect=None)
+                break
+    return cli, None
+
+
+def repl(cli) -> None:
+    print("dataflow debugger — type 'help' for commands, 'quit' to exit")
+    while True:
+        try:
+            line = input("(gdb) ")
+        except (EOFError, KeyboardInterrupt):
+            print()
+            return
+        if line.strip() in ("quit", "q", "exit"):
+            return
+        for out in cli.execute(line):
+            print(out)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(prog="python -m repro", description=__doc__)
+    parser.add_argument("--demo", choices=["amodule", "h264"], help="load a built-in demo")
+    parser.add_argument("--bug", help="inject a bug variant (h264 demo): "
+                                      "rate-mismatch / corrupted-token / dropped-token")
+    parser.add_argument("--adl", help="architecture description file")
+    parser.add_argument("--src", action="append", default=[],
+                        help="Filter-C source file (repeatable)")
+    parser.add_argument("--source-values", default="",
+                        help="comma-separated integers fed to the first module input")
+    parser.add_argument("--script", help="run commands from this file instead of a REPL")
+    args = parser.parse_args(argv)
+
+    try:
+        if args.demo:
+            cli, _ = _build_demo(args.demo, args.bug)
+        elif args.adl:
+            values = [int(v, 0) for v in args.source_values.split(",") if v.strip()]
+            cli, _ = _build_from_adl(args.adl, args.src, values)
+        else:
+            parser.error("give --demo or --adl")
+            return 2
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+    if args.script:
+        lines = Path(args.script).read_text().splitlines()
+        for out in cli.execute_script(lines):
+            print(out)
+        return 0
+    repl(cli)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,1 @@
+"""Example PEDF applications used by tests, examples and benchmarks."""

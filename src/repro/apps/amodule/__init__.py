@@ -1,0 +1,22 @@
+"""The paper's §IV example: Module ``AModule`` with two ``AFilter``s.
+
+Built both ways the paper supports: through the MIND architecture
+description (see :data:`ADL_SOURCE`, the paper's exact excerpt) and
+through the Python declaration API (:func:`build_amodule_program`).
+"""
+
+from .app import (
+    ADL_SOURCE,
+    CONTROLLER_SOURCE,
+    FILTER_SOURCE,
+    build_amodule_program,
+    build_demo,
+)
+
+__all__ = [
+    "ADL_SOURCE",
+    "CONTROLLER_SOURCE",
+    "FILTER_SOURCE",
+    "build_amodule_program",
+    "build_demo",
+]

@@ -1,0 +1,138 @@
+"""AModule: the paper's running example (§IV, Fig. 2).
+
+Two ``AFilter`` instances in a pipeline under one controller.  Each step,
+the controller sends a command token to both filters, fires them, and
+waits for the step to complete.  ``filter_k`` doubles its input and adds
+its attribute; the module therefore computes ``(2*(2*v + a) + a)`` for
+each input value ``v`` when both attributes are ``a``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+from ...cminus.typesys import U32
+from ...p2012.soc import P2012Platform, PlatformConfig
+from ...pedf.decls import ControllerDecl, FilterDecl, ModuleDecl, ProgramDecl
+from ...pedf.runtime import PedfRuntime, RuntimeConfig
+from ...sim.kernel import Scheduler
+
+#: The paper's exact MIND description (§IV-A), with one fix: the paper's
+#: excerpt types ``cmd_in`` as U8 while the controller's ``cmd_out_*`` are
+#: U32; PEDF links are monomorphic, so we use U32 on both ends.
+ADL_SOURCE = """
+@Filter
+primitive AFilter {
+    data      stddefs.h:U32 a_private_data;
+    attribute stddefs.h:U32 an_attribute;
+    source    the_source.c;
+    input  stddefs.h:U32 as an_input;
+    input  stddefs.h:U32 as cmd_in;
+    output stddefs.h:U32 as an_output;
+}
+
+@Module
+composite AModule {
+    contains as controller {
+        output U32 as cmd_out_1;
+        output U32 as cmd_out_2;
+        source ctrl_source.c;
+    }
+    // External connections
+    input  U32 as module_in;
+    output U32 as module_out;
+    // Sub-components
+    contains AFilter as filter_1;
+    contains AFilter as filter_2;
+    // Connections
+    binds controller.cmd_out_1 to filter_1.cmd_in;
+    binds controller.cmd_out_2 to filter_2.cmd_in;
+    binds this.module_in       to filter_1.an_input;
+    binds filter_1.an_output   to filter_2.an_input;
+    binds filter_2.an_output   to this.module_out;
+}
+"""
+
+FILTER_SOURCE = """\
+// the_source.c — AFilter WORK method
+void work() {
+    U32 cmd = pedf.io.cmd_in[0];
+    U32 v = pedf.io.an_input[0];
+    pedf.data.a_private_data = v;
+    U32 r = v * 2 + pedf.attribute.an_attribute;
+    pedf.io.an_output[0] = r + cmd * 0;
+}
+"""
+
+CONTROLLER_SOURCE = """\
+// ctrl_source.c — AModule controller
+void work() {
+    pedf.io.cmd_out_1[0] = STEP_COUNT();
+    pedf.io.cmd_out_2[0] = STEP_COUNT();
+    ACTOR_START(filter_1);
+    ACTOR_START(filter_2);
+    WAIT_FOR_ACTOR_INIT();
+    ACTOR_SYNC(filter_1);
+    ACTOR_SYNC(filter_2);
+    WAIT_FOR_ACTOR_SYNC();
+}
+"""
+
+
+def _make_afilter(name: str, attribute: int) -> FilterDecl:
+    f = FilterDecl(name=name, source=FILTER_SOURCE, source_name="the_source.c" if name == "filter_1" else f"{name}_source.c")
+    f.add_data("a_private_data", U32)
+    f.add_attribute("an_attribute", U32, attribute)
+    f.add_iface("an_input", "input", U32)
+    f.add_iface("cmd_in", "input", U32)
+    f.add_iface("an_output", "output", U32)
+    return f
+
+
+def build_amodule_program(attribute: int = 1, max_steps: Optional[int] = 4) -> ProgramDecl:
+    """The AModule architecture as a :class:`ProgramDecl`."""
+    program = ProgramDecl(name="amodule_demo")
+    module = ModuleDecl(name="AModule")
+    ctl = ControllerDecl(
+        name="controller", source=CONTROLLER_SOURCE, source_name="ctrl_source.c",
+        max_steps=max_steps,
+    )
+    ctl.add_iface("cmd_out_1", "output", U32)
+    ctl.add_iface("cmd_out_2", "output", U32)
+    module.set_controller(ctl)
+    module.add_filter(_make_afilter("filter_1", attribute))
+    module.add_filter(_make_afilter("filter_2", attribute))
+    module.add_iface("module_in", "input", U32)
+    module.add_iface("module_out", "output", U32)
+    module.bind("controller", "cmd_out_1", "filter_1", "cmd_in")
+    module.bind("controller", "cmd_out_2", "filter_2", "cmd_in")
+    module.bind("this", "module_in", "filter_1", "an_input")
+    module.bind("filter_1", "an_output", "filter_2", "an_input")
+    module.bind("filter_2", "an_output", "this", "module_out")
+    program.add_module(module)
+    return program
+
+
+def expected_output(values: Sequence[int], attribute: int = 1) -> list:
+    """Golden model of AModule's pipeline."""
+    out = []
+    for v in values:
+        r1 = (v * 2 + attribute) % 2**32
+        out.append((r1 * 2 + attribute) % 2**32)
+    return out
+
+
+def build_demo(
+    values: Sequence[int] = (1, 2, 3, 4),
+    attribute: int = 1,
+    scheduler: Optional[Scheduler] = None,
+    platform_config: Optional[PlatformConfig] = None,
+) -> Tuple[Scheduler, P2012Platform, PedfRuntime, "SourceActor", "SinkActor"]:
+    """Build the full test bench: source → AModule → sink, not yet loaded."""
+    sched = scheduler or Scheduler()
+    platform = P2012Platform(sched, platform_config or PlatformConfig(n_clusters=2, pes_per_cluster=4))
+    program = build_amodule_program(attribute=attribute, max_steps=len(values))
+    runtime = PedfRuntime(sched, platform, program)
+    source = runtime.add_source("stim", "AModule", "module_in", list(values))
+    sink = runtime.add_sink("capture", "AModule", "module_out", expect=len(values))
+    return sched, platform, runtime, source, sink

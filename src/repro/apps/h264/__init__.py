@@ -1,0 +1,39 @@
+"""The §VI case study: an H.264-like video decoder on PEDF/P2012.
+
+A functional (integer-exact) synthetic decoder with the actor graph of
+the paper's Fig. 4:
+
+- module **front** (entropy front end): ``vlc`` (bitstream parsing),
+  ``hwcfg`` (hardware configuration), ``bh`` (block-header/residual
+  accumulation);
+- module **pred** (prediction/reconstruction): ``red`` (residual decode —
+  a *splitter*), ``pipe`` (pipeline orchestration), ``ipred`` (intra
+  prediction), ``mc`` (motion compensation/merge), ``ipf`` (in-loop post
+  filter).
+
+The bitstream is synthetic but real: each macroblock is a header word
+(mb_type | qp<<8 | index<<16) plus four residual words, and every filter
+performs integer arithmetic whose result is checked against the golden
+Python model in :mod:`golden`.
+
+:mod:`bugs` provides the fault-injected variants used by the debugging
+case study and the benches: a **rate mismatch** that reproduces Fig. 4's
+stalled state (pipe→ipf holding 20 tokens, hwcfg→pipe three), a
+**corrupted token** for the §VI-D provenance hunt, and a **dropped
+token** deadlock untied by injection.
+"""
+
+from .bitstream import Macroblock, encode_bitstream, make_macroblocks
+from .golden import decode_golden
+from .app import build_decoder, build_decoder_program
+from .bugs import BUG_VARIANTS
+
+__all__ = [
+    "Macroblock",
+    "encode_bitstream",
+    "make_macroblocks",
+    "decode_golden",
+    "build_decoder",
+    "build_decoder_program",
+    "BUG_VARIANTS",
+]

@@ -1,0 +1,170 @@
+"""The decoder architecture as a MIND description (paper §IV-A route).
+
+Structurally identical to :func:`~repro.apps.h264.app.build_decoder_program`
+(asserted by tests), demonstrating the ADL tool-chain on the full case
+study and giving `python -m repro --adl` users a complete reference.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ...mind import compile_adl
+from ...pedf.decls import ProgramDecl
+from . import sources
+
+DECODER_ADL = """
+@Program h264_decoder;
+
+@Struct
+struct CbCrMB_t {
+    U32 Addr;
+    U32 InterNotIntra;
+    U32 Izz;
+};
+
+@Filter
+primitive Vlc {
+    data   U32 mb_count;
+    source vlc.c;
+    input  U32 as stream_in;
+    output U32 as hdr_out;
+    output U32 as resid_out;
+}
+
+@Filter
+primitive Hwcfg {
+    data      U32 dropped;
+    attribute U32 drop_at = 0xFFFFFFFF;
+    source    hwcfg.c;
+    input  U32 as hdr_in;
+    output U16 as pipe_MbType_out;
+    output U32 as HwCfg_out;
+}
+
+@Filter
+primitive Bh {
+    data      U32 mb_count;
+    attribute U32 corrupt_at = 0xFFFFFFFF;
+    source    bh.c;
+    input  U32 as resid_in;
+    output U32 as red_out;
+}
+
+@Filter
+primitive Red {
+    data   U32 mb_count;
+    source red.c;
+    input  U32 as Bh_in;
+    output CbCrMB_t as Red2PipeCbMB_out;
+    output U32 as Red2McMB_out;
+}
+
+@Filter
+primitive Pipe {
+    source pipe.c;
+    input  U16 as MbType_in;
+    input  CbCrMB_t as Red2PipeCbMB_in;
+    output U32 as Pipe_ipred_out;
+    output U32 as Pipe_ipf_out;
+}
+
+@Filter
+primitive Ipred {
+    source ipred.c;
+    input  U32 as Pipe_in;
+    input  U32 as Hwcfg_in;
+    output U32 as Add2Dblock_ipf_out;
+    output U32 as Add2Dblock_MB_out;
+}
+
+@Filter
+primitive Mc {
+    source mc.c;
+    input  U32 as Red_in;
+    input  U32 as Ipred_in;
+    output U32 as Ipf_out;
+}
+
+@Filter
+primitive Ipf {
+    hwaccel;
+    attribute U32 skip_cfg = 0;
+    source    ipf.c;
+    input  U32 as Pipe_cfg_in;
+    input  U32 as Add2Dblock_ipred_in;
+    input  U32 as Mc_in;
+    output U32 as decoded_out;
+}
+
+@Module
+composite front {
+    cluster 0;
+    contains as controller { source front_ctrl.c; }
+    contains Vlc   as vlc;
+    contains Hwcfg as hwcfg;
+    contains Bh    as bh;
+    input  U32 as stream_in;
+    output U16 as mbtype_out;
+    output U32 as hwcfg_out;
+    output U32 as resid_out;
+    binds this.stream_in       to vlc.stream_in;
+    binds vlc.hdr_out          to hwcfg.hdr_in;
+    binds vlc.resid_out        to bh.resid_in;
+    binds hwcfg.pipe_MbType_out to this.mbtype_out;
+    binds hwcfg.HwCfg_out      to this.hwcfg_out;
+    binds bh.red_out           to this.resid_out;
+}
+
+@Module
+composite pred {
+    cluster 1;
+    contains as controller { source pred_ctrl.c; }
+    contains Red   as red;
+    contains Pipe  as pipe;
+    contains Ipred as ipred;
+    contains Mc    as mc;
+    contains Ipf   as ipf;
+    input  U16 as mbtype_in;
+    input  U32 as hwcfg_in;
+    input  U32 as resid_in;
+    output U32 as decoded_out;
+    binds this.mbtype_in          to pipe.MbType_in;
+    binds this.hwcfg_in           to ipred.Hwcfg_in;
+    binds this.resid_in           to red.Bh_in;
+    binds red.Red2PipeCbMB_out    to pipe.Red2PipeCbMB_in;
+    binds red.Red2McMB_out        to mc.Red_in;
+    binds pipe.Pipe_ipred_out     to ipred.Pipe_in;
+    binds pipe.Pipe_ipf_out       to ipf.Pipe_cfg_in capacity=20;
+    binds ipred.Add2Dblock_ipf_out to ipf.Add2Dblock_ipred_in;
+    binds ipred.Add2Dblock_MB_out to mc.Ipred_in;
+    binds mc.Ipf_out              to ipf.Mc_in;
+    binds ipf.decoded_out         to this.decoded_out;
+}
+
+binds front.mbtype_out to pred.mbtype_in capacity=8;
+binds front.hwcfg_out  to pred.hwcfg_in dma=true;
+binds front.resid_out  to pred.resid_in;
+"""
+
+DECODER_SOURCES = {
+    "vlc.c": sources.VLC_SOURCE,
+    "hwcfg.c": sources.HWCFG_SOURCE,
+    "bh.c": sources.BH_SOURCE,
+    "red.c": sources.RED_SOURCE,
+    "pipe.c": sources.PIPE_SOURCE,
+    "ipred.c": sources.IPRED_SOURCE,
+    "mc.c": sources.MC_SOURCE,
+    "ipf.c": sources.IPF_SOURCE,
+    "front_ctrl.c": sources.FRONT_CONTROLLER_SOURCE,
+    "pred_ctrl.c": sources.PRED_CONTROLLER_SOURCE,
+}
+
+
+def build_decoder_program_from_adl(max_steps: Optional[int] = None) -> ProgramDecl:
+    """Compile the decoder from its architecture description."""
+    program = compile_adl(DECODER_ADL, DECODER_SOURCES, filename="h264.adl")
+    if max_steps is not None:
+        for module in program.modules.values():
+            module.controller.max_steps = max_steps
+    return program

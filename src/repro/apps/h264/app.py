@@ -1,0 +1,184 @@
+"""Decoder architecture and test-bench assembly."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from ...cminus.typesys import U16, U32, StructType
+from ...p2012.soc import P2012Platform, PlatformConfig
+from ...pedf.decls import ControllerDecl, FilterDecl, ModuleDecl, ProgramDecl
+from ...pedf.runtime import PedfRuntime, RuntimeConfig
+from ...sim.kernel import Scheduler
+from . import sources
+from .bitstream import Macroblock, encode_bitstream, make_macroblocks
+
+NO_MB = 0xFFFFFFFF  # attribute value meaning "no macroblock" (bug disabled)
+
+CBCR_STRUCT = StructType(
+    name="CbCrMB_t",
+    fields=(("Addr", U32), ("InterNotIntra", U32), ("Izz", U32)),
+)
+
+
+def build_decoder_program(
+    max_steps: Optional[int] = None,
+    corrupt_at: int = NO_MB,
+    drop_at: int = NO_MB,
+    skip_ipf_cfg: bool = False,
+    pipe_ipf_capacity: int = 20,
+    mbtype_capacity: int = 8,
+) -> ProgramDecl:
+    """The two-module decoder architecture (Fig. 4).
+
+    The fault-injection parameters select the §VI bug variants; defaults
+    build the correct decoder.
+    """
+    program = ProgramDecl(name="h264_decoder")
+    program.structs["CbCrMB_t"] = CBCR_STRUCT
+
+    # ---------------------------------------------------------------- front
+    front = ModuleDecl(name="front", cluster=0)
+    front_ctl = ControllerDecl(
+        name="front_controller",
+        source=sources.FRONT_CONTROLLER_SOURCE,
+        source_name="front_ctrl.c",
+        max_steps=max_steps,
+    )
+    front.set_controller(front_ctl)
+
+    vlc = FilterDecl(name="vlc", source=sources.VLC_SOURCE, source_name="vlc.c")
+    vlc.add_data("mb_count", U32)
+    vlc.add_iface("stream_in", "input", U32)
+    vlc.add_iface("hdr_out", "output", U32)
+    vlc.add_iface("resid_out", "output", U32)
+    front.add_filter(vlc)
+
+    hwcfg = FilterDecl(name="hwcfg", source=sources.HWCFG_SOURCE, source_name="hwcfg.c")
+    hwcfg.add_data("dropped", U32)
+    hwcfg.add_attribute("drop_at", U32, drop_at)
+    hwcfg.add_iface("hdr_in", "input", U32)
+    hwcfg.add_iface("pipe_MbType_out", "output", U16)
+    hwcfg.add_iface("HwCfg_out", "output", U32)
+    front.add_filter(hwcfg)
+
+    bh = FilterDecl(name="bh", source=sources.BH_SOURCE, source_name="bh.c")
+    bh.add_data("mb_count", U32)
+    bh.add_attribute("corrupt_at", U32, corrupt_at)
+    bh.add_iface("resid_in", "input", U32)
+    bh.add_iface("red_out", "output", U32)
+    front.add_filter(bh)
+
+    front.add_iface("stream_in", "input", U32)
+    front.add_iface("mbtype_out", "output", U16)
+    front.add_iface("hwcfg_out", "output", U32)
+    front.add_iface("resid_out", "output", U32)
+    front.bind("this", "stream_in", "vlc", "stream_in")
+    front.bind("vlc", "hdr_out", "hwcfg", "hdr_in")
+    front.bind("vlc", "resid_out", "bh", "resid_in")
+    front.bind("hwcfg", "pipe_MbType_out", "this", "mbtype_out")
+    front.bind("hwcfg", "HwCfg_out", "this", "hwcfg_out")
+    front.bind("bh", "red_out", "this", "resid_out")
+    program.add_module(front)
+
+    # ----------------------------------------------------------------- pred
+    pred = ModuleDecl(name="pred", cluster=1)
+    pred_ctl = ControllerDecl(
+        name="pred_controller",
+        source=sources.PRED_CONTROLLER_SOURCE,
+        source_name="pred_ctrl.c",
+        max_steps=max_steps,
+    )
+    pred.set_controller(pred_ctl)
+
+    red = FilterDecl(name="red", source=sources.RED_SOURCE, source_name="red.c")
+    red.add_data("mb_count", U32)
+    red.add_iface("Bh_in", "input", U32)
+    red.add_iface("Red2PipeCbMB_out", "output", CBCR_STRUCT)
+    red.add_iface("Red2McMB_out", "output", U32)
+    pred.add_filter(red)
+
+    pipe = FilterDecl(name="pipe", source=sources.PIPE_SOURCE, source_name="pipe.c")
+    pipe.add_iface("MbType_in", "input", U16)
+    pipe.add_iface("Red2PipeCbMB_in", "input", CBCR_STRUCT)
+    pipe.add_iface("Pipe_ipred_out", "output", U32)
+    pipe.add_iface("Pipe_ipf_out", "output", U32)
+    pred.add_filter(pipe)
+
+    ipred = FilterDecl(name="ipred", source=sources.IPRED_SOURCE, source_name="ipred.c")
+    ipred.add_iface("Pipe_in", "input", U32)
+    ipred.add_iface("Hwcfg_in", "input", U32)
+    ipred.add_iface("Add2Dblock_ipf_out", "output", U32)
+    ipred.add_iface("Add2Dblock_MB_out", "output", U32)
+    pred.add_filter(ipred)
+
+    mc = FilterDecl(name="mc", source=sources.MC_SOURCE, source_name="mc.c")
+    mc.add_iface("Red_in", "input", U32)
+    mc.add_iface("Ipred_in", "input", U32)
+    mc.add_iface("Ipf_out", "output", U32)
+    pred.add_filter(mc)
+
+    ipf = FilterDecl(name="ipf", source=sources.IPF_SOURCE, source_name="ipf.c", hw_accel=True)
+    ipf.add_attribute("skip_cfg", U32, 1 if skip_ipf_cfg else 0)
+    ipf.add_iface("Pipe_cfg_in", "input", U32)
+    ipf.add_iface("Add2Dblock_ipred_in", "input", U32)
+    ipf.add_iface("Mc_in", "input", U32)
+    ipf.add_iface("decoded_out", "output", U32)
+    pred.add_filter(ipf)
+
+    pred.add_iface("mbtype_in", "input", U16)
+    pred.add_iface("hwcfg_in", "input", U32)
+    pred.add_iface("resid_in", "input", U32)
+    pred.add_iface("decoded_out", "output", U32)
+    pred.bind("this", "mbtype_in", "pipe", "MbType_in")
+    pred.bind("this", "hwcfg_in", "ipred", "Hwcfg_in")
+    pred.bind("this", "resid_in", "red", "Bh_in")
+    pred.bind("red", "Red2PipeCbMB_out", "pipe", "Red2PipeCbMB_in")
+    pred.bind("red", "Red2McMB_out", "mc", "Red_in")
+    pred.bind("pipe", "Pipe_ipred_out", "ipred", "Pipe_in")
+    # the link of Fig. 4 that accumulates 20 tokens under the
+    # rate-mismatch bug: bounded at 20 so the stall state is exact
+    pred.bind("pipe", "Pipe_ipf_out", "ipf", "Pipe_cfg_in", capacity=pipe_ipf_capacity)
+    pred.bind("ipred", "Add2Dblock_ipf_out", "ipf", "Add2Dblock_ipred_in")
+    pred.bind("ipred", "Add2Dblock_MB_out", "mc", "Ipred_in")
+    pred.bind("mc", "Ipf_out", "ipf", "Mc_in")
+    pred.bind("ipf", "decoded_out", "this", "decoded_out")
+    program.add_module(pred)
+
+    # ------------------------------------------------- inter-module binding
+    # hwcfg -> pipe: the control link holding three tokens in Fig. 4
+    program.bind("front", "mbtype_out", "pred", "mbtype_in", capacity=mbtype_capacity)
+    # hwcfg -> ipred: DMA-assisted control link (dashed in Fig. 4)
+    program.bind("front", "hwcfg_out", "pred", "hwcfg_in", dma=True)
+    program.bind("front", "resid_out", "pred", "resid_in")
+    return program
+
+
+def build_decoder(
+    mbs: Optional[Sequence[Macroblock]] = None,
+    n_mbs: int = 8,
+    scheduler: Optional[Scheduler] = None,
+    platform_config: Optional[PlatformConfig] = None,
+    expect_all: bool = True,
+    **program_kwargs,
+) -> Tuple[Scheduler, P2012Platform, PedfRuntime, "SourceActor", "SinkActor", List[Macroblock]]:
+    """Assemble the full test bench: bitstream source → decoder → sink.
+
+    ``expect_all=False`` builds a sink that drains forever (for bug
+    variants that stall before producing everything).
+    """
+    if mbs is None:
+        # the first MbTypes reproduce the paper's recorded 5, 10, 15
+        mbs = make_macroblocks(n_mbs, mb_types=(5, 10, 15))
+    mbs = list(mbs)
+    sched = scheduler or Scheduler()
+    platform = P2012Platform(
+        sched, platform_config or PlatformConfig(n_clusters=2, pes_per_cluster=8)
+    )
+    program_kwargs.setdefault("max_steps", len(mbs))
+    program = build_decoder_program(**program_kwargs)
+    runtime = PedfRuntime(sched, platform, program)
+    source = runtime.add_source("stream", "front", "stream_in", encode_bitstream(mbs))
+    sink = runtime.add_sink(
+        "display", "pred", "decoded_out", expect=len(mbs) if expect_all else None
+    )
+    return sched, platform, runtime, source, sink, mbs

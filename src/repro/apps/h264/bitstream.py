@@ -1,0 +1,73 @@
+"""Synthetic H.264-like bitstream.
+
+One macroblock = 5 words: ``header`` (``mb_type | qp << 8 | index << 16``)
+followed by four 8-bit residual words.  ``make_macroblocks`` produces a
+deterministic pseudo-random sequence (decoupled from Python's global RNG
+so tests and benches are reproducible).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+
+@dataclass(frozen=True)
+class Macroblock:
+    index: int
+    mb_type: int  # 0..255 (the MbType tokens of the paper's transcript)
+    qp: int  # quantization parameter, 0..255
+    residuals: Sequence[int]  # four 0..255 words
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.mb_type <= 0xFF:
+            raise ValueError(f"mb_type out of range: {self.mb_type}")
+        if not 0 <= self.qp <= 0xFF:
+            raise ValueError(f"qp out of range: {self.qp}")
+        if len(self.residuals) != 4 or any(not 0 <= r <= 0xFF for r in self.residuals):
+            raise ValueError(f"residuals must be four bytes, got {self.residuals}")
+
+    @property
+    def header(self) -> int:
+        return self.mb_type | (self.qp << 8) | (self.index << 16)
+
+
+def make_macroblocks(
+    count: int,
+    seed: int = 2013,
+    mb_types: Optional[Sequence[int]] = None,
+) -> List[Macroblock]:
+    """Deterministic macroblock sequence.
+
+    ``mb_types`` overrides the type of the first macroblocks — used to
+    reproduce the paper's recorded MbType tokens ``5, 10, 15``.
+    """
+    state = seed & 0xFFFFFFFF
+    mbs: List[Macroblock] = []
+    for i in range(count):
+        residuals = []
+        for _ in range(4):
+            # xorshift32
+            state ^= (state << 13) & 0xFFFFFFFF
+            state ^= state >> 17
+            state ^= (state << 5) & 0xFFFFFFFF
+            residuals.append(state & 0xFF)
+        state ^= (state << 13) & 0xFFFFFFFF
+        state ^= state >> 17
+        state ^= (state << 5) & 0xFFFFFFFF
+        if mb_types is not None and i < len(mb_types):
+            mb_type = mb_types[i]
+        else:
+            mb_type = state & 0x3F
+        qp = 10 + (i % 40)
+        mbs.append(Macroblock(index=i, mb_type=mb_type, qp=qp, residuals=tuple(residuals)))
+    return mbs
+
+
+def encode_bitstream(mbs: Sequence[Macroblock]) -> List[int]:
+    """Flatten macroblocks into the stream of U32 words the host feeds."""
+    words: List[int] = []
+    for mb in mbs:
+        words.append(mb.header)
+        words.extend(mb.residuals)
+    return words

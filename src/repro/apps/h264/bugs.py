@@ -1,0 +1,72 @@
+"""The fault-injected decoder variants of the §VI case study.
+
+Each variant is a builder returning the same test-bench tuple as
+:func:`~repro.apps.h264.app.build_decoder`, plus a human description of
+the observable symptom — the starting point of each debugging session.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict
+
+from .app import NO_MB, build_decoder
+
+
+@dataclass(frozen=True)
+class BugVariant:
+    name: str
+    symptom: str
+    build: Callable
+
+
+def build_rate_mismatch(n_mbs: int = 24, **kwargs):
+    """Fig. 4's stalled state: ipf never consumes its configuration
+    input, so tokens pile up on pipe→ipf (capacity 20) until pipe blocks;
+    hwcfg→pipe then accumulates the remaining MbTypes (three of them for
+    24 macroblocks)."""
+    kwargs.setdefault("skip_ipf_cfg", True)
+    kwargs.setdefault("expect_all", False)
+    return build_decoder(n_mbs=n_mbs, **kwargs)
+
+
+def build_corrupted_token(n_mbs: int = 8, corrupt_at: int = 5, **kwargs):
+    """§VI-D: from macroblock ``corrupt_at`` on, bh accumulates residuals
+    in a U8, silently wrapping — decoded output diverges downstream, and
+    the provenance walk (`filter pipe info last_token`) leads back to bh."""
+    kwargs.setdefault("corrupt_at", corrupt_at)
+    return build_decoder(n_mbs=n_mbs, **kwargs)
+
+
+def build_dropped_token(n_mbs: int = 8, drop_at: int = None, **kwargs):
+    """Deadlock: hwcfg never emits the configuration token of macroblock
+    ``drop_at``; ipred blocks forever on Hwcfg_in.  Untie by injecting
+    the missing token (`iface hwcfg::HwCfg_out insert ...`).
+
+    Because the Hwcfg_in link buffers, dropping an early header shifts
+    every later header one macroblock earlier (erratic output — the §II
+    "synchronization of multiple interfaces" failure).  The default drops
+    the *last* header, which stalls cleanly at the end of the sequence so
+    injection completes it with correct output."""
+    kwargs.setdefault("drop_at", n_mbs - 1 if drop_at is None else drop_at)
+    kwargs.setdefault("expect_all", False)
+    return build_decoder(n_mbs=n_mbs, **kwargs)
+
+
+BUG_VARIANTS: Dict[str, BugVariant] = {
+    "rate-mismatch": BugVariant(
+        "rate-mismatch",
+        "decoder stalls mid-sequence; pipe->ipf holds 20 tokens, hwcfg->pipe three",
+        build_rate_mismatch,
+    ),
+    "corrupted-token": BugVariant(
+        "corrupted-token",
+        "decoded macroblocks diverge from the reference after some index",
+        build_corrupted_token,
+    ),
+    "dropped-token": BugVariant(
+        "dropped-token",
+        "decoder deadlocks; ipred blocked reading Hwcfg_in",
+        build_dropped_token,
+    ),
+}

@@ -1,0 +1,102 @@
+"""Golden (reference) model of the synthetic decoder.
+
+Pure Python mirror of the Filter-C pipeline in :mod:`sources` — every
+intermediate value is exposed so tests can check any link's traffic, not
+just the final output.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from .bitstream import Macroblock
+
+MASK16 = 0xFFFF
+MASK32 = 0xFFFFFFFF
+
+
+@dataclass(frozen=True)
+class GoldenTrace:
+    """Every token the decoder produces for one macroblock."""
+
+    index: int
+    mb_type: int  # hwcfg -> pipe (U16)
+    hwcfg_word: int  # hwcfg -> ipred (U32, the full header)
+    rsum: int  # bh -> red (U32)
+    cbcr_addr: int  # red -> pipe (CbCrMB_t.Addr)
+    cbcr_inter: int  # red -> pipe (CbCrMB_t.InterNotIntra)
+    cbcr_izz: int  # red -> pipe (CbCrMB_t.Izz)
+    red_mc: int  # red -> mc (U32)
+    pipe_ctl: int  # pipe -> ipred (U32)
+    pipe_cfg: int  # pipe -> ipf (U32)
+    pred: int  # ipred -> ipf (U32)
+    pred_mb: int  # ipred -> mc (U32)
+    recon: int  # mc -> ipf (U32)
+    decoded: int  # ipf -> out (U32)
+
+
+def golden_mb(mb: Macroblock, corrupt_bh: bool = False, skip_ipf_cfg: bool = False) -> GoldenTrace:
+    """Decode one macroblock exactly as the Filter-C filters do.
+
+    ``corrupt_bh`` models the bug variant where bh accumulates residuals
+    in a U8 instead of a U32 (silent wraparound); ``skip_ipf_cfg`` models
+    the buggy ipf that never reads its configuration input.
+    """
+    header = mb.header
+    mb_type = header & 0xFF
+    qp = (header >> 8) & 0xFF
+
+    if corrupt_bh:
+        rsum = 0
+        for r in mb.residuals:
+            rsum = (rsum + r) & 0xFF  # U8 accumulator: wraps
+    else:
+        rsum = sum(mb.residuals) & MASK16
+
+    cbcr_addr = (0x1400 + mb.index) & MASK32
+    cbcr_izz = (rsum * 3 + 1) & MASK32
+    cbcr_inter = rsum & 1
+    red_mc = rsum
+
+    pipe_ctl = ((cbcr_izz & MASK16) | (mb_type << 16)) & MASK32
+    pipe_cfg = cbcr_addr
+
+    pred = ((pipe_ctl & MASK16) + qp * 4) & MASK16
+    pred_mb = (pred * 3 + 7) & MASK16
+
+    recon = (red_mc + pred_mb) & MASK16
+
+    cfg_term = 0 if skip_ipf_cfg else (pipe_cfg & 0xF)
+    decoded = (pred + recon + cfg_term) & MASK16
+
+    return GoldenTrace(
+        index=mb.index,
+        mb_type=mb_type,
+        hwcfg_word=header,
+        rsum=rsum,
+        cbcr_addr=cbcr_addr,
+        cbcr_inter=cbcr_inter,
+        cbcr_izz=cbcr_izz,
+        red_mc=red_mc,
+        pipe_ctl=pipe_ctl,
+        pipe_cfg=pipe_cfg,
+        pred=pred,
+        pred_mb=pred_mb,
+        recon=recon,
+        decoded=decoded,
+    )
+
+
+def decode_golden(
+    mbs: Sequence[Macroblock], corrupt_bh_at: Sequence[int] = (), skip_ipf_cfg: bool = False
+) -> List[GoldenTrace]:
+    """Reference decode of a whole sequence.
+
+    ``corrupt_bh_at`` lists macroblock indices affected by the bh
+    wraparound bug.
+    """
+    return [
+        golden_mb(mb, corrupt_bh=mb.index in corrupt_bh_at, skip_ipf_cfg=skip_ipf_cfg)
+        for mb in mbs
+    ]

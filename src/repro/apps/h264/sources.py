@@ -1,0 +1,159 @@
+"""Filter-C sources of the decoder actors.
+
+Interface names follow the paper's transcripts: ``pipe_MbType_out``,
+``Red2PipeCbMB_in``, ``Pipe_in`` / ``Hwcfg_in``, ``Add2Dblock_ipf_out`` /
+``Add2Dblock_ipred_in`` / ``Add2Dblock_MB_out``.
+
+Fault injection is parameterized through attributes so the same source
+serves the correct decoder and the bug variants:
+
+- ``bh``: ``corrupt_at`` — from that macroblock on, residuals are
+  accumulated in a U8 (silent wraparound), the §VI-D corrupted-token bug;
+- ``hwcfg``: ``drop_at`` — the configuration token of that macroblock is
+  never sent, starving ipred (the deadlock scenario);
+- ``ipf``: ``skip_cfg`` — the configuration input from pipe is never
+  read, the Fig. 4 rate-mismatch bug (tokens pile up on pipe→ipf).
+"""
+
+VLC_SOURCE = """\
+// vlc.c — bitstream parser: 1 header + 4 residual words per macroblock
+void work() {
+    U32 header = pedf.io.stream_in[0];
+    pedf.io.hdr_out[0] = header;
+    for (U32 i = 0; i < 4; i++) {
+        U32 r = pedf.io.stream_in[1 + i];
+        pedf.io.resid_out[i] = r;
+    }
+    pedf.data.mb_count = pedf.data.mb_count + 1;
+}
+"""
+
+HWCFG_SOURCE = """\
+// hwcfg.c — hardware configuration: split header into MbType and config
+void work() {
+    U32 header = pedf.io.hdr_in[0];
+    U32 mb_index = header >> 16;
+    U16 mb_type = (U16)(header & 0xFF);
+    pedf.io.pipe_MbType_out[0] = mb_type;
+    if (pedf.attribute.drop_at == mb_index) {
+        // BUG (deadlock variant): the configuration token is never sent,
+        // so ipred will block forever on its Hwcfg_in interface
+        pedf.data.dropped = pedf.data.dropped + 1;
+    } else {
+        pedf.io.HwCfg_out[0] = header;
+    }
+}
+"""
+
+BH_SOURCE = """\
+// bh.c — block header / residual accumulation
+void work() {
+    U32 mb = pedf.data.mb_count;
+    if (pedf.attribute.corrupt_at <= mb) {
+        // BUG (corrupted-token variant): U8 accumulator wraps silently
+        U8 sum8 = 0;
+        for (U32 i = 0; i < 4; i++) {
+            sum8 = sum8 + (U8)pedf.io.resid_in[i];
+        }
+        pedf.io.red_out[0] = sum8;
+    } else {
+        U32 sum = 0;
+        for (U32 i = 0; i < 4; i++) {
+            sum = sum + pedf.io.resid_in[i];
+        }
+        pedf.io.red_out[0] = sum & 0xFFFF;
+    }
+    pedf.data.mb_count = mb + 1;
+}
+"""
+
+RED_SOURCE = """\
+// red.c — residual decoder; acts as a *splitter*: the data it generates
+// from one input token goes to all of its outbound interfaces
+void work() {
+    U32 rsum = pedf.io.Bh_in[0];
+    U32 mb = pedf.data.mb_count;
+    CbCrMB_t cbcr;
+    cbcr.Addr = 0x1400 + mb;
+    cbcr.InterNotIntra = rsum & 1;
+    cbcr.Izz = rsum * 3 + 1;
+    pedf.io.Red2PipeCbMB_out[0] = cbcr;
+    pedf.io.Red2McMB_out[0] = rsum;
+    pedf.data.mb_count = mb + 1;
+}
+"""
+
+PIPE_SOURCE = """\
+// pipe.c — pipeline orchestration
+void work() {
+    U16 mb_type = pedf.io.MbType_in[0];
+    CbCrMB_t cbcr = pedf.io.Red2PipeCbMB_in[0];
+    U32 ctl = (cbcr.Izz & 0xFFFF) | ((U32)mb_type << 16);
+    pedf.io.Pipe_ipred_out[0] = ctl;
+    pedf.io.Pipe_ipf_out[0] = cbcr.Addr;
+}
+"""
+
+IPRED_SOURCE = """\
+// ipred.c — intra prediction
+void work() {
+    U32 ctl = pedf.io.Pipe_in[0];
+    U32 header = pedf.io.Hwcfg_in[0];
+    U32 qp = (header >> 8) & 0xFF;
+    U32 pred = ((ctl & 0xFFFF) + qp * 4) & 0xFFFF;
+    pedf.io.Add2Dblock_ipf_out[0] = pred;
+    pedf.io.Add2Dblock_MB_out[0] = (pred * 3 + 7) & 0xFFFF;
+}
+"""
+
+MC_SOURCE = """\
+// mc.c — motion compensation / merge
+void work() {
+    U32 rsum = pedf.io.Red_in[0];
+    U32 pred_mb = pedf.io.Ipred_in[0];
+    U32 recon = (rsum + pred_mb) & 0xFFFF;
+    pedf.io.Ipf_out[0] = recon;
+}
+"""
+
+IPF_SOURCE = """\
+// ipf.c — in-loop post filter (deblock)
+void work() {
+    U32 cfg = 0;
+    if (pedf.attribute.skip_cfg == 0) {
+        cfg = pedf.io.Pipe_cfg_in[0];
+    }
+    // BUG (rate-mismatch variant): when skip_cfg != 0 the configuration
+    // tokens from pipe are never consumed and pile up on the link
+    U32 pred = pedf.io.Add2Dblock_ipred_in[0];
+    U32 recon = pedf.io.Mc_in[0];
+    U32 out = (pred + recon + (cfg & 0xF)) & 0xFFFF;
+    pedf.io.decoded_out[0] = out;
+}
+"""
+
+FRONT_CONTROLLER_SOURCE = """\
+// front_ctrl.c — one macroblock per step through the entropy front end
+void work() {
+    ACTOR_START(vlc);
+    ACTOR_START(hwcfg);
+    ACTOR_START(bh);
+    WAIT_FOR_ACTOR_INIT();
+    ACTOR_SYNC(vlc);
+    ACTOR_SYNC(hwcfg);
+    ACTOR_SYNC(bh);
+    WAIT_FOR_ACTOR_SYNC();
+}
+"""
+
+PRED_CONTROLLER_SOURCE = """\
+// pred_ctrl.c — one macroblock per step through prediction/reconstruction
+void work() {
+    ACTOR_FIRE(red);
+    ACTOR_FIRE(pipe);
+    ACTOR_FIRE(ipred);
+    ACTOR_FIRE(mc);
+    ACTOR_FIRE(ipf);
+    WAIT_FOR_ACTOR_SYNC();
+}
+"""

@@ -1,0 +1,17 @@
+"""A truly *dynamic* dataflow application: run-length decoding.
+
+The paper targets dynamic dataflow models because decidable (synchronous)
+models "are not always suitable [...] especially in the case of
+applications processing dynamic streams": a filter whose consumption and
+production rates depend on the *data* cannot be expressed in synchronous
+dataflow at all.  Run-length decoding is the canonical example — the
+``expand`` filter reads a count token, then produces that many value
+tokens; the ``pack`` encoder does the reverse.
+
+Used by tests (including hypothesis round-trip properties) and as a demo
+that the debugger's token machinery handles data-dependent rates.
+"""
+
+from .app import build_rle_pipeline, rle_encode, rle_decode
+
+__all__ = ["build_rle_pipeline", "rle_encode", "rle_decode"]

@@ -1,0 +1,171 @@
+"""Run-length codec on PEDF: encoder → decoder round trip.
+
+``pack`` consumes a *data-dependent* number of input tokens per firing
+(one run) and emits two tokens (count, value); ``expand`` consumes two
+tokens and emits ``count`` tokens.  Neither rate is known statically —
+this is the expressiveness dynamic dataflow buys.
+
+The stream is terminated by a sentinel value (``TERMINATOR``) so the
+filters know when a run ends without peeking beyond the stream.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from ...cminus.typesys import U32
+from ...p2012.soc import P2012Platform, PlatformConfig
+from ...pedf.decls import ControllerDecl, FilterDecl, ModuleDecl, ProgramDecl
+from ...pedf.runtime import PedfRuntime
+from ...sim.kernel import Scheduler
+
+#: sentinel marking end-of-stream (chosen outside the value alphabet)
+TERMINATOR = 0xFFFFFFFF
+
+PACK_SOURCE = """\
+// pack.c — run-length encoder: one run per WORK invocation.
+// Consumes a data-dependent number of tokens (the whole run, plus the
+// token that terminates it, carried over via private data).
+void work() {
+    U32 have = pedf.data.have_pending;
+    U32 value;
+    if (have == 1) {
+        value = pedf.data.pending;
+    } else {
+        value = pedf.io.i[0];
+    }
+    if (value == 0xFFFFFFFF) {
+        pedf.io.o[0] = 0xFFFFFFFF;   // forward the terminator
+        pedf.data.have_pending = 0;
+        return;
+    }
+    U32 count = 1;
+    U32 idx = have == 1 ? 0 : 1;
+    while (true) {
+        U32 next = pedf.io.i[idx];
+        idx = idx + 1;
+        if (next == value) {
+            count = count + 1;
+        } else {
+            pedf.data.pending = next;
+            pedf.data.have_pending = 1;
+            break;
+        }
+    }
+    pedf.io.o[0] = count;
+    pedf.io.o[1] = value;
+}
+"""
+
+EXPAND_SOURCE = """\
+// expand.c — run-length decoder: emits count copies of value.
+void work() {
+    U32 count = pedf.io.i[0];
+    if (count == 0xFFFFFFFF) {
+        pedf.io.o[0] = 0xFFFFFFFF;   // forward the terminator
+        return;
+    }
+    U32 value = pedf.io.i[1];
+    for (U32 k = 0; k < count; k++) {
+        pedf.io.o[k] = value;
+    }
+    pedf.data.total = pedf.data.total + count;
+}
+"""
+
+CONTROLLER_SOURCE = """\
+// rle_ctl.c — keep firing both codec stages until the stream terminator
+// has flowed through (signalled by a predicate the debugger or the test
+// bench flips... here: bounded by maxsteps from the architecture).
+void work() {
+    ACTOR_FIRE(pack);
+    ACTOR_FIRE(expand);
+    WAIT_FOR_ACTOR_SYNC();
+}
+"""
+
+
+def rle_encode(values: Sequence[int]) -> List[int]:
+    """Reference encoder: [count, value]* followed by the terminator."""
+    out: List[int] = []
+    i = 0
+    values = list(values)
+    while i < len(values):
+        j = i
+        while j < len(values) and values[j] == values[i]:
+            j += 1
+        out.extend([j - i, values[i]])
+        i = j
+    out.append(TERMINATOR)
+    return out
+
+
+def rle_decode(stream: Sequence[int]) -> List[int]:
+    """Reference decoder for [count, value]* + terminator streams."""
+    out: List[int] = []
+    it = iter(stream)
+    for count in it:
+        if count == TERMINATOR:
+            break
+        value = next(it)
+        out.extend([value] * count)
+    return out
+
+
+def count_runs(values: Sequence[int]) -> int:
+    runs = 0
+    prev = object()
+    for v in values:
+        if v != prev:
+            runs += 1
+            prev = v
+    return runs
+
+
+def build_rle_pipeline(
+    values: Sequence[int],
+    scheduler: Optional[Scheduler] = None,
+) -> Tuple[Scheduler, PedfRuntime, "SinkActor"]:
+    """source → pack → expand → sink; the round trip must be identity."""
+    values = list(values)
+    if any(v == TERMINATOR for v in values):
+        raise ValueError("input may not contain the terminator sentinel")
+    runs = count_runs(values)
+    # each step encodes+decodes one run; one extra step flushes the
+    # terminator through both stages
+    steps = runs + 1
+
+    program = ProgramDecl(name="rle")
+    mod = ModuleDecl(name="codec")
+    ctl = ControllerDecl(
+        name="controller", source=CONTROLLER_SOURCE, source_name="rle_ctl.c", max_steps=steps
+    )
+    mod.set_controller(ctl)
+
+    pack = FilterDecl(name="pack", source=PACK_SOURCE, source_name="pack.c")
+    pack.add_data("pending", U32)
+    pack.add_data("have_pending", U32)
+    pack.add_iface("i", "input", U32)
+    pack.add_iface("o", "output", U32)
+    mod.add_filter(pack)
+
+    expand = FilterDecl(name="expand", source=EXPAND_SOURCE, source_name="expand.c")
+    expand.add_data("total", U32)
+    expand.add_iface("i", "input", U32)
+    expand.add_iface("o", "output", U32)
+    mod.add_filter(expand)
+
+    mod.add_iface("stream_in", "input", U32)
+    mod.add_iface("stream_out", "output", U32)
+    mod.bind("this", "stream_in", "pack", "i")
+    # unbounded: a run may expand to arbitrarily many tokens
+    mod.bind("pack", "o", "expand", "i", capacity=0)
+    mod.bind("expand", "o", "this", "stream_out", capacity=0)
+    program.add_module(mod)
+
+    sched = scheduler or Scheduler()
+    platform = P2012Platform(sched, PlatformConfig(n_clusters=1, pes_per_cluster=4))
+    runtime = PedfRuntime(sched, platform, program)
+    runtime.add_source("stim", "codec", "stream_in", values + [TERMINATOR], capacity=0)
+    sink = runtime.add_sink("cap", "codec", "stream_out", expect=len(values) + 1)
+    return sched, runtime, sink

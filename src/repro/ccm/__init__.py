@@ -1,0 +1,45 @@
+"""A second programming model on the same debugger base: components.
+
+The paper's future work: "we will investigate how the idea of leveraging
+the programming model to improve the debugging experience can be applied
+to different models [...] We expect our debugger to be able to easily
+encompass new models, thanks to a generic code base."  The authors' own
+companion work (§VII-B, SCOPES'12) applied the idea to component-based
+software engineering: standalone components providing services on input
+interfaces and serving responses on output interfaces, with an
+architecture that — unlike dataflow — **can be rebound at runtime**.
+
+This package is that demonstration: a minimal component framework whose
+components are written in the same Filter-C language (so two-level
+debugging works unchanged) and whose runtime duck-types the interface
+:class:`~repro.dbg.debugger.Debugger` expects — the *same* base debugger,
+CLI, breakpoints and expression evaluator drive it, and a model-aware
+extension (:class:`~repro.ccm.debug.ComponentSession`) captures service
+requests/responses through the identical function-breakpoint mechanism.
+
+Entities:
+
+- **Component** — Filter-C unit defining ``U32 serve_<svc>(U32)`` for
+  each provided service; calls required services with the ``CALL(name,
+  arg)`` intrinsic;
+- **Assembly** — components + bindings (required → provided), rebindable
+  at runtime (the dynamic-architecture property §VII-B highlights);
+- **ComponentSession** — `component X catch request|response [svc]`,
+  message tracing with request/response pairing, architecture graph, and
+  a ``rebind`` command that rewires the assembly from the debugger.
+"""
+
+from .decls import AssemblyDecl, ComponentDecl
+from .runtime import AssemblyRuntime, SYM_CCM_BIND, SYM_CCM_REGISTER, SYM_CCM_REQUEST
+from .debug import ComponentSession, install_component_commands
+
+__all__ = [
+    "AssemblyDecl",
+    "ComponentDecl",
+    "AssemblyRuntime",
+    "SYM_CCM_BIND",
+    "SYM_CCM_REGISTER",
+    "SYM_CCM_REQUEST",
+    "ComponentSession",
+    "install_component_commands",
+]

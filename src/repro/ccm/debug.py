@@ -1,0 +1,298 @@
+"""The component-model debugger extension.
+
+Same recipe as :mod:`repro.core`, different model: internal
+representations rebuilt from registration events, message-level
+catchpoints via function breakpoints on the component API symbols, a
+message trace pairing requests with responses, a DOT architecture view,
+and a ``rebind`` command exploiting the model's dynamic architecture.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple, Union
+
+from ..dbg.cli import Command, CommandCli
+from ..dbg.debugger import Debugger
+from ..dbg.stop import StopEvent, StopKind
+from ..errors import CommandError
+from .runtime import (
+    SYM_CCM_BIND,
+    SYM_CCM_REBIND,
+    SYM_CCM_REGISTER,
+    SYM_CCM_REGISTER_IFACE,
+    SYM_CCM_REQUEST,
+    SYM_CCM_SERVE,
+)
+
+
+@dataclass
+class DbgComponent:
+    name: str
+    qualname: str
+    resource: str = ""
+    provides: List[str] = field(default_factory=list)
+    requires: List[str] = field(default_factory=list)
+    requests_made: int = 0
+    served: int = 0
+
+
+@dataclass
+class DbgMessage:
+    req_id: int
+    client: str
+    provider: str
+    service: str
+    arg: int
+    issued_at: int
+    result: Optional[int] = None
+    completed_at: Optional[int] = None
+
+    @property
+    def pending(self) -> bool:
+        return self.completed_at is None
+
+    def __str__(self) -> str:
+        status = "pending" if self.pending else f"-> {self.result}"
+        return (f"#{self.req_id} {self.client} -> {self.provider}.{self.service}({self.arg}) "
+                f"{status}")
+
+
+@dataclass
+class MessageCatch:
+    """A component-level catchpoint over requests or responses."""
+
+    cp_id: int
+    component: str  # qualified
+    phase: str  # "request" | "response" | "serve"
+    service: Optional[str] = None
+    enabled: bool = True
+    temporary: bool = False
+    hits: int = 0
+
+
+class ComponentSession:
+    """Model-aware debugging for component assemblies."""
+
+    def __init__(self, debugger: Debugger, cli: Optional[CommandCli] = None,
+                 stop_on_init: bool = False):
+        self.dbg = debugger
+        self.stop_on_init = stop_on_init
+        self.components: Dict[str, DbgComponent] = {}
+        self.bindings: Dict[Tuple[str, str], Tuple[str, str]] = {}
+        self.messages: Dict[int, DbgMessage] = {}
+        self.trace: List[DbgMessage] = []
+        self.catches: Dict[int, MessageCatch] = {}
+        self._next_catch = 1
+        self.initialized = False
+        self._install()
+        if cli is not None:
+            install_component_commands(cli, self)
+
+    # -------------------------------------------------------------- capture
+
+    def _install(self) -> None:
+        bp = self.dbg.break_api
+        bp("ccm_rt_register_assembly", phase="both", internal=True, stop_fn=self._on_assembly)
+        bp(SYM_CCM_REGISTER, phase="entry", internal=True, stop_fn=self._on_register)
+        bp(SYM_CCM_REGISTER_IFACE, phase="entry", internal=True, stop_fn=self._on_iface)
+        bp(SYM_CCM_BIND, phase="entry", internal=True, stop_fn=self._on_bind)
+        bp(SYM_CCM_REBIND, phase="entry", internal=True, stop_fn=self._on_bind)
+        bp(SYM_CCM_REQUEST, phase="both", internal=True, stop_fn=self._on_request)
+        bp(SYM_CCM_SERVE, phase="entry", internal=True, stop_fn=self._on_serve)
+
+    def _on_assembly(self, event) -> Union[bool, StopEvent]:
+        if event.phase == "exit":
+            self.initialized = True
+            if self.stop_on_init:
+                return StopEvent(
+                    StopKind.DATAFLOW,
+                    message=f"[Component assembly reconstructed: "
+                    f"{len(self.components)} components, {len(self.bindings)} bindings]",
+                )
+        return False
+
+    def _on_register(self, event) -> bool:
+        name = event.args["component"]
+        self.components[name] = DbgComponent(
+            name=name, qualname=f"ccm.{name}", resource=event.args.get("resource", "")
+        )
+        return False
+
+    def _on_iface(self, event) -> bool:
+        comp = self.components.get(event.args["component"])
+        if comp is not None:
+            if event.args["role"] == "provides":
+                comp.provides.append(event.args["iface"])
+            else:
+                comp.requires.append(event.args["iface"])
+        return False
+
+    def _on_bind(self, event) -> bool:
+        args = event.args
+        self.bindings[(args["client"], args["required"])] = (args["provider"], args["provided"])
+        return False
+
+    def _on_request(self, event) -> Union[bool, StopEvent]:
+        args = event.args
+        if event.phase == "entry":
+            msg = DbgMessage(
+                req_id=args["request_id"],
+                client=args["client"],
+                provider=args["provider"],
+                service=args["service"],
+                arg=args["arg"],
+                issued_at=event.time,
+            )
+            self.messages[msg.req_id] = msg
+            self.trace.append(msg)
+            client = self.components.get(args["client"].split(".", 1)[-1])
+            if client is not None:
+                client.requests_made += 1
+            return self._check_catches(event.args["client"], "request", msg, event)
+        msg = self.messages.get(args["request_id"])
+        if msg is not None:
+            msg.result = event.retval
+            msg.completed_at = event.time
+            return self._check_catches(args["client"], "response", msg, event)
+        return False
+
+    def _on_serve(self, event) -> Union[bool, StopEvent]:
+        args = event.args
+        comp = self.components.get(args["component"].split(".", 1)[-1])
+        if comp is not None:
+            comp.served += 1
+        msg = self.messages.get(args["request_id"])
+        if msg is None:  # external request: synthesize a trace entry
+            msg = DbgMessage(
+                req_id=args["request_id"],
+                client=args["client"],
+                provider=args["component"],
+                service=args["service"],
+                arg=args["arg"],
+                issued_at=event.time,
+            )
+            self.messages[msg.req_id] = msg
+            self.trace.append(msg)
+        return self._check_catches(args["component"], "serve", msg, event)
+
+    def _check_catches(self, actor_qual: str, phase: str, msg: DbgMessage, event):
+        for catch in list(self.catches.values()):
+            if not catch.enabled or catch.phase != phase or catch.component != actor_qual:
+                continue
+            if catch.service is not None and msg.service != catch.service:
+                continue
+            catch.hits += 1
+            if catch.temporary:
+                del self.catches[catch.cp_id]
+            verb = {
+                "request": "issued request",
+                "response": "received response for",
+                "serve": "started serving",
+            }[phase]
+            return StopEvent(
+                StopKind.DATAFLOW,
+                message=f"[Stopped: `{actor_qual}' {verb} "
+                        f"{msg.provider}.{msg.service}(#{msg.req_id})]",
+                actor=actor_qual,
+                payload=msg,
+            )
+        return False
+
+    # ------------------------------------------------------------- commands
+
+    def catch_message(self, component: str, phase: str, service: Optional[str] = None,
+                      temporary: bool = False) -> MessageCatch:
+        comp = self.dbg.runtime.find_actor(component)
+        catch = MessageCatch(self._next_catch, comp.qualname, phase, service,
+                             temporary=temporary)
+        self.catches[catch.cp_id] = catch
+        self._next_catch += 1
+        return catch
+
+    def pending_messages(self) -> List[DbgMessage]:
+        return [m for m in self.trace if m.pending]
+
+    def graph_dot(self) -> str:
+        lines = [f'digraph "{self.dbg.runtime.decl.name}" {{', "  rankdir=LR;"]
+        for comp in sorted(self.components.values(), key=lambda c: c.name):
+            label = f"{comp.name}\\n+{','.join(comp.provides) or '-'}\\n-{','.join(comp.requires) or '-'}"
+            lines.append(f'  {comp.name} [shape=component label="{label}"]')
+        for (client, required), (provider, provided) in sorted(self.bindings.items()):
+            lines.append(f'  {client} -> {provider} [label="{required}->{provided}"]')
+        lines.append("}")
+        return "\n".join(lines) + "\n"
+
+
+def install_component_commands(cli: CommandCli, session: ComponentSession) -> None:
+    def complete(text: str) -> List[str]:
+        names = []
+        for c in session.components.values():
+            names.append(c.name)
+            names.extend(c.provides)
+            names.extend(c.requires)
+        return sorted(n for n in set(names) if n.startswith(text.split()[-1] if text.split() else ""))
+
+    def cmd_component(arg: str) -> List[str]:
+        parts = arg.split()
+        if not parts:
+            raise CommandError("usage: component NAME catch request|response|serve [SERVICE]")
+        name = parts[0]
+        if len(parts) >= 2 and parts[1] == "catch":
+            if len(parts) < 3 or parts[2] not in ("request", "response", "serve"):
+                raise CommandError("usage: component NAME catch request|response|serve [SERVICE]")
+            service = parts[3] if len(parts) > 3 else None
+            catch = session.catch_message(name, parts[2], service)
+            what = f" {service}" if service else ""
+            return [f"Catchpoint {catch.cp_id}: component {name} catch {parts[2]}{what}"]
+        if len(parts) >= 2 and parts[1] == "info":
+            comp = session.components.get(name)
+            if comp is None:
+                raise CommandError(f"unknown component {name!r}")
+            return [
+                f"component {comp.name} on {comp.resource}",
+                f"  provides: {', '.join(comp.provides) or '-'}",
+                f"  requires: {', '.join(comp.requires) or '-'}",
+                f"  requests made: {comp.requests_made}  served: {comp.served}",
+            ]
+        raise CommandError("usage: component NAME catch|info ...")
+
+    def cmd_ccm(arg: str) -> List[str]:
+        topic, _, rest = arg.partition(" ")
+        rest = rest.strip()
+        if topic == "graph":
+            return session.graph_dot().splitlines()
+        if topic == "messages":
+            msgs = session.trace[-20:] if not rest else [m for m in session.trace if m.pending]
+            return [str(m) for m in msgs] or ["(no messages)"]
+        if topic == "pending":
+            return [str(m) for m in session.pending_messages()] or ["(no pending requests)"]
+        if topic == "rebind":
+            words = rest.split()
+            if len(words) != 4:
+                raise CommandError("usage: ccm rebind CLIENT REQUIRED PROVIDER PROVIDED")
+            session.dbg.runtime.rebind(*words)
+            return [f"Rebound {words[0]}.{words[1]} -> {words[2]}.{words[3]}"]
+        if topic == "delete":
+            if not rest.isdigit() or int(rest) not in session.catches:
+                raise CommandError(f"no component catchpoint {rest!r}")
+            del session.catches[int(rest)]
+            return []
+        if topic in ("info", ""):
+            return [
+                f"assembly: {session.dbg.runtime.decl.name}",
+                f"components: {len(session.components)}  bindings: {len(session.bindings)}",
+                f"messages traced: {len(session.trace)} "
+                f"({len(session.pending_messages())} pending)",
+            ]
+        raise CommandError(f"ccm: unknown topic {topic!r}")
+
+    cli.register(Command(
+        "component", cmd_component,
+        "component NAME catch request|response|serve [SVC] | component NAME info",
+        completer=complete,
+    ))
+    cli.register(Command(
+        "ccm", cmd_ccm,
+        "ccm graph|messages|pending|rebind CLIENT REQ PROVIDER PROV|delete N|info",
+    ))

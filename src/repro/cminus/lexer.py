@@ -1,0 +1,211 @@
+"""Tokenizer for Filter-C."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterator, List
+
+from ..errors import CMinusSyntaxError
+
+KEYWORDS = {
+    "void", "bool", "U8", "U16", "U32", "S8", "S16", "S32", "int",
+    "struct", "if", "else", "while", "for", "do", "return", "break",
+    "continue", "true", "false", "const",
+}
+
+# multi-character operators, longest first so maximal munch works
+OPERATORS = [
+    "<<=", ">>=",
+    "==", "!=", "<=", ">=", "&&", "||", "<<", ">>",
+    "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "++", "--",
+    "+", "-", "*", "/", "%", "<", ">", "=", "!", "~", "&", "|", "^",
+    "?", ":", ";", ",", ".", "(", ")", "[", "]", "{", "}",
+]
+
+
+class TokenKind(enum.Enum):
+    KEYWORD = "keyword"
+    IDENT = "ident"
+    NUMBER = "number"
+    STRING = "string"
+    CHAR = "char"
+    OP = "op"
+    EOF = "eof"
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: TokenKind
+    text: str
+    line: int
+    col: int
+    value: object = None  # decoded payload for NUMBER / STRING / CHAR
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.kind.value}({self.text!r})@{self.line}:{self.col}"
+
+
+class Lexer:
+    """Hand-rolled scanner with // and /* */ comments."""
+
+    def __init__(self, source: str, filename: str = "<source>"):
+        self.source = source
+        self.filename = filename
+        self.pos = 0
+        self.line = 1
+        self.col = 1
+
+    def error(self, message: str) -> CMinusSyntaxError:
+        return CMinusSyntaxError(message, self.filename, self.line, self.col)
+
+    def _peek(self, offset: int = 0) -> str:
+        i = self.pos + offset
+        return self.source[i] if i < len(self.source) else ""
+
+    def _advance(self, n: int = 1) -> None:
+        for _ in range(n):
+            if self.pos < len(self.source):
+                if self.source[self.pos] == "\n":
+                    self.line += 1
+                    self.col = 1
+                else:
+                    self.col += 1
+                self.pos += 1
+
+    def _skip_trivia(self) -> None:
+        while True:
+            ch = self._peek()
+            if not ch:
+                return
+            if ch in " \t\r\n":
+                self._advance()
+            elif ch == "/" and self._peek(1) == "/":
+                while self._peek() and self._peek() != "\n":
+                    self._advance()
+            elif ch == "/" and self._peek(1) == "*":
+                self._advance(2)
+                while self._peek() and not (self._peek() == "*" and self._peek(1) == "/"):
+                    self._advance()
+                if not self._peek():
+                    raise self.error("unterminated block comment")
+                self._advance(2)
+            else:
+                return
+
+    def tokens(self) -> Iterator[Token]:
+        while True:
+            self._skip_trivia()
+            line, col = self.line, self.col
+            ch = self._peek()
+            if not ch:
+                yield Token(TokenKind.EOF, "", line, col)
+                return
+            if ch.isalpha() or ch == "_":
+                yield self._lex_word(line, col)
+            elif ch.isdigit():
+                yield self._lex_number(line, col)
+            elif ch == '"':
+                yield self._lex_string(line, col)
+            elif ch == "'":
+                yield self._lex_char(line, col)
+            else:
+                yield self._lex_operator(line, col)
+
+    def _lex_word(self, line: int, col: int) -> Token:
+        start = self.pos
+        while self._peek().isalnum() or self._peek() == "_":
+            self._advance()
+        text = self.source[start:self.pos]
+        kind = TokenKind.KEYWORD if text in KEYWORDS else TokenKind.IDENT
+        return Token(kind, text, line, col)
+
+    def _lex_number(self, line: int, col: int) -> Token:
+        start = self.pos
+        def is_hex(ch: str) -> bool:
+            return bool(ch) and (ch.isdigit() or ch.lower() in "abcdef")
+
+        if self._peek() == "0" and self._peek(1) in ("x", "X"):
+            self._advance(2)
+            if not is_hex(self._peek()):
+                raise self.error("malformed hex literal")
+            while is_hex(self._peek()):
+                self._advance()
+            text = self.source[start:self.pos]
+            value = int(text, 16)
+        elif self._peek() == "0" and self._peek(1) in ("b", "B"):
+            self._advance(2)
+            while self._peek() in ("0", "1"):
+                self._advance()
+            text = self.source[start:self.pos]
+            if text in ("0b", "0B"):
+                raise self.error("malformed binary literal")
+            value = int(text, 2)
+        else:
+            while self._peek().isdigit():
+                self._advance()
+            text = self.source[start:self.pos]
+            value = int(text, 10)
+        # optional unsigned/long suffixes, accepted and ignored like a
+        # forgiving embedded C compiler
+        while self._peek() in ("u", "U", "l", "L"):
+            self._advance()
+            text = self.source[start:self.pos]
+        if self._peek().isalpha():
+            raise self.error(f"malformed number literal {text!r}")
+        return Token(TokenKind.NUMBER, text, line, col, value)
+
+    _ESCAPES = {"n": "\n", "t": "\t", "r": "\r", "0": "\0", "\\": "\\", '"': '"', "'": "'"}
+
+    def _lex_string(self, line: int, col: int) -> Token:
+        self._advance()  # opening quote
+        chars: List[str] = []
+        while True:
+            ch = self._peek()
+            if not ch or ch == "\n":
+                raise self.error("unterminated string literal")
+            if ch == '"':
+                self._advance()
+                break
+            if ch == "\\":
+                self._advance()
+                esc = self._peek()
+                if esc not in self._ESCAPES:
+                    raise self.error(f"unknown escape \\{esc}")
+                chars.append(self._ESCAPES[esc])
+                self._advance()
+            else:
+                chars.append(ch)
+                self._advance()
+        text = "".join(chars)
+        return Token(TokenKind.STRING, text, line, col, text)
+
+    def _lex_char(self, line: int, col: int) -> Token:
+        self._advance()
+        ch = self._peek()
+        if ch == "\\":
+            self._advance()
+            esc = self._peek()
+            if esc not in self._ESCAPES:
+                raise self.error(f"unknown escape \\{esc}")
+            ch = self._ESCAPES[esc]
+        elif not ch or ch == "'":
+            raise self.error("malformed char literal")
+        self._advance()
+        if self._peek() != "'":
+            raise self.error("unterminated char literal")
+        self._advance()
+        return Token(TokenKind.CHAR, ch, line, col, ord(ch))
+
+    def _lex_operator(self, line: int, col: int) -> Token:
+        rest = self.source[self.pos:]
+        for op in OPERATORS:
+            if rest.startswith(op):
+                self._advance(len(op))
+                return Token(TokenKind.OP, op, line, col)
+        raise self.error(f"unexpected character {self._peek()!r}")
+
+
+def tokenize(source: str, filename: str = "<source>") -> List[Token]:
+    """Scan an entire source string; the last token is always EOF."""
+    return list(Lexer(source, filename).tokens())

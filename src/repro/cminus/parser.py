@@ -1,0 +1,458 @@
+"""Recursive-descent parser for Filter-C."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import CMinusSyntaxError
+from . import ast
+from .lexer import Token, TokenKind, tokenize
+from .typesys import ArrayType, CType, StructType, type_by_name
+
+# binary operator precedence, low to high; each tier is left-associative
+_BINARY_TIERS: List[List[str]] = [
+    ["||"],
+    ["&&"],
+    ["|"],
+    ["^"],
+    ["&"],
+    ["==", "!="],
+    ["<", ">", "<=", ">="],
+    ["<<", ">>"],
+    ["+", "-"],
+    ["*", "/", "%"],
+]
+
+_ASSIGN_OPS = {"=", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "<<=", ">>="}
+
+
+class Parser:
+    """One-pass parser; struct types must be declared before first use."""
+
+    def __init__(
+        self,
+        source: str,
+        filename: str = "<source>",
+        structs: Optional[Dict[str, StructType]] = None,
+    ):
+        self.filename = filename
+        self.toks = tokenize(source, filename)
+        self.pos = 0
+        # pre-seeded struct types (e.g. shared application-level token
+        # structs declared in the architecture description)
+        self.struct_types: Dict[str, StructType] = dict(structs or {})
+
+    # ------------------------------------------------------------- plumbing
+
+    @property
+    def cur(self) -> Token:
+        return self.toks[self.pos]
+
+    def _peek(self, offset: int = 0) -> Token:
+        i = min(self.pos + offset, len(self.toks) - 1)
+        return self.toks[i]
+
+    def error(self, message: str, tok: Optional[Token] = None) -> CMinusSyntaxError:
+        tok = tok or self.cur
+        return CMinusSyntaxError(message, self.filename, tok.line, tok.col)
+
+    def _advance(self) -> Token:
+        tok = self.cur
+        if tok.kind != TokenKind.EOF:
+            self.pos += 1
+        return tok
+
+    def _check(self, text: str) -> bool:
+        return self.cur.text == text and self.cur.kind in (TokenKind.OP, TokenKind.KEYWORD)
+
+    def _accept(self, text: str) -> Optional[Token]:
+        if self._check(text):
+            return self._advance()
+        return None
+
+    def _expect(self, text: str) -> Token:
+        if not self._check(text):
+            raise self.error(f"expected {text!r}, found {self.cur.text!r}")
+        return self._advance()
+
+    def _expect_ident(self) -> Token:
+        if self.cur.kind != TokenKind.IDENT:
+            raise self.error(f"expected identifier, found {self.cur.text!r}")
+        return self._advance()
+
+    # ---------------------------------------------------------------- types
+
+    def _at_type(self, offset: int = 0) -> bool:
+        tok = self._peek(offset)
+        if tok.kind == TokenKind.KEYWORD and (type_by_name(tok.text) or tok.text in ("struct", "const")):
+            return True
+        return tok.kind == TokenKind.IDENT and tok.text in self.struct_types
+
+    def _parse_type(self) -> CType:
+        if self._accept("struct"):
+            name_tok = self._expect_ident()
+            st = self.struct_types.get(name_tok.text)
+            if st is None:
+                raise self.error(f"unknown struct {name_tok.text!r}", name_tok)
+            return st
+        tok = self._advance()
+        builtin = type_by_name(tok.text)
+        if builtin is not None:
+            return builtin
+        st = self.struct_types.get(tok.text)
+        if st is not None:
+            return st
+        raise self.error(f"unknown type {tok.text!r}", tok)
+
+    # ------------------------------------------------------------ top level
+
+    def parse_program(self) -> ast.Program:
+        prog = ast.Program(filename=self.filename, line=1, col=1)
+        while self.cur.kind != TokenKind.EOF:
+            if self._check("struct") and self._peek(1).kind == TokenKind.IDENT and self._peek(2).text == "{":
+                prog.structs.append(self._parse_struct())
+                continue
+            const = bool(self._accept("const"))
+            if not self._at_type():
+                raise self.error(f"expected declaration, found {self.cur.text!r}")
+            start = self.cur
+            ctype = self._parse_type()
+            name_tok = self._expect_ident()
+            if self._check("("):
+                if const:
+                    raise self.error("functions cannot be const", start)
+                prog.functions.append(self._parse_func(ctype, name_tok))
+            else:
+                prog.globals.append(self._parse_global(ctype, name_tok, const))
+        return prog
+
+    def _parse_struct(self) -> ast.StructDef:
+        start = self._expect("struct")
+        name_tok = self._expect_ident()
+        if name_tok.text in self.struct_types:
+            raise self.error(f"struct {name_tok.text!r} redefined", name_tok)
+        self._expect("{")
+        fields: List[Tuple[str, CType]] = []
+        seen = set()
+        while not self._check("}"):
+            ftype = self._parse_type()
+            fname = self._expect_ident().text
+            if fname in seen:
+                raise self.error(f"duplicate field {fname!r} in struct {name_tok.text}")
+            seen.add(fname)
+            if self._accept("["):
+                size_tok = self._advance()
+                if size_tok.kind != TokenKind.NUMBER:
+                    raise self.error("array size must be a number literal", size_tok)
+                self._expect("]")
+                ftype = ArrayType(elem=ftype, size=size_tok.value)
+            self._expect(";")
+            fields.append((fname, ftype))
+        self._expect("}")
+        self._expect(";")
+        st = StructType(name=name_tok.text, fields=tuple(fields))
+        self.struct_types[name_tok.text] = st
+        return ast.StructDef(line=start.line, col=start.col, name=name_tok.text, fields=fields)
+
+    def _parse_global(self, ctype: CType, name_tok: Token, const: bool) -> ast.GlobalDecl:
+        if self._accept("["):
+            size_tok = self._advance()
+            if size_tok.kind != TokenKind.NUMBER:
+                raise self.error("array size must be a number literal", size_tok)
+            self._expect("]")
+            ctype = ArrayType(elem=ctype, size=size_tok.value)
+        init = None
+        if self._accept("="):
+            init = self._parse_expr()
+        self._expect(";")
+        return ast.GlobalDecl(
+            line=name_tok.line, col=name_tok.col, ctype=ctype, name=name_tok.text, init=init, const=const
+        )
+
+    def _parse_func(self, ret: CType, name_tok: Token) -> ast.FuncDef:
+        self._expect("(")
+        params: List[ast.Param] = []
+        if not self._check(")"):
+            if self._check("void") and self._peek(1).text == ")":
+                self._advance()
+            else:
+                while True:
+                    ptype = self._parse_type()
+                    pname = self._expect_ident()
+                    params.append(ast.Param(line=pname.line, col=pname.col, ctype=ptype, name=pname.text))
+                    if not self._accept(","):
+                        break
+        self._expect(")")
+        body = self._parse_block()
+        end_line = self.toks[self.pos - 1].line if self.pos else name_tok.line
+        return ast.FuncDef(
+            line=name_tok.line,
+            col=name_tok.col,
+            ret=ret,
+            name=name_tok.text,
+            params=params,
+            body=body,
+            filename=self.filename,
+            end_line=end_line,
+        )
+
+    # ------------------------------------------------------------ statements
+
+    def _parse_block(self) -> ast.Block:
+        start = self._expect("{")
+        body: List[ast.Stmt] = []
+        while not self._check("}"):
+            if self.cur.kind == TokenKind.EOF:
+                raise self.error("unexpected end of file in block")
+            body.append(self._parse_stmt())
+        self._expect("}")
+        return ast.Block(line=start.line, col=start.col, body=body)
+
+    def _parse_stmt(self) -> ast.Stmt:
+        tok = self.cur
+        if self._check("{"):
+            return self._parse_block()
+        if self._check("if"):
+            return self._parse_if()
+        if self._check("while"):
+            return self._parse_while()
+        if self._check("do"):
+            return self._parse_do_while()
+        if self._check("for"):
+            return self._parse_for()
+        if self._check("return"):
+            self._advance()
+            value = None if self._check(";") else self._parse_expr()
+            self._expect(";")
+            return ast.Return(line=tok.line, col=tok.col, value=value)
+        if self._check("break"):
+            self._advance()
+            self._expect(";")
+            return ast.Break(line=tok.line, col=tok.col)
+        if self._check("continue"):
+            self._advance()
+            self._expect(";")
+            return ast.Continue(line=tok.line, col=tok.col)
+        if self._check("const") or self._at_type():
+            stmt = self._parse_decl()
+            self._expect(";")
+            return stmt
+        stmt = self._parse_simple_stmt()
+        self._expect(";")
+        return stmt
+
+    def _parse_decl(self) -> ast.Decl:
+        tok = self.cur
+        const = bool(self._accept("const"))
+        ctype = self._parse_type()
+        name_tok = self._expect_ident()
+        if self._accept("["):
+            size_tok = self._advance()
+            if size_tok.kind != TokenKind.NUMBER:
+                raise self.error("array size must be a number literal", size_tok)
+            self._expect("]")
+            ctype = ArrayType(elem=ctype, size=size_tok.value)
+        init = None
+        if self._accept("="):
+            init = self._parse_expr()
+        return ast.Decl(line=tok.line, col=tok.col, ctype=ctype, name=name_tok.text, init=init, const=const)
+
+    def _parse_simple_stmt(self) -> ast.Stmt:
+        """Assignment, inc/dec, or a bare expression (typically a call)."""
+        tok = self.cur
+        expr = self._parse_expr()
+        if self.cur.text in _ASSIGN_OPS and self.cur.kind == TokenKind.OP:
+            op = self._advance().text
+            value = self._parse_expr()
+            return ast.Assign(line=tok.line, col=tok.col, target=expr, op=op, value=value)
+        if self._check("++") or self._check("--"):
+            op = self._advance().text
+            return ast.IncDec(line=tok.line, col=tok.col, target=expr, op=op)
+        return ast.ExprStmt(line=tok.line, col=tok.col, expr=expr)
+
+    def _parse_if(self) -> ast.If:
+        tok = self._expect("if")
+        self._expect("(")
+        cond = self._parse_expr()
+        self._expect(")")
+        then = self._parse_stmt()
+        other = self._parse_stmt() if self._accept("else") else None
+        return ast.If(line=tok.line, col=tok.col, cond=cond, then=then, other=other)
+
+    def _parse_while(self) -> ast.While:
+        tok = self._expect("while")
+        self._expect("(")
+        cond = self._parse_expr()
+        self._expect(")")
+        body = self._parse_stmt()
+        return ast.While(line=tok.line, col=tok.col, cond=cond, body=body)
+
+    def _parse_do_while(self) -> ast.DoWhile:
+        tok = self._expect("do")
+        body = self._parse_stmt()
+        self._expect("while")
+        self._expect("(")
+        cond = self._parse_expr()
+        self._expect(")")
+        self._expect(";")
+        return ast.DoWhile(line=tok.line, col=tok.col, body=body, cond=cond)
+
+    def _parse_for(self) -> ast.For:
+        tok = self._expect("for")
+        self._expect("(")
+        init: Optional[ast.Stmt] = None
+        if not self._check(";"):
+            init = self._parse_decl() if (self._check("const") or self._at_type()) else self._parse_simple_stmt()
+        self._expect(";")
+        cond = None if self._check(";") else self._parse_expr()
+        self._expect(";")
+        step = None if self._check(")") else self._parse_simple_stmt()
+        self._expect(")")
+        body = self._parse_stmt()
+        return ast.For(line=tok.line, col=tok.col, init=init, cond=cond, step=step, body=body)
+
+    # ----------------------------------------------------------- expressions
+
+    def _parse_expr(self) -> ast.Expr:
+        return self._parse_ternary()
+
+    def _parse_ternary(self) -> ast.Expr:
+        cond = self._parse_binary(0)
+        if self._accept("?"):
+            then = self._parse_expr()
+            self._expect(":")
+            other = self._parse_expr()
+            return ast.Ternary(line=cond.line, col=cond.col, cond=cond, then=then, other=other)
+        return cond
+
+    def _parse_binary(self, tier: int) -> ast.Expr:
+        if tier >= len(_BINARY_TIERS):
+            return self._parse_unary()
+        left = self._parse_binary(tier + 1)
+        ops = _BINARY_TIERS[tier]
+        while self.cur.kind == TokenKind.OP and self.cur.text in ops:
+            op = self._advance().text
+            right = self._parse_binary(tier + 1)
+            left = ast.Binary(line=left.line, col=left.col, op=op, left=left, right=right)
+        return left
+
+    def _parse_unary(self) -> ast.Expr:
+        tok = self.cur
+        if self.cur.kind == TokenKind.OP and self.cur.text in ("!", "~", "-", "+"):
+            op = self._advance().text
+            operand = self._parse_unary()
+            return ast.Unary(line=tok.line, col=tok.col, op=op, operand=operand)
+        # cast: '(' type ')' unary — disambiguated by one-token lookahead
+        if self._check("(") and self._at_type(1) and self._peek(1).text != "(":
+            # reject '(struct' handled by _at_type; ensure ')' after type
+            save = self.pos
+            self._advance()
+            try:
+                target = self._parse_type()
+            except CMinusSyntaxError:
+                self.pos = save
+            else:
+                if self._check(")"):
+                    self._advance()
+                    operand = self._parse_unary()
+                    return ast.Cast(line=tok.line, col=tok.col, target=target, operand=operand)
+                self.pos = save
+        return self._parse_postfix()
+
+    def _parse_postfix(self) -> ast.Expr:
+        expr = self._parse_primary()
+        while True:
+            if self._check("["):
+                self._advance()
+                index = self._parse_expr()
+                self._expect("]")
+                expr = ast.Index(line=expr.line, col=expr.col, base=expr, index=index)
+            elif self._check("."):
+                self._advance()
+                member = self._expect_ident().text
+                expr = ast.Member(line=expr.line, col=expr.col, base=expr, member=member)
+            else:
+                return expr
+
+    def _parse_primary(self) -> ast.Expr:
+        tok = self.cur
+        if tok.kind == TokenKind.NUMBER:
+            self._advance()
+            return ast.NumberLit(line=tok.line, col=tok.col, value=tok.value)
+        if tok.kind == TokenKind.CHAR:
+            self._advance()
+            return ast.NumberLit(line=tok.line, col=tok.col, value=tok.value)
+        if tok.kind == TokenKind.STRING:
+            self._advance()
+            return ast.StringLit(line=tok.line, col=tok.col, value=tok.value)
+        if tok.kind == TokenKind.KEYWORD and tok.text in ("true", "false"):
+            self._advance()
+            return ast.BoolLit(line=tok.line, col=tok.col, value=tok.text == "true")
+        if self._check("("):
+            self._advance()
+            expr = self._parse_expr()
+            self._expect(")")
+            return expr
+        if tok.kind == TokenKind.IDENT:
+            if tok.text == "pedf" and self._peek(1).text == ".":
+                return self._parse_pedf()
+            self._advance()
+            if self._check("("):
+                return self._parse_call(tok)
+            return ast.Ident(line=tok.line, col=tok.col, name=tok.text)
+        raise self.error(f"unexpected token {tok.text!r} in expression")
+
+    def _parse_call(self, name_tok: Token) -> ast.Call:
+        self._expect("(")
+        args: List[ast.Expr] = []
+        if not self._check(")"):
+            while True:
+                args.append(self._parse_expr())
+                if not self._accept(","):
+                    break
+        self._expect(")")
+        return ast.Call(line=name_tok.line, col=name_tok.col, name=name_tok.text, args=args)
+
+    def _parse_pedf(self) -> ast.Expr:
+        tok = self._advance()  # 'pedf'
+        self._expect(".")
+        ns = self._expect_ident().text
+        if ns not in ("io", "data", "attribute"):
+            raise self.error(f"unknown pedf namespace {ns!r} (expected io/data/attribute)")
+        self._expect(".")
+        name = self._expect_ident().text
+        if ns == "io":
+            self._expect("[")
+            index = self._parse_expr()
+            self._expect("]")
+            return ast.PedfIo(line=tok.line, col=tok.col, iface=name, index=index)
+        if ns == "data":
+            return ast.PedfData(line=tok.line, col=tok.col, name=name)
+        return ast.PedfAttr(line=tok.line, col=tok.col, name=name)
+
+
+def parse_expression(
+    text: str,
+    filename: str = "<expr>",
+    structs: Optional[Dict[str, StructType]] = None,
+) -> ast.Expr:
+    """Parse a standalone expression (used by the debugger's ``print``,
+    breakpoint conditions and watchpoints)."""
+    p = Parser(text, filename, structs)
+    expr = p._parse_expr()
+    if p.cur.kind != TokenKind.EOF:
+        raise p.error(f"trailing input after expression: {p.cur.text!r}")
+    return expr
+
+
+def parse_program(
+    source: str,
+    filename: str = "<source>",
+    structs: Optional[Dict[str, StructType]] = None,
+) -> ast.Program:
+    """Parse a Filter-C compilation unit.
+
+    ``structs`` pre-seeds externally-declared struct types so sources can
+    use them (typedef-style) without redeclaring them.
+    """
+    return Parser(source, filename, structs).parse_program()

@@ -1,0 +1,596 @@
+"""Semantic analysis for Filter-C.
+
+Resolves names, checks types, annotates every expression with its static
+type (``Expr.ctype``) and emits the :class:`~repro.cminus.debuginfo.DebugInfo`
+the debugger consumes.
+
+An actor's compilation context — its interface/data/attribute signatures
+and whether controller intrinsics are available — is supplied through an
+:class:`ActorContext`, normally produced by the MIND compiler from the
+architecture description.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..errors import CMinusTypeError
+from . import ast
+from .debuginfo import DebugInfo, FunctionSymbol, LineTable, VariableSymbol
+from .typesys import (
+    BOOL,
+    S32,
+    STRING,
+    U32,
+    VOID,
+    ArrayType,
+    BoolType,
+    CType,
+    IntType,
+    StringType,
+    StructType,
+    VoidType,
+    assignable,
+    common_type,
+    is_integer,
+    is_scalar,
+)
+
+# controller scheduling intrinsics (paper §IV-B) and shared helpers;
+# (ret type, param types, variadic)
+CONTROLLER_INTRINSICS: Dict[str, Tuple[CType, Tuple[CType, ...], bool]] = {
+    "ACTOR_START": (VOID, (STRING,), False),
+    "ACTOR_SYNC": (VOID, (STRING,), False),
+    "ACTOR_FIRE": (VOID, (STRING,), False),
+    "WAIT_FOR_ACTOR_INIT": (VOID, (), False),
+    "WAIT_FOR_ACTOR_SYNC": (VOID, (), False),
+    "STEP_COUNT": (U32, (), False),
+    "PRED": (BOOL, (STRING,), False),
+    "SET_PRED": (VOID, (STRING, BOOL), False),
+    "MODULE_STOP": (VOID, (), False),
+}
+
+SHARED_BUILTINS: Dict[str, Tuple[CType, Tuple[CType, ...], bool]] = {
+    "abs": (S32, (S32,), False),
+    "min": (S32, (S32, S32), False),
+    "max": (S32, (S32, S32), False),
+    "clip": (S32, (S32, S32, S32), False),
+    "print": (VOID, (), True),
+    "trap": (VOID, (), False),  # programmatic breakpoint, like int3
+}
+
+
+@dataclass
+class IfaceSig:
+    """Signature of one dataflow interface, from the architecture."""
+
+    name: str
+    direction: str  # "input" | "output"
+    ctype: CType
+
+
+@dataclass
+class ActorContext:
+    """Compilation context of one actor (filter or controller — or any
+    entity of another programming model supplying its own intrinsics)."""
+
+    kind: str = "filter"  # "filter" | "controller" | "plain" | custom
+    ifaces: Dict[str, IfaceSig] = field(default_factory=dict)
+    data: Dict[str, CType] = field(default_factory=dict)
+    attributes: Dict[str, CType] = field(default_factory=dict)
+    actor_names: Optional[Set[str]] = None  # valid ACTOR_START targets
+    structs: Dict[str, StructType] = field(default_factory=dict)
+    #: model-specific intrinsics beyond the PEDF controller set:
+    #: name -> (ret type, param types, validate-names?).  STRING params
+    #: accept bare identifiers (rewritten to literals); when the third
+    #: element is truthy it names the set of valid identifier values.
+    extra_intrinsics: Dict[str, Tuple[CType, Tuple[CType, ...], Optional[Set[str]]]] = field(
+        default_factory=dict
+    )
+
+    @property
+    def allows_io(self) -> bool:
+        return self.kind in ("filter", "controller")
+
+    @property
+    def allows_intrinsics(self) -> bool:
+        return self.kind == "controller"
+
+
+class SemanticAnalyzer:
+    def __init__(self, program: ast.Program, context: Optional[ActorContext] = None, source: str = ""):
+        self.program = program
+        self.ctx = context or ActorContext(kind="plain")
+        self.source = source
+        self.filename = program.filename
+        self.debug_info = DebugInfo()
+        if source:
+            self.debug_info.sources[self.filename] = source
+        self._globals: Dict[str, VariableSymbol] = {}
+        self._consts: Set[str] = set()
+        self._funcs: Dict[str, ast.FuncDef] = {}
+        self._scopes: List[Dict[str, CType]] = []
+        self._cur_func: Optional[ast.FuncDef] = None
+        self._cur_fsym: Optional[FunctionSymbol] = None
+        self._loop_depth = 0
+
+    # ------------------------------------------------------------- plumbing
+
+    def error(self, message: str, node: ast.Node) -> CMinusTypeError:
+        return CMinusTypeError(message, self.filename, node.line)
+
+    # ----------------------------------------------------------------- main
+
+    def analyze(self) -> DebugInfo:
+        for sd in self.program.structs:
+            st = StructType(name=sd.name, fields=tuple(sd.fields))
+            self.debug_info.structs[sd.name] = st
+        for name, st in self.ctx.structs.items():
+            self.debug_info.structs.setdefault(name, st)
+
+        for g in self.program.globals:
+            if g.name in self._globals:
+                raise self.error(f"global {g.name!r} redefined", g)
+            if g.init is not None:
+                it = self._type_of(g.init)
+                if not assignable(g.ctype, it):
+                    raise self.error(f"cannot initialize {g.ctype} global {g.name!r} from {it}", g)
+            self._globals[g.name] = VariableSymbol(g.name, g.ctype, "global", g.line)
+            if g.const:
+                self._consts.add(g.name)
+        self.debug_info.globals = dict(self._globals)
+
+        for f in self.program.functions:
+            if f.name in self._funcs:
+                raise self.error(f"function {f.name!r} redefined", f)
+            if (
+                f.name in SHARED_BUILTINS
+                or f.name in CONTROLLER_INTRINSICS
+                or f.name in self.ctx.extra_intrinsics
+            ):
+                raise self.error(f"function {f.name!r} shadows a builtin", f)
+            self._funcs[f.name] = f
+
+        for f in self.program.functions:
+            self._check_function(f)
+        return self.debug_info
+
+    # ------------------------------------------------------------ functions
+
+    def _check_function(self, func: ast.FuncDef) -> None:
+        self._cur_func = func
+        fsym = FunctionSymbol(
+            name=func.name,
+            filename=self.filename,
+            line=func.line,
+            end_line=func.end_line,
+            ret=func.ret,
+        )
+        self._cur_fsym = fsym
+        self._scopes = [{}]
+        seen = set()
+        for p in func.params:
+            if p.name in seen:
+                raise self.error(f"duplicate parameter {p.name!r}", p)
+            seen.add(p.name)
+            if isinstance(p.ctype, VoidType):
+                raise self.error(f"parameter {p.name!r} cannot be void", p)
+            self._scopes[0][p.name] = p.ctype
+            fsym.params.append(VariableSymbol(p.name, p.ctype, "param", p.line))
+        self._check_block(func.body, new_scope=True)
+        self.debug_info.functions[func.name] = fsym
+        self._cur_func = None
+        self._cur_fsym = None
+
+    # ------------------------------------------------------------ statements
+
+    def _check_block(self, block: ast.Block, new_scope: bool = True) -> None:
+        if new_scope:
+            self._scopes.append({})
+        for stmt in block.body:
+            self._check_stmt(stmt)
+        if new_scope:
+            self._scopes.pop()
+
+    def _mark_line(self, stmt: ast.Stmt) -> None:
+        self.debug_info.line_table.add(self.filename, stmt.line)
+
+    def _check_stmt(self, stmt: ast.Stmt) -> None:
+        if isinstance(stmt, ast.Block):
+            self._check_block(stmt)
+        elif isinstance(stmt, ast.Decl):
+            self._mark_line(stmt)
+            self._check_decl(stmt)
+        elif isinstance(stmt, ast.Assign):
+            self._mark_line(stmt)
+            self._check_assign(stmt)
+        elif isinstance(stmt, ast.IncDec):
+            self._mark_line(stmt)
+            t = self._check_lvalue(stmt.target, for_compound=True)
+            if not is_integer(t):
+                raise self.error(f"{stmt.op} requires an integer lvalue, got {t}", stmt)
+        elif isinstance(stmt, ast.ExprStmt):
+            self._mark_line(stmt)
+            self._type_of(stmt.expr)
+        elif isinstance(stmt, ast.If):
+            self._mark_line(stmt)
+            self._check_cond(stmt.cond)
+            self._check_stmt(stmt.then)
+            if stmt.other is not None:
+                self._check_stmt(stmt.other)
+        elif isinstance(stmt, ast.While):
+            self._mark_line(stmt)
+            self._check_cond(stmt.cond)
+            self._loop_depth += 1
+            self._check_stmt(stmt.body)
+            self._loop_depth -= 1
+        elif isinstance(stmt, ast.DoWhile):
+            self._mark_line(stmt)
+            self._loop_depth += 1
+            self._check_stmt(stmt.body)
+            self._loop_depth -= 1
+            self._check_cond(stmt.cond)
+        elif isinstance(stmt, ast.For):
+            self._mark_line(stmt)
+            self._scopes.append({})
+            if stmt.init is not None:
+                self._check_stmt(stmt.init)
+            if stmt.cond is not None:
+                self._check_cond(stmt.cond)
+            if stmt.step is not None:
+                self._check_stmt(stmt.step)
+            self._loop_depth += 1
+            self._check_stmt(stmt.body)
+            self._loop_depth -= 1
+            self._scopes.pop()
+        elif isinstance(stmt, ast.Return):
+            self._mark_line(stmt)
+            assert self._cur_func is not None
+            ret = self._cur_func.ret
+            if stmt.value is None:
+                if not isinstance(ret, VoidType):
+                    raise self.error(f"return without value in {ret} function", stmt)
+            else:
+                vt = self._type_of(stmt.value)
+                if isinstance(ret, VoidType):
+                    raise self.error("return with value in void function", stmt)
+                if not assignable(ret, vt):
+                    raise self.error(f"cannot return {vt} from {ret} function", stmt)
+        elif isinstance(stmt, (ast.Break, ast.Continue)):
+            self._mark_line(stmt)
+            if self._loop_depth == 0:
+                kw = "break" if isinstance(stmt, ast.Break) else "continue"
+                raise self.error(f"{kw} outside of a loop", stmt)
+        else:  # pragma: no cover - parser produces no other nodes
+            raise self.error(f"unknown statement {type(stmt).__name__}", stmt)
+
+    def _check_decl(self, stmt: ast.Decl) -> None:
+        if stmt.name in self._scopes[-1]:
+            raise self.error(f"variable {stmt.name!r} redeclared in same scope", stmt)
+        if isinstance(stmt.ctype, VoidType):
+            raise self.error(f"variable {stmt.name!r} cannot be void", stmt)
+        if isinstance(stmt.ctype, ArrayType) and stmt.ctype.size <= 0:
+            raise self.error(f"array {stmt.name!r} must have positive size", stmt)
+        if stmt.init is not None:
+            it = self._type_of(stmt.init)
+            if not assignable(stmt.ctype, it):
+                raise self.error(f"cannot initialize {stmt.ctype} variable {stmt.name!r} from {it}", stmt)
+        elif stmt.const:
+            raise self.error(f"const variable {stmt.name!r} must be initialized", stmt)
+        self._scopes[-1][stmt.name] = stmt.ctype
+        if stmt.const:
+            self._consts.add(f"{self._cur_func.name}:{stmt.name}")  # type: ignore[union-attr]
+        if self._cur_fsym is not None:
+            self._cur_fsym.locals.append(VariableSymbol(stmt.name, stmt.ctype, "local", stmt.line))
+
+    def _check_assign(self, stmt: ast.Assign) -> None:
+        tt = self._check_lvalue(stmt.target, for_compound=stmt.op != "=")
+        vt = self._type_of(stmt.value)
+        if stmt.op != "=":
+            if not is_integer(tt):
+                raise self.error(f"compound assignment requires integer target, got {tt}", stmt)
+            if not (is_integer(vt) or isinstance(vt, BoolType)):
+                raise self.error(f"compound assignment requires integer value, got {vt}", stmt)
+        else:
+            if not assignable(tt, vt):
+                raise self.error(f"cannot assign {vt} to {tt}", stmt)
+
+    def _check_cond(self, cond: ast.Expr) -> None:
+        t = self._type_of(cond)
+        if not is_scalar(t):
+            raise self.error(f"condition must be scalar, got {t}", cond)
+
+    # -------------------------------------------------------------- lvalues
+
+    def _check_lvalue(self, expr: ast.Expr, for_compound: bool = False) -> CType:
+        if isinstance(expr, ast.Ident):
+            t = self._type_of(expr)
+            if expr.binding == "func":
+                raise self.error(f"cannot assign to function {expr.name!r}", expr)
+            key = expr.name if expr.binding == "global" else f"{self._cur_func.name}:{expr.name}"  # type: ignore[union-attr]
+            if expr.name in self._consts and expr.binding == "global" or key in self._consts:
+                raise self.error(f"cannot assign to const {expr.name!r}", expr)
+            return t
+        if isinstance(expr, ast.Index):
+            base_t = self._type_of(expr.base)
+            self._require_lvalue_base(expr.base)
+            it = self._type_of(expr.index)
+            if not is_integer(it):
+                raise self.error(f"array index must be integer, got {it}", expr)
+            if not isinstance(base_t, ArrayType):
+                raise self.error(f"cannot index non-array type {base_t}", expr)
+            expr.ctype = base_t.elem
+            return base_t.elem
+        if isinstance(expr, ast.Member):
+            base_t = self._type_of(expr.base)
+            self._require_lvalue_base(expr.base)
+            if not isinstance(base_t, StructType):
+                raise self.error(f"cannot access member of non-struct type {base_t}", expr)
+            ft = base_t.field_type(expr.member)
+            if ft is None:
+                raise self.error(f"struct {base_t.name} has no field {expr.member!r}", expr)
+            expr.ctype = ft
+            return ft
+        if isinstance(expr, ast.PedfIo):
+            if for_compound:
+                raise self.error("compound assignment to a dataflow output is not allowed "
+                                 "(tokens cannot be read back once pushed)", expr)
+            sig = self._io_sig(expr)
+            if sig.direction != "output":
+                raise self.error(f"cannot write to input interface {expr.iface!r}", expr)
+            expr.ctype = sig.ctype
+            return sig.ctype
+        if isinstance(expr, ast.PedfData):
+            t = self._type_of(expr)
+            return t
+        if isinstance(expr, ast.PedfAttr):
+            raise self.error(f"attribute {expr.name!r} is read-only", expr)
+        raise self.error("expression is not an lvalue", expr)
+
+    def _require_lvalue_base(self, base: ast.Expr) -> None:
+        if not isinstance(base, (ast.Ident, ast.Index, ast.Member, ast.PedfData)):
+            raise self.error("expression is not an lvalue", base)
+
+    # ------------------------------------------------------------- expr types
+
+    def _lookup_var(self, name: str) -> Optional[Tuple[str, CType]]:
+        for scope in reversed(self._scopes):
+            if name in scope:
+                return ("local", scope[name])
+        if self._globals.get(name) is not None:
+            return ("global", self._globals[name].ctype)
+        return None
+
+    def _io_sig(self, node: ast.PedfIo) -> IfaceSig:
+        if not self.ctx.allows_io:
+            raise self.error("pedf.io is not available in this compilation context", node)
+        sig = self.ctx.ifaces.get(node.iface)
+        if sig is None:
+            known = ", ".join(sorted(self.ctx.ifaces)) or "none"
+            raise self.error(f"unknown interface {node.iface!r} (known: {known})", node)
+        it = self._type_of(node.index)
+        if not is_integer(it):
+            raise self.error(f"io index must be integer, got {it}", node)
+        return sig
+
+    def _type_of(self, expr: ast.Expr) -> CType:
+        t = self._compute_type(expr)
+        expr.ctype = t
+        return t
+
+    def _compute_type(self, expr: ast.Expr) -> CType:
+        if isinstance(expr, ast.NumberLit):
+            return U32 if expr.value > S32.max else S32
+        if isinstance(expr, ast.BoolLit):
+            return BOOL
+        if isinstance(expr, ast.StringLit):
+            return STRING
+        if isinstance(expr, ast.Ident):
+            hit = self._lookup_var(expr.name)
+            if hit is not None:
+                expr.binding = hit[0]
+                return hit[1]
+            if expr.name in self._funcs:
+                expr.binding = "func"
+                raise self.error(f"function {expr.name!r} used as a value", expr)
+            raise self.error(f"undeclared identifier {expr.name!r}", expr)
+        if isinstance(expr, ast.Unary):
+            ot = self._type_of(expr.operand)
+            if expr.op == "!":
+                if not is_scalar(ot):
+                    raise self.error(f"! requires scalar operand, got {ot}", expr)
+                return BOOL
+            if not is_integer(ot):
+                raise self.error(f"unary {expr.op} requires integer operand, got {ot}", expr)
+            return common_type(ot, ot)
+        if isinstance(expr, ast.Binary):
+            return self._binary_type(expr)
+        if isinstance(expr, ast.Ternary):
+            self._check_cond(expr.cond)
+            tt = self._type_of(expr.then)
+            ot = self._type_of(expr.other)
+            if is_integer(tt) and is_integer(ot):
+                return common_type(tt, ot)
+            if not assignable(tt, ot):
+                raise self.error(f"ternary branches have incompatible types {tt} / {ot}", expr)
+            return tt
+        if isinstance(expr, ast.Cast):
+            ot = self._type_of(expr.operand)
+            if isinstance(expr.target, (IntType, BoolType)) and is_scalar(ot):
+                return expr.target
+            raise self.error(f"invalid cast from {ot} to {expr.target}", expr)
+        if isinstance(expr, ast.Index):
+            base_t = self._type_of(expr.base)
+            it = self._type_of(expr.index)
+            if not is_integer(it):
+                raise self.error(f"array index must be integer, got {it}", expr)
+            if not isinstance(base_t, ArrayType):
+                raise self.error(f"cannot index non-array type {base_t}", expr)
+            return base_t.elem
+        if isinstance(expr, ast.Member):
+            base_t = self._type_of(expr.base)
+            if not isinstance(base_t, StructType):
+                raise self.error(f"cannot access member of non-struct type {base_t}", expr)
+            ft = base_t.field_type(expr.member)
+            if ft is None:
+                raise self.error(f"struct {base_t.name} has no field {expr.member!r}", expr)
+            return ft
+        if isinstance(expr, ast.Call):
+            return self._call_type(expr)
+        if isinstance(expr, ast.PedfIo):
+            sig = self._io_sig(expr)
+            if sig.direction != "input":
+                raise self.error(f"cannot read from output interface {expr.iface!r} "
+                                 "(tokens cannot be read back once pushed)", expr)
+            return sig.ctype
+        if isinstance(expr, ast.PedfData):
+            if not self.ctx.allows_io:
+                raise self.error("pedf.data is not available in this compilation context", expr)
+            t = self.ctx.data.get(expr.name)
+            if t is None:
+                raise self.error(f"unknown private data {expr.name!r}", expr)
+            return t
+        if isinstance(expr, ast.PedfAttr):
+            if not self.ctx.allows_io:
+                raise self.error("pedf.attribute is not available in this compilation context", expr)
+            t = self.ctx.attributes.get(expr.name)
+            if t is None:
+                raise self.error(f"unknown attribute {expr.name!r}", expr)
+            return t
+        raise self.error(f"unknown expression {type(expr).__name__}", expr)
+
+    def _binary_type(self, expr: ast.Binary) -> CType:
+        lt = self._type_of(expr.left)
+        rt = self._type_of(expr.right)
+        op = expr.op
+        if op in ("&&", "||"):
+            if not (is_scalar(lt) and is_scalar(rt)):
+                raise self.error(f"{op} requires scalar operands", expr)
+            return BOOL
+        if op in ("==", "!="):
+            if is_scalar(lt) and is_scalar(rt):
+                return BOOL
+            raise self.error(f"{op} requires scalar operands, got {lt} and {rt}", expr)
+        if op in ("<", ">", "<=", ">="):
+            if is_integer(lt) and is_integer(rt):
+                return BOOL
+            raise self.error(f"{op} requires integer operands, got {lt} and {rt}", expr)
+        # arithmetic / bitwise / shift
+        lt2 = S32 if isinstance(lt, BoolType) else lt
+        rt2 = S32 if isinstance(rt, BoolType) else rt
+        if not (is_integer(lt2) and is_integer(rt2)):
+            raise self.error(f"{op} requires integer operands, got {lt} and {rt}", expr)
+        if op in ("<<", ">>"):
+            return common_type(lt2, lt2)
+        return common_type(lt2, rt2)
+
+    def _call_type(self, expr: ast.Call) -> CType:
+        name = expr.name
+        if name in self.ctx.extra_intrinsics:
+            ret, param_types, valid_names = self.ctx.extra_intrinsics[name]
+            expr.is_builtin = True
+            self._check_extra_intrinsic_args(expr, param_types, valid_names)
+            return ret
+        if name in CONTROLLER_INTRINSICS:
+            if not self.ctx.allows_intrinsics:
+                raise self.error(f"intrinsic {name}() is only available in controller code", expr)
+            ret, param_types, variadic = CONTROLLER_INTRINSICS[name]
+            expr.is_builtin = True
+            self._check_intrinsic_args(expr, param_types)
+            return ret
+        if name in SHARED_BUILTINS:
+            ret, param_types, variadic = SHARED_BUILTINS[name]
+            expr.is_builtin = True
+            if variadic:
+                for a in expr.args:
+                    self._type_of(a)
+            else:
+                if len(expr.args) != len(param_types):
+                    raise self.error(f"{name}() expects {len(param_types)} arguments, got {len(expr.args)}", expr)
+                for a, pt in zip(expr.args, param_types):
+                    at = self._type_of(a)
+                    if not assignable(pt, at):
+                        raise self.error(f"argument of {name}() has type {at}, expected {pt}", expr)
+            return ret
+        func = self._funcs.get(name)
+        if func is None:
+            raise self.error(f"call to undefined function {name!r}", expr)
+        if len(expr.args) != len(func.params):
+            raise self.error(
+                f"{name}() expects {len(func.params)} arguments, got {len(expr.args)}", expr
+            )
+        for a, p in zip(expr.args, func.params):
+            at = self._type_of(a)
+            if not assignable(p.ctype, at):
+                raise self.error(f"argument {p.name!r} of {name}() has type {at}, expected {p.ctype}", expr)
+        return func.ret
+
+    def _check_extra_intrinsic_args(
+        self,
+        expr: ast.Call,
+        param_types: Tuple[CType, ...],
+        valid_names: Optional[Set[str]],
+    ) -> None:
+        if len(expr.args) != len(param_types):
+            raise self.error(
+                f"{expr.name}() expects {len(param_types)} arguments, got {len(expr.args)}", expr
+            )
+        for i, (arg, pt) in enumerate(zip(expr.args, param_types)):
+            if isinstance(pt, StringType):
+                if isinstance(arg, ast.Ident) and self._lookup_var(arg.name) is None:
+                    arg = ast.StringLit(line=arg.line, col=arg.col, value=arg.name)
+                    expr.args[i] = arg
+                at = self._type_of(arg)
+                if not isinstance(at, StringType):
+                    raise self.error(f"{expr.name}() argument {i + 1} must be a name", expr)
+                if valid_names is not None and arg.value not in valid_names:  # type: ignore[union-attr]
+                    known = ", ".join(sorted(valid_names))
+                    raise self.error(
+                        f"{expr.name}({arg.value!r}): unknown target (valid: {known})", expr  # type: ignore[union-attr]
+                    )
+            else:
+                at = self._type_of(arg)
+                if not assignable(pt, at):
+                    raise self.error(
+                        f"argument of {expr.name}() has type {at}, expected {pt}", expr
+                    )
+
+    def _check_intrinsic_args(self, expr: ast.Call, param_types: Tuple[CType, ...]) -> None:
+        """Intrinsic actor-name arguments may be bare identifiers (the
+        paper writes ``ACTOR_START(name)``); they are rewritten to string
+        literals and validated against the module's actor list."""
+        if len(expr.args) != len(param_types):
+            raise self.error(
+                f"{expr.name}() expects {len(param_types)} arguments, got {len(expr.args)}", expr
+            )
+        for i, (arg, pt) in enumerate(zip(expr.args, param_types)):
+            if isinstance(pt, StringType):
+                if isinstance(arg, ast.Ident) and self._lookup_var(arg.name) is None:
+                    arg = ast.StringLit(line=arg.line, col=arg.col, value=arg.name)
+                    expr.args[i] = arg
+                at = self._type_of(arg)
+                if not isinstance(at, StringType):
+                    raise self.error(f"{expr.name}() argument {i + 1} must be an actor/predicate name", expr)
+                if (
+                    expr.name.startswith("ACTOR_")
+                    and self.ctx.actor_names is not None
+                    and arg.value not in self.ctx.actor_names  # type: ignore[union-attr]
+                ):
+                    known = ", ".join(sorted(self.ctx.actor_names))
+                    raise self.error(
+                        f"{expr.name}({arg.value!r}): unknown actor (module contains: {known})", expr  # type: ignore[union-attr]
+                    )
+            else:
+                at = self._type_of(arg)
+                if not assignable(pt, at):
+                    raise self.error(f"argument of {expr.name}() has type {at}, expected {pt}", expr)
+
+
+def analyze(
+    program: ast.Program,
+    context: Optional[ActorContext] = None,
+    source: str = "",
+) -> DebugInfo:
+    """Type-check ``program`` and return its debug information."""
+    return SemanticAnalyzer(program, context, source).analyze()

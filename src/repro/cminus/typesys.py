@@ -1,0 +1,185 @@
+"""Filter-C static types and their C-style value semantics.
+
+Matches the ``stddefs.h`` types the paper's ADL excerpts reference
+(``U8``/``U16``/``U32`` plus signed variants); ``int`` aliases ``S32``.
+Integer arithmetic wraps modulo 2^bits (two's complement for signed),
+which is what synthesized RTL — the target of PEDF filters — does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import CMinusTypeError
+
+
+class CType:
+    """Base class of Filter-C static types."""
+
+    name: str = "?"
+
+    def __str__(self) -> str:
+        return self.name
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__} {self.name}>"
+
+
+@dataclass(frozen=True, repr=False)
+class VoidType(CType):
+    name: str = "void"
+
+
+@dataclass(frozen=True, repr=False)
+class BoolType(CType):
+    name: str = "bool"
+
+
+@dataclass(frozen=True, repr=False)
+class IntType(CType):
+    name: str = "int"
+    bits: int = 32
+    signed: bool = True
+
+    @property
+    def min(self) -> int:
+        return -(1 << (self.bits - 1)) if self.signed else 0
+
+    @property
+    def max(self) -> int:
+        return (1 << (self.bits - 1)) - 1 if self.signed else (1 << self.bits) - 1
+
+
+@dataclass(frozen=True, repr=False)
+class ArrayType(CType):
+    elem: CType = None  # type: ignore[assignment]
+    size: int = 0
+
+    @property
+    def name(self) -> str:  # type: ignore[override]
+        return f"{self.elem}[{self.size}]"
+
+
+@dataclass(frozen=True, repr=False)
+class StructType(CType):
+    name: str = "?"
+    fields: Tuple[Tuple[str, CType], ...] = field(default_factory=tuple)
+
+    def field_type(self, fname: str) -> Optional[CType]:
+        for n, t in self.fields:
+            if n == fname:
+                return t
+        return None
+
+    def field_names(self) -> List[str]:
+        return [n for n, _ in self.fields]
+
+
+@dataclass(frozen=True, repr=False)
+class StringType(CType):
+    """Internal type of string literals (only valid in ``print`` arguments
+    and as actor names in controller intrinsics)."""
+
+    name: str = "string"
+
+
+VOID = VoidType()
+BOOL = BoolType()
+STRING = StringType()
+U8 = IntType("U8", 8, False)
+U16 = IntType("U16", 16, False)
+U32 = IntType("U32", 32, False)
+S8 = IntType("S8", 8, True)
+S16 = IntType("S16", 16, True)
+S32 = IntType("S32", 32, True)
+INT = S32
+
+_BY_NAME: Dict[str, CType] = {
+    "void": VOID,
+    "bool": BOOL,
+    "U8": U8,
+    "U16": U16,
+    "U32": U32,
+    "S8": S8,
+    "S16": S16,
+    "S32": S32,
+    "int": INT,
+}
+
+
+def type_by_name(name: str) -> Optional[CType]:
+    """Look up a builtin scalar type by keyword (None for struct names)."""
+    return _BY_NAME.get(name)
+
+
+def wrap_int(value: int, ctype: IntType) -> int:
+    """Wrap a Python int to the representable range of ``ctype``.
+
+    Unsigned: modulo 2^bits.  Signed: two's complement reinterpretation.
+    """
+    mask = (1 << ctype.bits) - 1
+    value &= mask
+    if ctype.signed and value > ctype.max:
+        value -= 1 << ctype.bits
+    return value
+
+
+def is_integer(ctype: CType) -> bool:
+    return isinstance(ctype, IntType)
+
+
+def is_scalar(ctype: CType) -> bool:
+    return isinstance(ctype, (IntType, BoolType))
+
+
+def common_type(a: CType, b: CType) -> IntType:
+    """C-style usual arithmetic conversion, simplified and deterministic.
+
+    Both operands are promoted to at least 32 bits; if either operand is
+    unsigned 32-bit the result is ``U32``, otherwise ``S32``.  (Filter-C has
+    no 64-bit types; this matches what the STxP70 ALU would produce.)
+    """
+    if not is_integer(a) or not is_integer(b):
+        raise CMinusTypeError(f"arithmetic on non-integer types {a} and {b}")
+    if (a.bits == 32 and not a.signed) or (b.bits == 32 and not b.signed):
+        return U32
+    return S32
+
+
+def assignable(target: CType, source: CType) -> bool:
+    """Whether ``source`` converts implicitly to ``target``.
+
+    Integers inter-convert freely (with wrapping, as in C); bool converts
+    to/from integers; structs and arrays require identical types.
+    """
+    if target == source:
+        return True
+    if is_integer(target) and (is_integer(source) or isinstance(source, BoolType)):
+        return True
+    if isinstance(target, BoolType) and (is_integer(source) or isinstance(source, BoolType)):
+        return True
+    if isinstance(target, StructType) and isinstance(source, StructType):
+        return target.name == source.name and target.fields == source.fields
+    return False
+
+
+def word_count(ctype: CType) -> int:
+    """Number of 32-bit transfer words a value of ``ctype`` occupies
+    (used by the platform layer to cost link transfers)."""
+    if isinstance(ctype, (IntType, BoolType)):
+        return 1
+    if isinstance(ctype, ArrayType):
+        return ctype.size * word_count(ctype.elem)
+    if isinstance(ctype, StructType):
+        return sum(word_count(ft) for _, ft in ctype.fields) or 1
+    return 1
+
+
+def convert(value, target: CType):
+    """Convert a runtime scalar to ``target``'s representation."""
+    if isinstance(target, BoolType):
+        return bool(value)
+    if isinstance(target, IntType):
+        return wrap_int(int(value), target)
+    return value

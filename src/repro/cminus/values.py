@@ -1,0 +1,103 @@
+"""Runtime value representation for Filter-C.
+
+Variables live in *slots* (:class:`Value`) that pair a static type with the
+raw Python payload:
+
+- integers / bools → Python ``int`` / ``bool`` (wrapped on every store);
+- arrays → ``list`` of raw element payloads;
+- structs → ``dict`` mapping field name → raw payload.
+
+Structs and arrays have C value semantics: assignment and argument passing
+deep-copy the payload.  ``format_value`` renders payloads the way GDB
+prints C values — the paper's two-level session shows e.g.::
+
+    $2 = { Addr = 0x145D, InterNotIntra = 1, Izz = 168460492, ... }
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Union
+
+from ..errors import CMinusRuntimeError
+from .typesys import (
+    ArrayType,
+    BoolType,
+    CType,
+    IntType,
+    StructType,
+    VoidType,
+    convert,
+)
+
+Raw = Union[int, bool, List["Raw"], Dict[str, "Raw"]]
+
+
+@dataclass
+class Value:
+    """A typed variable slot; ``data`` is the raw payload."""
+
+    ctype: CType
+    data: Raw
+
+    def copy(self) -> "Value":
+        return Value(self.ctype, copy_raw(self.data))
+
+
+def default_value(ctype: CType) -> Raw:
+    """Zero-initialized raw payload for ``ctype``."""
+    if isinstance(ctype, BoolType):
+        return False
+    if isinstance(ctype, IntType):
+        return 0
+    if isinstance(ctype, ArrayType):
+        return [default_value(ctype.elem) for _ in range(ctype.size)]
+    if isinstance(ctype, StructType):
+        return {name: default_value(ft) for name, ft in ctype.fields}
+    if isinstance(ctype, VoidType):
+        return 0
+    raise CMinusRuntimeError(f"cannot default-initialize type {ctype}")
+
+
+def copy_raw(raw: Raw) -> Raw:
+    """Deep copy of a raw payload (C value semantics)."""
+    if isinstance(raw, list):
+        return [copy_raw(x) for x in raw]
+    if isinstance(raw, dict):
+        return {k: copy_raw(v) for k, v in raw.items()}
+    return raw
+
+
+def coerce(raw: Raw, target: CType) -> Raw:
+    """Convert a raw payload for storage into a slot of type ``target``."""
+    if isinstance(target, (IntType, BoolType)):
+        if isinstance(raw, (list, dict)):
+            raise CMinusRuntimeError(f"cannot convert aggregate to {target}")
+        return convert(raw, target)
+    if isinstance(target, (ArrayType, StructType)):
+        return copy_raw(raw)
+    return raw
+
+
+def format_value(ctype: CType, raw: Raw, hex_fields: bool = False) -> str:
+    """GDB-style rendering of a payload."""
+    if isinstance(ctype, BoolType):
+        return "true" if raw else "false"
+    if isinstance(ctype, IntType):
+        if hex_fields or (isinstance(raw, int) and not isinstance(raw, bool) and _looks_like_address(ctype, raw)):
+            return hex(raw)
+        return str(raw)
+    if isinstance(ctype, ArrayType):
+        inner = ", ".join(format_value(ctype.elem, x) for x in raw)
+        return "{" + inner + "}"
+    if isinstance(ctype, StructType):
+        parts = []
+        for name, ftype in ctype.fields:
+            parts.append(f"{name} = {format_value(ftype, raw[name], hex_fields=name.lower().startswith('addr'))}")
+        return "{ " + ", ".join(parts) + " }"
+    return str(raw)
+
+
+def _looks_like_address(ctype: IntType, value: int) -> bool:
+    # heuristic purely for display parity with the paper's transcript
+    return False

@@ -1,0 +1,81 @@
+"""The dataflow-aware interactive debugger — the paper's contribution.
+
+This package extends the base debugger (:mod:`repro.dbg`) with dataflow
+awareness for PEDF applications, implementing every functionality of the
+paper's §III approach:
+
+======================================  =====================================
+Paper                                    Here
+======================================  =====================================
+Graph reconstruction (#1)                :mod:`capture` + :mod:`model`, DOT
+                                         export in :mod:`dot`
+Scheduling monitoring (#2)               ``sched`` command,
+                                         :class:`ScheduleCatch`/:class:`StepCatch`
+Execution-flow monitoring (#3)           push/pop capture, token provenance,
+                                         recording (:mod:`record`)
+Stopping on dataflow events              :mod:`catchpoints` (`filter X catch
+                                         work`, `catch IF=N`, `iface catch`)
+Graph-aware stepping                     :meth:`DataflowSession.step_both`
+Inspecting token state                   `dataflow links`, `iface info`,
+                                         `filter info last_token`
+Altering the execution                   :mod:`alteration` (insert/drop/poke)
+Two-level debugging                      everything in :mod:`repro.dbg`
+                                         stays available
+Overhead mitigation (§V)                 :meth:`DataflowSession.set_data_capture`
+                                         (disable / control-only /
+                                         actor-specific a.k.a. framework
+                                         cooperation)
+======================================  =====================================
+
+Typical use::
+
+    from repro.dbg import Debugger, CommandCli
+    from repro.core import DataflowSession
+    from repro.core.commands import install_dataflow_commands
+
+    dbg = Debugger(scheduler, runtime)
+    cli = CommandCli(dbg)
+    session = DataflowSession(dbg)
+    install_dataflow_commands(cli, session)
+    cli.execute("filter pipe catch work")
+    cli.execute("run")
+"""
+
+from .model import DataflowModel, DbgActor, DbgConnection, DbgLink, DbgToken
+from .capture import EventCapture
+from .catchpoints import (
+    DataflowCatchpoint,
+    IfaceEventCatch,
+    ScheduleCatch,
+    StepCatch,
+    TokenCountCatch,
+    WorkCatch,
+)
+from .record import RecordBuffer, TokenRecorder
+from .alteration import Alteration, parse_value_literal
+from .dot import render_dot
+from .session import BEHAVIORS, DataflowSession
+from .commands import install_dataflow_commands
+
+__all__ = [
+    "DataflowModel",
+    "DbgActor",
+    "DbgConnection",
+    "DbgLink",
+    "DbgToken",
+    "EventCapture",
+    "DataflowCatchpoint",
+    "IfaceEventCatch",
+    "ScheduleCatch",
+    "StepCatch",
+    "TokenCountCatch",
+    "WorkCatch",
+    "RecordBuffer",
+    "TokenRecorder",
+    "Alteration",
+    "parse_value_literal",
+    "render_dot",
+    "BEHAVIORS",
+    "DataflowSession",
+    "install_dataflow_commands",
+]

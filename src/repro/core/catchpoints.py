@@ -1,0 +1,281 @@
+"""Dataflow catchpoints — the model-level breakpoints of §III / §VI.
+
+All of them are :class:`~repro.dbg.breakpoints.BreakpointBase` subclasses
+registered in the ordinary breakpoint registry, so the classic commands
+(`info breakpoints`, `delete`, `disable`, `ignore`) manage them too —
+two-level debugging in the management plane as well.
+
+Each catchpoint implements ``check_*`` predicates called by the capture
+layer with model objects; returning a message string requests a stop with
+that (paper-transcript-style) wording.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..cminus.parser import parse_expression
+from ..dbg.breakpoints import BreakpointBase
+from ..dbg.eval import EvalError, Evaluator
+from ..errors import DataflowDebugError
+from .model import DbgActor, DbgConnection, DbgToken
+
+
+class TokenEvaluator(Evaluator):
+    """Evaluates a condition against one token's payload.
+
+    ``value`` names the payload; struct payload fields are directly
+    addressable by name (``Addr``, ``InterNotIntra``, …).
+    """
+
+    def __init__(self, token: DbgToken):
+        super().__init__()
+        self.token = token
+
+    def _eval_Ident(self, e):
+        if e.name == "value":
+            from ..cminus.typesys import S32
+
+            if isinstance(self.token.value, (dict, list)):
+                return S32, self.token.value  # aggregates: member access next
+            return S32, self.token.value
+        if isinstance(self.token.value, dict) and e.name in self.token.value:
+            from ..cminus.typesys import S32
+
+            return S32, self.token.value[e.name]
+        raise EvalError(
+            f"token condition: unknown name {e.name!r} (use 'value' or a payload field)"
+        )
+
+
+def eval_token_condition(condition_text: str, token: DbgToken) -> bool:
+    try:
+        expr = parse_expression(condition_text)
+        _, raw = TokenEvaluator(token).eval(expr)
+        return bool(raw)
+    except EvalError:
+        # GDB stops when a condition cannot be evaluated, with a warning;
+        # for token catchpoints a failed condition simply does not match
+        return False
+
+
+class DataflowCatchpoint(BreakpointBase):
+    """Base for catchpoints evaluated by the capture layer."""
+
+    kind = "dataflow"
+
+    def check_work_enter(self, actor: DbgActor) -> Optional[str]:
+        return None
+
+    def check_push(self, conn: DbgConnection, token: DbgToken) -> Optional[str]:
+        return None
+
+    def check_pop(self, conn: DbgConnection, token: DbgToken) -> Optional[str]:
+        return None
+
+    def check_actor_start(self, actor: DbgActor) -> Optional[str]:
+        return None
+
+    def check_step(self, controller: str, phase: str, step: int) -> Optional[str]:
+        return None
+
+    def check_pred(self, module: str, name: str, value: bool) -> Optional[str]:
+        return None
+
+
+class WorkCatch(DataflowCatchpoint):
+    """``filter pipe catch work`` — stop when the WORK method fires."""
+
+    def __init__(self, actor_qual: str, display_name: str, **kwargs):
+        super().__init__(**kwargs)
+        self.actor_qual = actor_qual
+        self.display_name = display_name
+
+    def check_work_enter(self, actor: DbgActor) -> Optional[str]:
+        if actor.qualname != self.actor_qual:
+            return None
+        return f"[Stopped at WORK method of filter `{self.display_name}']"
+
+    def what(self) -> str:
+        return f"filter {self.display_name} catch work"
+
+
+class TokenCountCatch(DataflowCatchpoint):
+    """``filter ipred catch Pipe_in=1, Hwcfg_in=1`` / ``catch *in=1``.
+
+    Stops as soon as *each* listed inbound interface has received its
+    required number of tokens (counted since the catchpoint was created or
+    last triggered).
+    """
+
+    def __init__(self, actor_qual: str, display_name: str, requirements: Dict[str, int], **kwargs):
+        super().__init__(**kwargs)
+        if not requirements:
+            raise DataflowDebugError("token-count catch needs at least one interface")
+        self.actor_qual = actor_qual
+        self.display_name = display_name
+        self.requirements = dict(requirements)
+        self.counts: Dict[str, int] = {name: 0 for name in requirements}
+
+    def check_pop(self, conn: DbgConnection, token: DbgToken) -> Optional[str]:
+        if conn.actor.qualname != self.actor_qual or conn.name not in self.counts:
+            return None
+        self.counts[conn.name] += 1
+        if all(self.counts[name] >= need for name, need in self.requirements.items()):
+            got = ", ".join(f"{name}={self.counts[name]}" for name in sorted(self.counts))
+            self.counts = {name: 0 for name in self.requirements}
+            return (
+                f"[Stopped: filter `{self.display_name}' received the requested tokens ({got})]"
+            )
+        return None
+
+    def what(self) -> str:
+        req = ", ".join(f"{k}={v}" for k, v in sorted(self.requirements.items()))
+        return f"filter {self.display_name} catch {req}"
+
+
+class IfaceEventCatch(DataflowCatchpoint):
+    """Stop on one interface's push or pop, optionally filtered by a
+    condition over the token payload.
+
+    ``filter pipe catch Red2PipeCbMB_in`` and both halves of
+    ``step_both`` are instances of this.
+    """
+
+    def __init__(
+        self,
+        conn_qual: str,
+        event: str,
+        condition_text: Optional[str] = None,
+        src_actor: Optional[str] = None,
+        dst_actor: Optional[str] = None,
+        **kwargs,
+    ):
+        super().__init__(**kwargs)
+        if event not in ("push", "pop"):
+            raise DataflowDebugError(f"bad interface event {event!r}")
+        self.conn_qual = conn_qual
+        self.event = event
+        self.condition_text = condition_text
+        # §III: conditional breakpoints based on the tokens'
+        # source/destination
+        self.src_actor = src_actor
+        self.dst_actor = dst_actor
+
+    def _check(self, conn: DbgConnection, token: DbgToken, event: str) -> Optional[str]:
+        if event != self.event or conn.qualname != self.conn_qual:
+            return None
+        if self.src_actor is not None and token.src_actor != self.src_actor:
+            return None
+        if self.dst_actor is not None and token.dst_actor != self.dst_actor:
+            return None
+        if self.condition_text and not eval_token_condition(self.condition_text, token):
+            return None
+        if event == "pop":
+            return f"[Stopped after receiving token from `{self.conn_qual}']"
+        return f"[Stopped after sending token on `{self.conn_qual}`]"
+
+    def check_push(self, conn: DbgConnection, token: DbgToken) -> Optional[str]:
+        return self._check(conn, token, "push")
+
+    def check_pop(self, conn: DbgConnection, token: DbgToken) -> Optional[str]:
+        return self._check(conn, token, "pop")
+
+    def what(self) -> str:
+        verb = "receive on" if self.event == "pop" else "send on"
+        s = f"iface {self.conn_qual} catch {verb}"
+        if self.src_actor:
+            s += f" from {self.src_actor}"
+        if self.dst_actor:
+            s += f" to {self.dst_actor}"
+        if self.condition_text:
+            s += f" if {self.condition_text}"
+        return s
+
+
+class LinkFullCatch(DataflowCatchpoint):
+    """``iface A::I catch full`` — stop the first time the link reaches
+    its capacity.  §II: "If two filters [...] do not produce and consume
+    tokens at the same rate, the application may stall because of link
+    over/underflow" — this catches the overflow at its onset instead of
+    waiting for the eventual deadlock."""
+
+    def __init__(self, conn_qual: str, **kwargs):
+        super().__init__(**kwargs)
+        self.conn_qual = conn_qual
+
+    def check_push(self, conn: DbgConnection, token: DbgToken) -> Optional[str]:
+        link = conn.link
+        if link is None or link.capacity <= 0:
+            return None
+        if conn.qualname != self.conn_qual and (
+            link.dst is None or link.dst.qualname != self.conn_qual
+        ):
+            return None
+        if link.occupancy >= link.capacity:
+            return (
+                f"[Stopped: link `{link.src.qualname} -> {link.dst.qualname}' is full "
+                f"({link.occupancy}/{link.capacity} tokens) — possible rate mismatch]"
+            )
+        return None
+
+    def what(self) -> str:
+        return f"iface {self.conn_qual} catch full"
+
+
+class PredCatch(DataflowCatchpoint):
+    """``sched catch pred [MODULE]`` — stop when a scheduling predicate
+    changes (the graph-behaviour modifications of predicated execution)."""
+
+    def __init__(self, module: Optional[str] = None, **kwargs):
+        super().__init__(**kwargs)
+        self.module = module
+
+    def check_pred(self, module: str, name: str, value: bool) -> Optional[str]:
+        if self.module is not None and module != self.module:
+            return None
+        return (f"[Stopped: predicate `{module}.{name}' set to "
+                f"{'true' if value else 'false'}]")
+
+    def what(self) -> str:
+        return f"sched catch pred {self.module or 'any module'}"
+
+
+class ScheduleCatch(DataflowCatchpoint):
+    """``sched catch start [filter]`` — stop when a controller schedules a
+    filter for execution (Contribution #2)."""
+
+    def __init__(self, actor_qual: Optional[str] = None, display_name: str = "", **kwargs):
+        super().__init__(**kwargs)
+        self.actor_qual = actor_qual
+        self.display_name = display_name or (actor_qual or "any filter")
+
+    def check_actor_start(self, actor: DbgActor) -> Optional[str]:
+        if self.actor_qual is not None and actor.qualname != self.actor_qual:
+            return None
+        return f"[Stopped: controller scheduled filter `{actor.name}' for execution]"
+
+    def what(self) -> str:
+        return f"sched catch start {self.display_name}"
+
+
+class StepCatch(DataflowCatchpoint):
+    """``sched catch step-begin|step-end [controller]``."""
+
+    def __init__(self, phase: str, controller_qual: Optional[str] = None, **kwargs):
+        super().__init__(**kwargs)
+        if phase not in ("begin", "end"):
+            raise DataflowDebugError(f"bad step phase {phase!r}")
+        self.phase = phase
+        self.controller_qual = controller_qual
+
+    def check_step(self, controller: str, phase: str, step: int) -> Optional[str]:
+        if phase != self.phase:
+            return None
+        if self.controller_qual is not None and controller != self.controller_qual:
+            return None
+        return f"[Stopped at {self.phase} of step {step} of `{controller}']"
+
+    def what(self) -> str:
+        who = self.controller_qual or "any controller"
+        return f"sched catch step-{self.phase} {who}"

@@ -1,0 +1,342 @@
+"""The dataflow command set, as typed in the paper's transcripts.
+
+::
+
+    (gdb) filter pipe catch work
+    (gdb) filter ipred catch Pipe_in=1, Hwcfg_in=1
+    (gdb) filter ipred catch *in=1
+    (gdb) filter red configure splitter
+    (gdb) filter pipe info last_token
+    (gdb) filter print last_token
+    (gdb) iface hwcfg::pipe_MbType_out record
+    (gdb) iface hwcfg::pipe_MbType_out print
+    (gdb) step_both
+    (gdb) dataflow graph [FILE]
+    (gdb) sched status / sched catch step-begin|step-end|start <filter>
+
+Filter and interface names are auto-completable (Contribution #1).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional
+
+from ..dbg.cli import Command, CommandCli
+from ..errors import CommandError, DataflowDebugError
+from .session import BEHAVIORS, DataflowSession
+
+
+def install_dataflow_commands(cli: CommandCli, session: DataflowSession) -> None:
+    handler = _Commands(cli, session)
+    cli.register(Command(
+        "filter", handler.cmd_filter,
+        "filter NAME catch work|IF=N,...|*in=N|IFACE [if COND] "
+        "| configure BEHAVIOUR | info last_token|state | print last_token",
+        completer=handler.complete_names,
+    ))
+    cli.register(Command(
+        "iface", handler.cmd_iface,
+        "iface ACTOR::IF record [N]|print|catch [if COND]|insert VALUE [at N]"
+        "|drop [N]|poke N VALUE|info",
+        completer=handler.complete_names,
+    ))
+    cli.register(Command(
+        "step_both", handler.cmd_step_both,
+        "step_both [IFACE] — break at both ends of the dataflow assignment",
+        completer=handler.complete_names,
+    ))
+    cli.register(Command(
+        "dataflow", handler.cmd_dataflow,
+        "dataflow graph [FILE]|links|tokens|capture MODE|update realtime|on-stop|info",
+        aliases=("df",),
+        completer=lambda t: [s for s in ("graph", "links", "tokens", "capture", "update", "info")
+                             if s.startswith(t)],
+    ))
+    cli.register(Command(
+        "sched", handler.cmd_sched,
+        "sched status [MODULE] | sched catch step-begin|step-end [CTL] | "
+        "sched catch start [FILTER] | sched pred [MODULE NAME true|false]",
+        completer=handler.complete_names,
+    ))
+
+
+class _Commands:
+    def __init__(self, cli: CommandCli, session: DataflowSession):
+        self.cli = cli
+        self.session = session
+        self.dbg = session.dbg
+
+    # ------------------------------------------------------------ completion
+
+    def complete_names(self, text: str) -> List[str]:
+        last = text.split()[-1] if text.split() else ""
+        return [n for n in self.session.completion_names() if n.startswith(last)]
+
+    # ---------------------------------------------------------------- filter
+
+    def cmd_filter(self, arg: str) -> List[str]:
+        parts = arg.split(None, 1)
+        if not parts:
+            raise CommandError("usage: filter NAME VERB ... (or: filter print last_token)")
+        if parts[0] == "print":
+            return self._filter_print(None, parts[1] if len(parts) > 1 else "")
+        name = parts[0]
+        rest = parts[1] if len(parts) > 1 else ""
+        verb, _, vrest = rest.partition(" ")
+        if verb == "catch":
+            return self._filter_catch(name, vrest.strip())
+        if verb == "configure":
+            return self._filter_configure(name, vrest.strip())
+        if verb == "info":
+            return self._filter_info(name, vrest.strip())
+        if verb == "print":
+            return self._filter_print(name, vrest.strip())
+        if verb == "record":
+            what = vrest.strip()
+            if what == "state":
+                actor = self.session.record_state(name, True)
+                return [f"Recording data/attribute state into tokens pushed by `{actor.name}'"]
+            if what == "nostate":
+                actor = self.session.record_state(name, False)
+                return [f"State recording disabled for `{actor.name}'"]
+            raise CommandError("usage: filter NAME record state|nostate")
+        raise CommandError(f"filter: unknown verb {verb!r} (catch/configure/info/print/record)")
+
+    def _filter_catch(self, name: str, spec: str) -> List[str]:
+        if not spec:
+            raise CommandError("filter catch: missing specification")
+        condition = None
+        if " if " in spec:
+            spec, _, condition = spec.partition(" if ")
+            condition = condition.strip()
+            spec = spec.strip()
+        if spec == "work":
+            cp = self.session.catch_work(name)
+            return [f"Catchpoint {cp.id}: {cp.what()}"]
+        if "=" in spec:
+            requirements = {}
+            for part in spec.split(","):
+                iface, _, count_text = part.strip().partition("=")
+                if not count_text.strip().isdigit():
+                    raise CommandError(f"filter catch: bad count in {part.strip()!r}")
+                requirements[iface.strip()] = int(count_text)
+            cp = self.session.catch_tokens(name, requirements)
+            return [f"Catchpoint {cp.id}: {cp.what()}"]
+        # bare interface name: stop on each token through it
+        actor = self.session.model.find_actor(name)
+        conn = actor.connection(spec)
+        cp = self.session.catch_iface(conn.qualname, condition=condition)
+        return [f"Catchpoint {cp.id}: {cp.what()}"]
+
+    def _filter_configure(self, name: str, behavior: str) -> List[str]:
+        if behavior not in BEHAVIORS:
+            raise CommandError(
+                f"filter configure: unknown behaviour {behavior!r} "
+                f"(choose from {', '.join(BEHAVIORS)})"
+            )
+        actor = self.session.configure_behavior(name, behavior)
+        return [f"Filter {actor.name} communication behaviour set to `{behavior}'"]
+
+    def _filter_info(self, name: str, what: str) -> List[str]:
+        if what == "last_token":
+            return self.session.token_path(name)
+        if what in ("state", ""):
+            return self.session.filter_state(name)
+        raise CommandError(f"filter info: unknown topic {what!r} (last_token/state)")
+
+    def _filter_print(self, name: Optional[str], what: str) -> List[str]:
+        if what != "last_token":
+            raise CommandError("usage: filter [NAME] print last_token")
+        return [self.session.last_token_value(name)]
+
+    # ----------------------------------------------------------------- iface
+
+    def cmd_iface(self, arg: str) -> List[str]:
+        parts = arg.split(None, 1)
+        if not parts or "::" not in parts[0]:
+            raise CommandError("usage: iface ACTOR::IFACE VERB ...")
+        spec = parts[0]
+        rest = parts[1] if len(parts) > 1 else ""
+        verb, _, vrest = rest.partition(" ")
+        vrest = vrest.strip()
+        if verb == "record":
+            capacity = int(vrest) if vrest.isdigit() else None
+            conn = self.session.model.find_connection(spec)
+            self.session.records.enable(conn.qualname, capacity)
+            return [f"Recording tokens on `{conn.qualname}'"]
+        if verb == "print":
+            conn = self.session.model.find_connection(spec)
+            return self.session.records.get(conn.qualname).format_lines() or ["(no tokens recorded)"]
+        if verb == "catch":
+            if vrest.strip() == "full":
+                cp = self.session.catch_link_full(spec)
+                return [f"Catchpoint {cp.id}: {cp.what()}"]
+            condition = None
+            src_actor = dst_actor = None
+            words = vrest.split()
+            i = 0
+            while i < len(words):
+                if words[i] == "from" and i + 1 < len(words):
+                    src_actor = words[i + 1]
+                    i += 2
+                elif words[i] == "to" and i + 1 < len(words):
+                    dst_actor = words[i + 1]
+                    i += 2
+                elif words[i] == "if":
+                    condition = " ".join(words[i + 1:]).strip() or None
+                    break
+                else:
+                    raise CommandError(
+                        "usage: iface SPEC catch [from ACTOR] [to ACTOR] [if COND]"
+                    )
+            cp = self.session.catch_iface(
+                spec, condition=condition, src_actor=src_actor, dst_actor=dst_actor
+            )
+            return [f"Catchpoint {cp.id}: {cp.what()}"]
+        if verb == "insert":
+            index = None
+            m = re.search(r"\s+at\s+(\d+)$", vrest)
+            if m:
+                index = int(m.group(1))
+                vrest = vrest[: m.start()]
+            token = self.session.alter.insert(spec, vrest.strip(), index)
+            return [f"Token inserted on `{spec}' (seq {token.seq})"]
+        if verb == "drop":
+            index = int(vrest) if vrest.isdigit() else 0
+            token = self.session.alter.drop(spec, index)
+            return [f"Token #{index} removed from `{spec}'"]
+        if verb == "poke":
+            idx_text, _, value_text = vrest.partition(" ")
+            if not idx_text.isdigit() or not value_text.strip():
+                raise CommandError("usage: iface SPEC poke INDEX VALUE")
+            self.session.alter.poke(spec, int(idx_text), value_text.strip())
+            return [f"Token #{idx_text} on `{spec}' modified"]
+        if verb in ("info", ""):
+            conn = self.session.model.find_connection(spec)
+            lines = [f"{conn.qualname}: {conn.direction} ({conn.ctype_name})"]
+            if conn.link is not None:
+                link = conn.link
+                lines.append(
+                    f"  link {link.name}: {link.occupancy} queued, "
+                    f"pushed {link.total_pushed}, popped {link.total_popped}"
+                )
+                for i, token in enumerate(link.in_flight):
+                    lines.append(f"  [{i}] {token}")
+            else:
+                lines.append("  (unbound)")
+            return lines
+        raise CommandError(f"iface: unknown verb {verb!r}")
+
+    # ------------------------------------------------------------- step_both
+
+    def cmd_step_both(self, arg: str) -> List[str]:
+        out = self.session.step_both(arg.strip() or None)
+        ev = self.dbg.cont()
+        out.append("...")
+        out.extend(self.cli.render_stop(ev))
+        return out
+
+    # -------------------------------------------------------------- dataflow
+
+    def cmd_dataflow(self, arg: str) -> List[str]:
+        topic, _, rest = arg.partition(" ")
+        rest = rest.strip()
+        if topic == "graph":
+            dot = self.session.graph_dot()
+            if rest:
+                with open(rest, "w") as fh:
+                    fh.write(dot)
+                return [f"Dataflow graph written to {rest}"]
+            return dot.splitlines()
+        if topic == "links":
+            return self.session.links_report()
+        if topic == "tokens":
+            tokens = [t for t in self.session.model.tokens.values() if t.in_flight]
+            return [str(t) for t in sorted(tokens, key=lambda t: t.seq)] or ["(no tokens in flight)"]
+        if topic == "token":
+            if not rest.isdigit():
+                raise CommandError("usage: dataflow token SEQ")
+            token = self.session.model.tokens.get(int(rest))
+            if token is None:
+                raise CommandError(f"no token with sequence number {rest} is tracked")
+            lines = [str(token)]
+            lines.append(f"  path: {token.src_iface} -> {token.dst_iface}")
+            lines.append(f"  pushed at t={token.pushed_at}")
+            if token.popped_at is not None:
+                lines.append(f"  consumed by {token.consumed_by} at t={token.popped_at}")
+            else:
+                lines.append("  still in flight")
+            if token.injected:
+                lines.append("  (injected by the debugger)")
+            for i, parent in enumerate(token.parents):
+                lines.append(f"  parent[{i}]: {parent}")
+            return lines
+        if topic == "demangle":
+            if not rest:
+                raise CommandError("usage: dataflow demangle SYMBOL")
+            return [self.session.demangle(rest)]
+        if topic == "events":
+            if rest == "on":
+                self.session.enable_event_journal()
+                return ["event journal enabled"]
+            if rest == "off":
+                self.session.disable_event_journal()
+                return ["event journal disabled"]
+            count = int(rest) if rest.isdigit() else 20
+            return self.session.journal_tail(count) or ["(journal empty)"]
+        if topic == "capture":
+            if not rest:
+                return [f"data capture mode: {self.session.capture.data_mode}"]
+            mode = rest if rest in ("all", "none", "control-only") else [
+                part.strip() for part in rest.split(",")
+            ]
+            self.session.set_data_capture(mode)
+            return [f"data capture mode set to {mode}"]
+        if topic == "update":
+            if rest not in ("realtime", "on-stop"):
+                raise CommandError("usage: dataflow update realtime|on-stop")
+            self.session.set_graph_update(rest)
+            return [f"graph update mode set to {rest}"]
+        if topic in ("info", ""):
+            model = self.session.model
+            return [
+                f"program: {model.program_name or '<not initialized>'}",
+                f"modules: {', '.join(model.modules) or '-'}",
+                f"actors: {len(model.actors)}  links: {len(model.links)}",
+                f"tokens tracked: {len(model.tokens)}",
+                f"framework events processed: {self.session.capture.events_processed}",
+                f"data capture mode: {self.session.capture.data_mode}",
+            ]
+        raise CommandError(f"dataflow: unknown topic {topic!r}")
+
+    # ----------------------------------------------------------------- sched
+
+    def cmd_sched(self, arg: str) -> List[str]:
+        verb, _, rest = arg.partition(" ")
+        rest = rest.strip()
+        if verb in ("status", ""):
+            return self.session.sched_status(rest or None)
+        if verb == "pred":
+            if not rest:
+                return self.session.predicates_report()
+            parts = rest.split()
+            if len(parts) != 3 or parts[2] not in ("true", "false"):
+                raise CommandError("usage: sched pred [MODULE NAME true|false]")
+            self.session.set_predicate(parts[0], parts[1], parts[2] == "true")
+            return [f"Predicate {parts[0]}.{parts[1]} set to {parts[2]}"]
+        if verb == "catch":
+            what, _, target = rest.partition(" ")
+            target = target.strip() or None
+            if what == "step-begin":
+                cp = self.session.catch_step("begin", target)
+            elif what == "step-end":
+                cp = self.session.catch_step("end", target)
+            elif what == "start":
+                cp = self.session.catch_schedule(target)
+            elif what == "pred":
+                cp = self.session.catch_pred(target)
+            else:
+                raise CommandError("usage: sched catch step-begin|step-end|start|pred [NAME]")
+            return [f"Catchpoint {cp.id}: {cp.what()}"]
+        raise CommandError(f"sched: unknown verb {verb!r}")

@@ -1,0 +1,80 @@
+"""Token content recording (paper §VI-D).
+
+"Our debugger can also record and display the *content* of the tokens.
+This feature may require a significant quantity of memory, thus it has to
+be explicitly enabled."  Buffers are bounded; overflow drops the oldest
+entries and counts them, because "a communication-intensive filter may
+quickly generate a large number of tokens, impossible to record
+efficiently".
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional
+
+from ..errors import DataflowDebugError
+from .model import DbgConnection, DbgToken
+
+DEFAULT_CAPACITY = 256
+
+
+@dataclass
+class RecordBuffer:
+    conn_qual: str
+    capacity: int
+    entries: Deque[DbgToken] = field(default_factory=deque)
+    recorded: int = 0
+    dropped: int = 0
+
+    def append(self, token: DbgToken) -> None:
+        self.recorded += 1
+        if self.capacity and len(self.entries) >= self.capacity:
+            self.entries.popleft()
+            self.dropped += 1
+        self.entries.append(token)
+
+    def format_lines(self) -> List[str]:
+        """The paper's display::
+
+            #1 (U16) 5
+            #2 (U16) 10
+        """
+        lines = []
+        for i, token in enumerate(self.entries, start=self.dropped + 1):
+            lines.append(f"#{i} ({token.ctype_name}) {token.format_payload()}")
+        if self.dropped:
+            lines.append(f"({self.dropped} older token(s) dropped; buffer capacity {self.capacity})")
+        return lines
+
+
+class TokenRecorder:
+    def __init__(self) -> None:
+        self.buffers: Dict[str, RecordBuffer] = {}
+
+    def enable(self, conn_qual: str, capacity: Optional[int] = None) -> RecordBuffer:
+        buf = RecordBuffer(conn_qual, capacity if capacity is not None else DEFAULT_CAPACITY)
+        self.buffers[conn_qual] = buf
+        return buf
+
+    def disable(self, conn_qual: str) -> None:
+        self.buffers.pop(conn_qual, None)
+
+    def get(self, conn_qual: str) -> RecordBuffer:
+        buf = self.buffers.get(conn_qual)
+        if buf is None:
+            raise DataflowDebugError(
+                f"interface {conn_qual!r} is not being recorded (use 'iface {conn_qual} record')"
+            )
+        return buf
+
+    def on_push(self, conn: DbgConnection, token: DbgToken) -> None:
+        buf = self.buffers.get(conn.qualname)
+        if buf is not None:
+            buf.append(token)
+
+    def on_pop(self, conn: DbgConnection, token: DbgToken) -> None:
+        buf = self.buffers.get(conn.qualname)
+        if buf is not None:
+            buf.append(token)

@@ -1,0 +1,232 @@
+"""Breakpoint kinds and their registry.
+
+``FunctionBreakpoint`` (on Filter-C symbols) and ``ApiBreakpoint`` (on
+framework API symbols, entry or exit phase) together reproduce the
+paper's *function breakpoints* + *finish breakpoints* mechanism: a
+breakpoint carrying the semantic action to run when its location is hit,
+used by the dataflow extension to keep its internal model in sync.
+
+Any breakpoint subclass may override :meth:`BreakpointBase.stop`; the
+debugger stops only if it returns True (GDB Python API semantics).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional
+
+from ..errors import DebuggerError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..cminus.interp import Frame, Interpreter
+    from ..pedf.api import FrameworkEvent
+
+
+class BreakpointBase:
+    """State common to every breakpoint kind."""
+
+    kind = "breakpoint"
+
+    def __init__(self, *, temporary: bool = False, internal: bool = False,
+                 condition: Optional[str] = None, actor: Optional[str] = None):
+        self.id: int = -1  # assigned by the registry
+        self.enabled = True
+        self.temporary = temporary
+        #: internal breakpoints do not show in `info breakpoints` — the
+        #: dataflow extension's capture breakpoints are internal, like the
+        #: paper's
+        self.internal = internal
+        self.condition = condition
+        self.actor = actor  # restrict to one actor (qualified name)
+        self.ignore_count = 0
+        self.hit_count = 0
+        self.deleted = False
+
+    # -- overridable (GDB Python API style) --------------------------------
+
+    def stop(self, context: Any) -> bool:
+        """Decide whether this hit stops execution.  Subclasses may update
+        internal state here (the paper's 'semantic action') and return
+        False to keep the platform running."""
+        return True
+
+    # -- bookkeeping --------------------------------------------------------
+
+    def register_hit(self) -> bool:
+        """Count a hit; False while the ignore budget is being consumed."""
+        self.hit_count += 1
+        if self.ignore_count > 0:
+            self.ignore_count -= 1
+            return False
+        return True
+
+    def what(self) -> str:
+        return self.kind
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        state = "y" if self.enabled else "n"
+        return f"{self.id}\t{self.kind}\t{state}\t{self.what()}"
+
+
+class SourceBreakpoint(BreakpointBase):
+    kind = "source"
+
+    def __init__(self, filename: str, line: int, **kwargs):
+        super().__init__(**kwargs)
+        self.filename = filename
+        self.line = line
+
+    def what(self) -> str:
+        s = f"{self.filename}:{self.line}"
+        if self.actor:
+            s += f" [{self.actor}]"
+        if self.condition:
+            s += f" if {self.condition}"
+        return s
+
+
+class FunctionBreakpoint(BreakpointBase):
+    """Breaks on entry of a Filter-C function (by possibly-mangled symbol)."""
+
+    kind = "function"
+
+    def __init__(self, symbol: str, **kwargs):
+        super().__init__(**kwargs)
+        self.symbol = symbol
+
+    def what(self) -> str:
+        s = self.symbol
+        if self.actor:
+            s += f" [{self.actor}]"
+        if self.condition:
+            s += f" if {self.condition}"
+        return s
+
+
+class ApiBreakpoint(BreakpointBase):
+    """Breaks on a framework API symbol (entry or exit phase).
+
+    ``phase='exit'`` is the paper's *finish breakpoint* on a framework
+    function; ``arg_filters`` restrict hits to events whose arguments
+    match (e.g. ``{"iface": "an_input"}``).
+    """
+
+    kind = "api"
+
+    def __init__(
+        self,
+        symbol: str,
+        phase: str = "entry",
+        arg_filters: Optional[Dict[str, Any]] = None,
+        **kwargs,
+    ):
+        super().__init__(**kwargs)
+        if phase not in ("entry", "exit", "both"):
+            raise DebuggerError(f"bad phase {phase!r}")
+        self.symbol = symbol
+        self.phase = phase
+        self.arg_filters = dict(arg_filters or {})
+        self.subscription = None  # set by the debugger
+
+    def matches(self, event: "FrameworkEvent") -> bool:
+        if self.phase != "both" and event.phase != self.phase:
+            return False
+        for key, want in self.arg_filters.items():
+            if str(event.args.get(key)) != str(want):
+                return False
+        return True
+
+    def what(self) -> str:
+        s = f"{self.symbol} ({self.phase})"
+        if self.actor:
+            s += f" [{self.actor}]"
+        if self.arg_filters:
+            flt = ", ".join(f"{k}={v}" for k, v in self.arg_filters.items())
+            s += f" {{{flt}}}"
+        return s
+
+
+class Watchpoint(BreakpointBase):
+    """Stops when an expression's value changes in a given actor."""
+
+    kind = "watch"
+
+    def __init__(self, expr_text: str, actor: str, **kwargs):
+        super().__init__(actor=actor, **kwargs)
+        self.expr_text = expr_text
+        self.last: Optional[tuple] = None  # (ctype, raw) or None if unavailable
+        self.primed = False
+
+    def what(self) -> str:
+        return f"{self.expr_text} [{self.actor}]"
+
+
+class FinishBreakpoint(BreakpointBase):
+    """Fires when a specific frame returns (GDB's FinishBreakpoint)."""
+
+    kind = "finish"
+
+    def __init__(self, frame: "Frame", interp: "Interpreter", **kwargs):
+        kwargs.setdefault("temporary", True)
+        kwargs.setdefault("internal", True)
+        super().__init__(**kwargs)
+        self.frame = frame
+        self.interp = interp
+        self.return_value = None
+
+    def out_of_scope(self) -> None:
+        """Called if the frame is unwound without a normal return."""
+
+    def what(self) -> str:
+        return f"finish of {self.frame.name}"
+
+
+class BreakpointRegistry:
+    """Owns every breakpoint; provides the lookup indices the hook uses."""
+
+    def __init__(self) -> None:
+        self._next_id = itertools.count(1)
+        self._next_internal_id = itertools.count(-1, -1)
+        self.all: Dict[int, BreakpointBase] = {}
+
+    def add(self, bp: BreakpointBase) -> BreakpointBase:
+        # internal breakpoints get negative numbers, like GDB's, so user
+        # commands (`delete 1`) can never hit the extension's capture
+        # breakpoints by accident
+        bp.id = next(self._next_internal_id) if bp.internal else next(self._next_id)
+        self.all[bp.id] = bp
+        return bp
+
+    def remove(self, bp_id: int) -> BreakpointBase:
+        bp = self.all.pop(bp_id, None)
+        if bp is None:
+            raise DebuggerError(f"no breakpoint {bp_id}")
+        bp.deleted = True
+        if isinstance(bp, ApiBreakpoint) and bp.subscription is not None:
+            bp.subscription.unsubscribe()
+        return bp
+
+    def get(self, bp_id: int) -> BreakpointBase:
+        bp = self.all.get(bp_id)
+        if bp is None:
+            raise DebuggerError(f"no breakpoint {bp_id}")
+        return bp
+
+    def visible(self) -> List[BreakpointBase]:
+        return [bp for bp in self.all.values() if not bp.internal]
+
+    def source_bps(self) -> List[SourceBreakpoint]:
+        return [bp for bp in self.all.values()
+                if isinstance(bp, SourceBreakpoint) and bp.enabled]
+
+    def function_bps(self) -> List[FunctionBreakpoint]:
+        return [bp for bp in self.all.values()
+                if isinstance(bp, FunctionBreakpoint) and bp.enabled]
+
+    def watchpoints(self) -> List[Watchpoint]:
+        return [bp for bp in self.all.values()
+                if isinstance(bp, Watchpoint) and bp.enabled]
+
+    def finish_bps(self) -> List[FinishBreakpoint]:
+        return [bp for bp in self.all.values()
+                if isinstance(bp, FinishBreakpoint) and bp.enabled]

@@ -1,0 +1,603 @@
+"""The debugger proper: run control, stop translation, inspection.
+
+The platform runs only while :meth:`Debugger.cont` (or a stepping command)
+is executing; any hook- or listener-requested ``Suspend`` stops the kernel
+and control returns here with a :class:`~repro.dbg.stop.StopEvent`.
+Because actors are cooperatively scheduled coroutines, a stopped actor
+resumes exactly at the paused statement — the debugger never unwinds or
+replays anything.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional
+
+from ..cminus import ast as cast
+from ..cminus.interp import DebugHook, Frame, Interpreter
+from ..cminus.values import format_value
+from ..errors import DebuggerError
+from ..pedf.actors import ActorInst
+from ..pedf.api import FrameworkEvent
+from ..pedf.runtime import PedfRuntime
+from ..sim.kernel import Scheduler, StopKind as KStopKind, StopReason
+from ..sim.process import Suspend
+from .breakpoints import (
+    ApiBreakpoint,
+    BreakpointBase,
+    BreakpointRegistry,
+    FinishBreakpoint,
+    FunctionBreakpoint,
+    SourceBreakpoint,
+    Watchpoint,
+)
+from .eval import EvalError, Evaluator, ValueHistory, format_typed
+from .stop import StopEvent, StopKind
+
+
+@dataclass
+class _StepState:
+    mode: str  # "step" | "next" | "stepi"
+    actor: str  # qualified name
+    depth: int
+    line: int
+
+
+class _InterpHook(DebugHook):
+    """Bridges interpreter callbacks to the debugger."""
+
+    def __init__(self, dbg: "Debugger"):
+        self.dbg = dbg
+
+    def on_statement(self, interp, stmt):
+        return self.dbg._on_statement(interp, stmt)
+
+    def on_call(self, interp, frame):
+        return self.dbg._on_call(interp, frame)
+
+    def on_return(self, interp, frame, value):
+        return self.dbg._on_return(interp, frame, value)
+
+    def on_trap(self, interp):
+        return self.dbg._on_trap(interp)
+
+
+class Debugger:
+    """Interactive debugger attached to one PEDF runtime."""
+
+    def __init__(self, scheduler: Scheduler, runtime: PedfRuntime):
+        self.scheduler = scheduler
+        self.runtime = runtime
+        self.breakpoints = BreakpointRegistry()
+        self.history = ValueHistory()
+        self.hook = _InterpHook(self)
+        runtime.set_hook(self.hook)
+        self.debug_info = runtime.merged_debug_info()
+        self._actor_by_interp: Dict[int, ActorInst] = {}
+        for actor in runtime.all_actors():
+            if getattr(actor, "interp", None) is not None:
+                self._actor_by_interp[id(actor.interp)] = actor
+        self.selected_actor: Optional[ActorInst] = None
+        self.selected_frame_index = 0
+        self.last_stop: Optional[StopEvent] = None
+        self.stop_log: List[StopEvent] = []
+        self._step: Optional[_StepState] = None
+        self._last_lines: Dict[int, tuple] = {}  # interp id -> (depth, line)
+        self._pause_requested = False
+        self._finished = False
+        #: callbacks run on every stop (the extension API's event registry)
+        self.stop_callbacks: List[Callable[[StopEvent], None]] = []
+        scheduler.pre_dispatch_hook = self._pre_dispatch
+
+    # ------------------------------------------------------------ plumbing
+
+    def _actor_of(self, interp: Interpreter) -> Optional[ActorInst]:
+        return self._actor_by_interp.get(id(interp))
+
+    def _pre_dispatch(self, process):
+        if self._pause_requested:
+            self._pause_requested = False
+            ev = StopEvent(StopKind.PAUSED, "execution interrupted", time=self.scheduler.now)
+            self._record_stop(ev, None)
+            return Suspend(ev)
+        return None
+
+    def request_pause(self) -> None:
+        """Ask the kernel to stop before the next dispatch (Ctrl-C)."""
+        self._pause_requested = True
+
+    def _record_stop(self, ev: StopEvent, actor: Optional[ActorInst]) -> None:
+        ev.time = self.scheduler.now
+        self.last_stop = ev
+        self.stop_log.append(ev)
+        if actor is not None:
+            self.selected_actor = actor
+            self.selected_frame_index = 0
+        self._step = None
+
+    def _suspend(self, ev: StopEvent, actor: Optional[ActorInst]) -> Suspend:
+        self._record_stop(ev, actor)
+        return Suspend(ev)
+
+    # --------------------------------------------------------- hook: stmts
+
+    def _on_statement(self, interp: Interpreter, stmt) -> Optional[Suspend]:
+        actor = self._actor_of(interp)
+        frame = interp.frame
+        if frame is None:
+            return None
+        key = id(interp)
+        prev = self._last_lines.get(key)
+        cur = (frame.depth, stmt.line)
+        self._last_lines[key] = cur
+        new_line = prev != cur
+
+        # 1. source breakpoints (on line entry)
+        if new_line:
+            for bp in self.breakpoints.source_bps():
+                if bp.line != stmt.line or bp.filename != frame.filename:
+                    continue
+                if bp.actor and (actor is None or actor.qualname != bp.actor):
+                    continue
+                req = self._fire_location_bp(bp, StopKind.BREAKPOINT, interp, actor, frame)
+                if req is not None:
+                    return req
+
+        # 2. watchpoints scoped to this actor
+        if actor is not None:
+            for wp in self.breakpoints.watchpoints():
+                if wp.actor != actor.qualname:
+                    continue
+                req = self._check_watchpoint(wp, interp, actor, frame)
+                if req is not None:
+                    return req
+
+        # 3. stepping
+        if self._step is not None and actor is not None and self._step.actor == actor.qualname:
+            st = self._step
+            hit = False
+            if st.mode == "stepi":
+                hit = True
+            elif st.mode == "step":
+                hit = (frame.depth, stmt.line) != (st.depth, st.line)
+            elif st.mode == "next":
+                hit = frame.depth < st.depth or (
+                    frame.depth == st.depth and stmt.line != st.line
+                )
+            if hit:
+                ev = StopEvent(
+                    StopKind.STEP,
+                    actor=actor.qualname,
+                    filename=frame.filename,
+                    line=stmt.line,
+                )
+                return self._suspend(ev, actor)
+        return None
+
+    def _fire_location_bp(
+        self,
+        bp: BreakpointBase,
+        kind: StopKind,
+        interp: Interpreter,
+        actor: Optional[ActorInst],
+        frame: Frame,
+        message: str = "",
+    ) -> Optional[Suspend]:
+        if not bp.register_hit():
+            return None
+        if bp.condition:
+            try:
+                ev_val = self._evaluator(frame=frame, interp=interp, actor=actor).eval_text(
+                    bp.condition
+                )
+                if not ev_val[1]:
+                    return None
+            except EvalError as exc:
+                message = (message + f" (condition error: {exc})").strip()
+        if not bp.stop(frame):
+            return None
+        if bp.temporary:
+            self.breakpoints.remove(bp.id)
+        ev = StopEvent(
+            kind,
+            message=message,
+            actor=actor.qualname if actor else None,
+            filename=frame.filename,
+            line=frame.line,
+            bp_id=bp.id,
+        )
+        return self._suspend(ev, actor)
+
+    def _check_watchpoint(
+        self, wp: Watchpoint, interp: Interpreter, actor: ActorInst, frame: Frame
+    ) -> Optional[Suspend]:
+        try:
+            ctype, raw = self._evaluator(frame=frame, interp=interp, actor=actor).eval_text(
+                wp.expr_text
+            )
+            current = (ctype, raw)
+        except EvalError:
+            wp.last = None
+            return None
+        if not wp.primed:
+            wp.primed = True
+            wp.last = current
+            return None
+        if wp.last is not None and wp.last[1] == current[1]:
+            return None
+        old_text = format_typed(*wp.last) if wp.last is not None else "<unavailable>"
+        new_text = format_typed(*current)
+        wp.last = current
+        if not wp.register_hit():
+            return None
+        if not wp.stop(current):
+            return None
+        ev = StopEvent(
+            StopKind.WATCHPOINT,
+            message=f"{wp.expr_text}: old = {old_text}, new = {new_text}",
+            actor=actor.qualname,
+            filename=frame.filename,
+            line=frame.line,
+            bp_id=wp.id,
+        )
+        return self._suspend(ev, actor)
+
+    # --------------------------------------------------- hook: calls/returns
+
+    def _on_call(self, interp: Interpreter, frame: Frame) -> Optional[Suspend]:
+        actor = self._actor_of(interp)
+        for bp in self.breakpoints.function_bps():
+            if bp.symbol != frame.func.name:
+                continue
+            if bp.actor and (actor is None or actor.qualname != bp.actor):
+                continue
+            req = self._fire_location_bp(
+                bp, StopKind.FUNCTION_BP, interp, actor, frame, message=frame.func.name
+            )
+            if req is not None:
+                return req
+        return None
+
+    def _on_return(self, interp: Interpreter, frame: Frame, value) -> Optional[Suspend]:
+        actor = self._actor_of(interp)
+        for bp in self.breakpoints.finish_bps():
+            if bp.interp is not interp or bp.frame is not frame:
+                continue
+            if not bp.register_hit():
+                continue
+            bp.return_value = value
+            if not bp.stop(value):
+                continue
+            if bp.temporary:
+                self.breakpoints.remove(bp.id)
+            ret_text = format_value(frame.func.ret, value)
+            ev = StopEvent(
+                StopKind.FINISH,
+                message=f"{frame.func.name} returned {ret_text}",
+                actor=actor.qualname if actor else None,
+                filename=frame.filename,
+                line=frame.call_line or frame.line,
+                bp_id=bp.id,
+                payload=value,
+            )
+            return self._suspend(ev, actor)
+        return None
+
+    def _on_trap(self, interp: Interpreter) -> Optional[Suspend]:
+        actor = self._actor_of(interp)
+        frame = interp.frame
+        ev = StopEvent(
+            StopKind.TRAP,
+            actor=actor.qualname if actor else None,
+            filename=frame.filename if frame else None,
+            line=frame.line if frame else None,
+        )
+        return self._suspend(ev, actor)
+
+    # -------------------------------------------------------- breakpoints
+
+    def break_source(self, spec: str, **kwargs) -> SourceBreakpoint:
+        """``file.c:42`` or ``42`` (current file) or a function symbol."""
+        filename: Optional[str] = None
+        line: Optional[int] = None
+        if ":" in spec:
+            filename, _, line_text = spec.rpartition(":")
+            if not line_text.isdigit():
+                raise DebuggerError(f"bad location {spec!r}")
+            line = int(line_text)
+        elif spec.isdigit():
+            line = int(spec)
+            frame = self.current_frame()
+            if frame is None:
+                raise DebuggerError("no current frame: give an explicit file:line")
+            filename = frame.filename
+        else:
+            return self.break_function(spec, **kwargs)
+        resolved = self.debug_info.line_table.resolve(filename, line)
+        if resolved is None:
+            raise DebuggerError(f"no executable code at or after {filename}:{line}")
+        bp = SourceBreakpoint(filename, resolved, **kwargs)
+        self.breakpoints.add(bp)
+        return bp
+
+    def break_function(self, symbol: str, **kwargs) -> FunctionBreakpoint:
+        if self.debug_info.lookup_function(symbol) is None:
+            matches = self.debug_info.match_functions(symbol)
+            if len(matches) == 1:
+                symbol = matches[0].name
+            elif matches:
+                names = ", ".join(f.name for f in matches[:6])
+                raise DebuggerError(f"symbol {symbol!r} is ambiguous: {names}")
+            else:
+                raise DebuggerError(f"no function symbol {symbol!r}")
+        bp = FunctionBreakpoint(symbol, **kwargs)
+        self.breakpoints.add(bp)
+        return bp
+
+    def break_api(
+        self,
+        symbol: str,
+        phase: str = "entry",
+        actor: Optional[str] = None,
+        arg_filters: Optional[Dict[str, Any]] = None,
+        stop_fn: Optional[Callable[[FrameworkEvent], bool]] = None,
+        **kwargs,
+    ) -> ApiBreakpoint:
+        """A function breakpoint on a framework API symbol (the paper's
+        core capture mechanism).  ``phase='exit'`` = finish breakpoint."""
+        bp = ApiBreakpoint(symbol, phase=phase, arg_filters=arg_filters, actor=actor, **kwargs)
+        if stop_fn is not None:
+            bp.stop = stop_fn  # type: ignore[method-assign]
+        self.breakpoints.add(bp)
+
+        def listener(event: FrameworkEvent) -> Optional[Suspend]:
+            if bp.deleted or not bp.enabled or not bp.matches(event):
+                return None
+            if not bp.register_hit():
+                return None
+            decision = bp.stop(event)
+            if not decision:
+                return None
+            if bp.temporary:
+                self.breakpoints.remove(bp.id)
+            actor_inst = None
+            if event.actor is not None:
+                try:
+                    actor_inst = self.runtime.find_actor(event.actor)
+                except Exception:
+                    actor_inst = None
+            if isinstance(decision, StopEvent):
+                # the breakpoint supplied its own (e.g. dataflow-flavoured)
+                # stop description
+                ev = decision
+                if ev.bp_id is None:
+                    ev.bp_id = bp.id
+                if ev.payload is None:
+                    ev.payload = event
+            else:
+                ev = StopEvent(
+                    StopKind.API_BP,
+                    message=f"{event.phase} {event.symbol}",
+                    actor=event.actor,
+                    bp_id=bp.id,
+                    payload=event,
+                )
+            return self._suspend(ev, actor_inst)
+
+        bp.subscription = self.runtime.bus.subscribe(
+            symbol, listener, actor=actor, phase="both" if bp.phase == "both" else bp.phase
+        )
+        return bp
+
+    def watch(self, expr_text: str, actor: Optional[str] = None, **kwargs) -> Watchpoint:
+        if actor is None:
+            if self.selected_actor is None:
+                raise DebuggerError("no actor selected: watch <expr> needs an actor context")
+            actor = self.selected_actor.qualname
+        else:
+            actor = self.runtime.find_actor(actor).qualname
+        wp = Watchpoint(expr_text, actor, **kwargs)
+        self.breakpoints.add(wp)
+        # prime now: the first observed *change* (even from <unavailable>)
+        # should stop, GDB-style
+        wp.primed = True
+        try:
+            actor_inst = self.runtime.find_actor(actor)
+            interp = getattr(actor_inst, "interp", None)
+            frame = interp.frame if interp is not None else None
+            wp.last = self._evaluator(frame=frame, interp=interp, actor=actor_inst).eval_text(
+                expr_text
+            )
+        except (EvalError, Exception):
+            wp.last = None
+        return wp
+
+    def finish_breakpoint(self, frame: Optional[Frame] = None, **kwargs) -> FinishBreakpoint:
+        actor = self.selected_actor
+        if actor is None or actor.interp is None:
+            raise DebuggerError("no actor selected")
+        frame = frame or self.current_frame()
+        if frame is None:
+            raise DebuggerError("no frame to finish")
+        bp = FinishBreakpoint(frame, actor.interp, **kwargs)
+        self.breakpoints.add(bp)
+        return bp
+
+    def delete(self, bp_id: int) -> None:
+        self.breakpoints.remove(bp_id)
+
+    # ------------------------------------------------------------- control
+
+    def load(self) -> None:
+        if not self.runtime.loaded:
+            self.runtime.load()
+
+    def run(self, max_dispatches: Optional[int] = None, until: Optional[int] = None) -> StopEvent:
+        """Load (if needed) and run until the first stop."""
+        self.load()
+        return self.cont(max_dispatches=max_dispatches, until=until)
+
+    def cont(self, max_dispatches: Optional[int] = None, until: Optional[int] = None) -> StopEvent:
+        if not self.runtime.loaded:
+            raise DebuggerError("program is not running (use run)")
+        if self._finished:
+            return self.last_stop  # type: ignore[return-value]
+        stop = self.scheduler.run(until=until, max_dispatches=max_dispatches)
+        ev = self._translate(stop)
+        for cb in list(self.stop_callbacks):
+            cb(ev)
+        return ev
+
+    def _translate(self, stop: StopReason) -> StopEvent:
+        if stop.kind == KStopKind.SUSPENDED:
+            if isinstance(stop.payload, StopEvent):
+                return stop.payload
+            ev = StopEvent(StopKind.PAUSED, str(stop.payload))
+            self._record_stop(ev, None)
+            return ev
+        if stop.kind == KStopKind.EXHAUSTED:
+            ev = StopEvent(StopKind.EXITED, "all actors terminated", time=stop.time)
+            self._finished = True
+            self._record_stop(ev, None)
+            return ev
+        if stop.kind == KStopKind.DEADLOCK:
+            outcome = self.runtime.classify_stop(stop)
+            if outcome == "exited":
+                ev = StopEvent(StopKind.EXITED, "program quiescent", time=stop.time)
+                self._finished = True
+            else:
+                blocked = ", ".join(stop.payload or [])
+                ev = StopEvent(
+                    StopKind.DEADLOCK,
+                    message=f"blocked actors: {blocked}",
+                    payload=stop.payload,
+                    time=stop.time,
+                )
+            self._record_stop(ev, None)
+            return ev
+        if stop.kind == KStopKind.PROCESS_ERROR:
+            owner = stop.process.owner if stop.process else None
+            actor = owner if isinstance(owner, ActorInst) else None
+            ev = StopEvent(
+                StopKind.ERROR,
+                message=f"{type(stop.payload).__name__}: {stop.payload}",
+                actor=getattr(owner, "qualname", None),
+                payload=stop.payload,
+            )
+            self._record_stop(ev, actor)
+            return ev
+        ev = StopEvent(StopKind.PAUSED, f"kernel stop: {stop.kind.value}", time=stop.time)
+        self._record_stop(ev, None)
+        return ev
+
+    # -------------------------------------------------------------- stepping
+
+    def _begin_step(self, mode: str) -> StopEvent:
+        actor = self.selected_actor
+        if actor is None or actor.interp is None or actor.interp.frame is None:
+            raise DebuggerError("no stopped actor frame to step from")
+        frame = actor.interp.frame
+        self._step = _StepState(mode=mode, actor=actor.qualname, depth=frame.depth, line=frame.line)
+        return self.cont()
+
+    def step(self) -> StopEvent:
+        """Step to a different source line, entering calls."""
+        return self._begin_step("step")
+
+    def next_(self) -> StopEvent:
+        """Step to a different source line, skipping over calls."""
+        return self._begin_step("next")
+
+    def stepi(self) -> StopEvent:
+        """Execute exactly one statement of the selected actor."""
+        return self._begin_step("stepi")
+
+    def finish(self) -> StopEvent:
+        """Run until the selected frame returns."""
+        frame = self.current_frame()
+        if frame is None:
+            raise DebuggerError("no frame to finish")
+        self.finish_breakpoint(frame)
+        return self.cont()
+
+    # ------------------------------------------------------------ inspection
+
+    def actors(self) -> List[ActorInst]:
+        return self.runtime.all_actors()
+
+    def freeze_actor(self, name: str):
+        """Withhold one actor from execution (paper §III: during
+        concurrent stepping, "let them block the other execution paths
+        until a latter investigation")."""
+        actor = self.runtime.find_actor(name)
+        if actor.process is None:
+            raise DebuggerError(f"actor {actor.qualname} has no process yet (not running)")
+        self.scheduler.freeze(actor.process)
+        return actor
+
+    def thaw_actor(self, name: str):
+        actor = self.runtime.find_actor(name)
+        if actor.process is None:
+            raise DebuggerError(f"actor {actor.qualname} has no process yet (not running)")
+        self.scheduler.thaw(actor.process)
+        return actor
+
+    def select_actor(self, name: str) -> ActorInst:
+        actor = self.runtime.find_actor(name)
+        self.selected_actor = actor
+        self.selected_frame_index = 0
+        return actor
+
+    def backtrace(self) -> List[Frame]:
+        actor = self.selected_actor
+        if actor is None or getattr(actor, "interp", None) is None:
+            return []
+        return actor.interp.backtrace()
+
+    def select_frame(self, index: int) -> Frame:
+        frames = self.backtrace()
+        if not 0 <= index < len(frames):
+            raise DebuggerError(f"no frame #{index} (stack depth {len(frames)})")
+        self.selected_frame_index = index
+        return frames[index]
+
+    def current_frame(self) -> Optional[Frame]:
+        frames = self.backtrace()
+        if not frames:
+            return None
+        index = min(self.selected_frame_index, len(frames) - 1)
+        return frames[index]
+
+    def _evaluator(self, frame=None, interp=None, actor=None) -> Evaluator:
+        actor = actor if actor is not None else self.selected_actor
+        interp = interp if interp is not None else getattr(actor, "interp", None)
+        frame = frame if frame is not None else self.current_frame()
+        structs = dict(self.debug_info.structs)
+        structs.update(self.runtime.decl.structs)
+        return Evaluator(frame=frame, interp=interp, actor=actor, history=self.history, structs=structs)
+
+    def print_expr(self, text: str) -> str:
+        """Evaluate and record in history; returns the ``$N = value`` line."""
+        ctype, raw = self._evaluator().eval_text(text)
+        index = self.history.record(ctype, raw)
+        return f"${index} = {format_typed(ctype, raw)}"
+
+    def eval_expr(self, text: str):
+        """Evaluate without recording; returns (ctype, raw)."""
+        return self._evaluator().eval_text(text)
+
+    def list_source(self, center: Optional[int] = None, radius: int = 4) -> List[str]:
+        frame = self.current_frame()
+        if frame is None:
+            raise DebuggerError("no source context (program not stopped in actor code)")
+        center = center if center is not None else frame.line
+        window = self.debug_info.source_window(frame.filename, center, radius)
+        out = []
+        for n, text in window:
+            marker = "->" if n == frame.line else "  "
+            out.append(f"{marker} {n}\t{text}")
+        return out
+
+    @property
+    def finished(self) -> bool:
+        return self._finished

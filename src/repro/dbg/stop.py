@@ -1,0 +1,72 @@
+"""Stop events: why the platform stopped and where."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, List, Optional
+
+
+class StopKind(enum.Enum):
+    BREAKPOINT = "breakpoint"
+    WATCHPOINT = "watchpoint"
+    FUNCTION_BP = "function-breakpoint"
+    API_BP = "api-breakpoint"
+    FINISH = "finish"
+    STEP = "step"
+    TRAP = "trap"  # the trap() builtin (programmatic int3)
+    DATAFLOW = "dataflow"  # dataflow-extension stops (catchpoints, …)
+    DEADLOCK = "deadlock"
+    EXITED = "exited"
+    ERROR = "error"
+    PAUSED = "paused"  # external interrupt
+
+
+@dataclass
+class StopEvent:
+    """Carried as the ``reason`` payload of a kernel ``Suspend``."""
+
+    kind: StopKind
+    message: str = ""
+    actor: Optional[str] = None  # qualified actor name, if any
+    filename: Optional[str] = None
+    line: Optional[int] = None
+    bp_id: Optional[int] = None
+    payload: Any = None  # kind-specific detail (event, exception, …)
+    time: int = 0
+
+    def describe(self) -> List[str]:
+        """Human-readable lines, GDB style."""
+        lines: List[str] = []
+        loc = ""
+        if self.filename is not None and self.line is not None:
+            loc = f" at {self.filename}:{self.line}"
+        who = f" [{self.actor}]" if self.actor else ""
+        if self.kind == StopKind.BREAKPOINT:
+            lines.append(f"Breakpoint {self.bp_id},{who}{loc}")
+        elif self.kind == StopKind.WATCHPOINT:
+            lines.append(f"Watchpoint {self.bp_id}:{who} {self.message}")
+        elif self.kind == StopKind.FUNCTION_BP:
+            lines.append(f"Function breakpoint {self.bp_id},{who} {self.message}{loc}")
+        elif self.kind == StopKind.API_BP:
+            lines.append(f"Framework breakpoint {self.bp_id},{who} {self.message}")
+        elif self.kind == StopKind.FINISH:
+            lines.append(f"Run till exit{who}: {self.message}{loc}")
+        elif self.kind == StopKind.STEP:
+            lines.append(f"Step{who}{loc}")
+        elif self.kind == StopKind.TRAP:
+            lines.append(f"Program trap(){who}{loc}")
+        elif self.kind == StopKind.DATAFLOW:
+            lines.append(self.message)
+        elif self.kind == StopKind.DEADLOCK:
+            lines.append(f"Deadlock detected: {self.message}")
+        elif self.kind == StopKind.EXITED:
+            lines.append(f"[Program exited: {self.message}]" if self.message else "[Program exited]")
+        elif self.kind == StopKind.ERROR:
+            lines.append(f"Program error{who}: {self.message}")
+        else:
+            lines.append(f"Stopped ({self.kind.value}){who} {self.message}")
+        return lines
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return "; ".join(self.describe())

@@ -1,0 +1,30 @@
+"""Experiment harnesses regenerating the paper's figures and claims.
+
+One module per experiment family (see DESIGN.md's experiment index):
+
+- :mod:`figures` — FIG-1 (platform topology), FIG-2 (AModule graph),
+  FIG-3 (capture architecture statistics), FIG-4 (H.264 graph with the
+  stalled token counts);
+- :mod:`overhead` — SEC5-OVH: breakpoint overhead under the §V
+  mitigation strategies;
+- :mod:`localization` — SEC6-LOC: interaction counts to localize each
+  §VI bug, dataflow-aware vs. plain source-level strategy.
+
+Benches under ``benchmarks/`` are thin wrappers over these functions, so
+every number they report is reproducible from library code.
+"""
+
+from .figures import fig1_platform_report, fig2_amodule_graph, fig3_capture_report, fig4_h264_graph
+from .overhead import OverheadRow, run_overhead_comparison
+from .localization import LocalizationResult, run_localization_comparison
+
+__all__ = [
+    "fig1_platform_report",
+    "fig2_amodule_graph",
+    "fig3_capture_report",
+    "fig4_h264_graph",
+    "OverheadRow",
+    "run_overhead_comparison",
+    "LocalizationResult",
+    "run_localization_comparison",
+]

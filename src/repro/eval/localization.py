@@ -1,0 +1,275 @@
+"""SEC6-LOC: how many debugger interactions does it take to localize a
+bug, with and without dataflow awareness?
+
+The paper's qualitative analysis (§VI-F) argues the dataflow commands
+shorten the hunt and suggests measuring "the time required to locate
+different kinds of bugs [...] compared against more common methods like
+source-level debuggers".  This module performs that measurement: for each
+§VI bug variant it scripts two *honest* strategies against real debugger
+sessions and counts every command issued:
+
+- **dataflow** — uses the model-aware commands (`dataflow links`,
+  `filter ... catch`, `info last_token`, `filter info state`);
+- **plain** — restricted to classic source-level commands (break /
+  continue / print / backtrace / info), emulating what a stock GDB user
+  can do, including the "breakpoints at both ends of the link and a pen
+  and paper count" the paper describes.
+
+Both strategies must actually *find* the culprit (asserted), so the
+interaction counts are comparable.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Tuple
+
+from ..apps.h264 import decode_golden
+from ..apps.h264.bugs import (
+    build_corrupted_token,
+    build_dropped_token,
+    build_rate_mismatch,
+)
+from ..core import DataflowSession, install_dataflow_commands
+from ..dbg import CommandCli, Debugger, StopKind
+
+
+class _CountingCli:
+    """Wraps a CLI and counts every command issued."""
+
+    def __init__(self, cli: CommandCli):
+        self.cli = cli
+        self.count = 0
+        self.transcript: List[str] = []
+
+    def run(self, line: str) -> List[str]:
+        self.count += 1
+        out = self.cli.execute(line)
+        self.transcript.append(f"(gdb) {line}")
+        self.transcript.extend(out)
+        return out
+
+
+@dataclass
+class LocalizationResult:
+    scenario: str
+    strategy: str
+    interactions: int
+    located: bool
+    wall_seconds: float
+    transcript: List[str]
+
+
+def _session(build, *, dataflow: bool, **kwargs):
+    sched, platform, runtime, source, sink, mbs = build(**kwargs)
+    dbg = Debugger(sched, runtime)
+    cli = CommandCli(dbg)
+    if dataflow:
+        session = DataflowSession(dbg, cli=cli, stop_on_init=True)
+    else:
+        session = None
+    return _CountingCli(cli), dbg, sink, mbs, session
+
+
+# ------------------------------------------------------- corrupted token
+
+
+def _corrupted_dataflow(n_mbs: int = 8, corrupt_at: int = 5) -> Tuple[int, bool, List[str]]:
+    c, dbg, sink, mbs, session = _session(
+        build_corrupted_token, dataflow=True, n_mbs=n_mbs, corrupt_at=corrupt_at
+    )
+    dbg.run()  # stops after init
+    bad_addr = 0x1400 + corrupt_at  # the observably-wrong macroblock
+    c.run("filter red configure splitter")
+    c.run(f"filter pipe catch Red2PipeCbMB_in if Addr == {bad_addr}")
+    c.run("continue")
+    out = c.run("filter pipe info last_token")
+    located = any(line.startswith("#2 bh -> red") for line in out)
+    # confirm the value is the wrapped one
+    wrapped = sum(mbs[corrupt_at].residuals) & 0xFF
+    located = located and any(str(wrapped) in line for line in out if line.startswith("#2"))
+    return c.count, located, c.transcript
+
+
+def _corrupted_plain(n_mbs: int = 8, corrupt_at: int = 5) -> Tuple[int, bool, List[str]]:
+    """Source-level strategy: chase the wrong value upstream, one filter
+    per (re)run, inspecting every macroblock until the bad one."""
+    interactions = 0
+    transcript: List[str] = []
+
+    # pass 1: stop in pipe each macroblock, print the struct until the
+    # observed Addr matches the broken output
+    c, dbg, sink, mbs, _ = _session(
+        build_corrupted_token, dataflow=False, n_mbs=n_mbs, corrupt_at=corrupt_at
+    )
+    bad_addr = 0x1400 + corrupt_at
+    golden = decode_golden(mbs)
+    c.run("break pipe.c:5")
+    found = False
+    for _ in range(n_mbs + 1):
+        out = c.run("continue" if dbg.runtime.loaded else "run")
+        if not any("Breakpoint" in line for line in out):
+            break
+        addr = int(c.run("print cbcr.Addr")[0].split(" = ")[1])
+        izz = int(c.run("print cbcr.Izz")[0].split(" = ")[1])
+        if addr == bad_addr:
+            found = izz != golden[corrupt_at].cbcr_izz
+            break
+    interactions += c.count
+    transcript += c.transcript
+
+    # pass 2 (fresh run): the value was wrong already at pipe's input, so
+    # inspect red the same way
+    c, dbg, sink, mbs, _ = _session(
+        build_corrupted_token, dataflow=False, n_mbs=n_mbs, corrupt_at=corrupt_at
+    )
+    c.run("break red.c:5")
+    red_wrong = False
+    for step in range(n_mbs + 1):
+        out = c.run("continue" if dbg.runtime.loaded else "run")
+        if not any("Breakpoint" in line for line in out):
+            break
+        mb = int(c.run("print pedf.data.mb_count")[0].split(" = ")[1])
+        rsum = int(c.run("print rsum")[0].split(" = ")[1])
+        if mb == corrupt_at:
+            red_wrong = rsum != golden[corrupt_at].rsum
+            break
+    interactions += c.count
+    transcript += c.transcript
+
+    # pass 3 (fresh run): red only forwards bh's value — break inside bh's
+    # accumulation and watch the 8-bit wraparound
+    c, dbg, sink, mbs, _ = _session(
+        build_corrupted_token, dataflow=False, n_mbs=n_mbs, corrupt_at=corrupt_at
+    )
+    c.run(f"break bh.c:10 if pedf.data.mb_count == {corrupt_at}")
+    c.run("run")
+    out = c.run("print sum8")
+    wrapped = sum(mbs[corrupt_at].residuals) & 0xFF
+    located = found and red_wrong and out[0].endswith(f"= {wrapped}")
+    interactions += c.count
+    transcript += c.transcript
+    return interactions, located, transcript
+
+
+# --------------------------------------------------------- rate mismatch
+
+
+def _rate_dataflow(n_mbs: int = 24) -> Tuple[int, bool, List[str]]:
+    c, dbg, sink, mbs, session = _session(build_rate_mismatch, dataflow=True, n_mbs=n_mbs)
+    c.run("run")  # init stop (graph reconstructed)
+    c.run("continue")  # runs to the deadlock
+    out = c.run("dataflow links")
+    located = any(
+        line.startswith("pipe::Pipe_ipf_out->ipf::Pipe_cfg_in") and "20 token(s)" in line
+        for line in out
+    )
+    return c.count, located, c.transcript
+
+
+def _rate_plain(n_mbs: int = 24) -> Tuple[int, bool, List[str]]:
+    """Without link awareness: inspect every blocked actor's backtrace,
+    then instrument both ends of the suspicious link and count hits by
+    hand (the paper's 'pen and paper' procedure), on a fresh run."""
+    c, dbg, sink, mbs, _ = _session(build_rate_mismatch, dataflow=False, n_mbs=n_mbs)
+    c.run("run")  # deadlock
+    c.run("info actors")
+    suspicious = None
+    for actor in [a.qualname for a in dbg.actors() if getattr(a, "interp", None)]:
+        c.run(f"actor {actor}")
+        out = c.run("backtrace")
+        # pipe is the one stuck inside its WORK method pushing
+        if any("PipeFilter_work_function" in line for line in out):
+            frame_line = dbg.current_frame().line if dbg.current_frame() else None
+            if frame_line == 7:  # the Pipe_ipf_out push line
+                suspicious = actor
+    if suspicious is None:
+        return c.count, False, c.transcript
+
+    # fresh run: count pushes at pipe.c:7 and consumptions at ipf.c:5
+    count_cli, dbg2, _, _, _ = _session(build_rate_mismatch, dataflow=False, n_mbs=n_mbs)
+    count_cli.run("break pipe.c:7")
+    count_cli.run("break ipf.c:5")
+    pushes = pops = 0
+    count_cli.run("run")
+    while True:
+        ev = dbg2.last_stop
+        if ev.kind != StopKind.BREAKPOINT:
+            break
+        if ev.line == 7:
+            pushes += 1
+        else:
+            pops += 1
+        count_cli.run("continue")
+    located = pushes >= 20 and pops == 0
+    return c.count + count_cli.count, located, c.transcript + count_cli.transcript
+
+
+# --------------------------------------------------------- dropped token
+
+
+def _dropped_dataflow(n_mbs: int = 6) -> Tuple[int, bool, List[str]]:
+    c, dbg, sink, mbs, session = _session(build_dropped_token, dataflow=True, n_mbs=n_mbs)
+    c.run("run")  # init stop
+    c.run("continue")  # deadlock
+    c.run("sched status")
+    out = c.run("filter ipred info state")
+    blocked = any("blocked waiting for data: yes" in line for line in out)
+    out = c.run("iface ipred::Hwcfg_in info")
+    starved = any("0 queued" in line and f"popped {n_mbs - 1}" in line for line in out)
+    return c.count, blocked and starved, c.transcript
+
+
+def _dropped_plain(n_mbs: int = 6) -> Tuple[int, bool, List[str]]:
+    c, dbg, sink, mbs, _ = _session(build_dropped_token, dataflow=False, n_mbs=n_mbs)
+    c.run("run")  # deadlock
+    c.run("info actors")
+    blocked_at_hwcfg_read = False
+    for actor in [a.qualname for a in dbg.actors() if getattr(a, "interp", None)]:
+        c.run(f"actor {actor}")
+        out = c.run("backtrace")
+        if any("IpredFilter_work_function" in line for line in out):
+            frame = dbg.current_frame()
+            blocked_at_hwcfg_read = frame is not None and frame.line == 4  # Hwcfg_in read
+    if not blocked_at_hwcfg_read:
+        return c.count, False, c.transcript
+    # fresh run: count how many configuration tokens hwcfg actually sent
+    c2, dbg2, _, _, _ = _session(build_dropped_token, dataflow=False, n_mbs=n_mbs)
+    c2.run("break hwcfg.c:11")  # the HwCfg_out push
+    sends = 0
+    c2.run("run")
+    while dbg2.last_stop.kind == StopKind.BREAKPOINT:
+        sends += 1
+        c2.run("continue")
+    located = sends == n_mbs - 1  # one fewer than macroblocks: hwcfg drops one
+    return c.count + c2.count, located, c.transcript + c2.transcript
+
+
+# ----------------------------------------------------------------- driver
+
+SCENARIOS: Dict[str, Dict[str, Callable[[], Tuple[int, bool, List[str]]]]] = {
+    "corrupted-token": {"dataflow": _corrupted_dataflow, "plain": _corrupted_plain},
+    "rate-mismatch": {"dataflow": _rate_dataflow, "plain": _rate_plain},
+    "dropped-token": {"dataflow": _dropped_dataflow, "plain": _dropped_plain},
+}
+
+
+def run_localization_comparison() -> List[LocalizationResult]:
+    results: List[LocalizationResult] = []
+    for scenario, strategies in SCENARIOS.items():
+        for strategy, fn in strategies.items():
+            t0 = time.perf_counter()
+            interactions, located, transcript = fn()
+            wall = time.perf_counter() - t0
+            results.append(
+                LocalizationResult(scenario, strategy, interactions, located, wall, transcript)
+            )
+    return results
+
+
+def format_results(results: List[LocalizationResult]) -> List[str]:
+    out = [f"{'scenario':<18} {'strategy':<10} {'interactions':>12} {'located':>8}"]
+    for r in results:
+        out.append(f"{r.scenario:<18} {r.strategy:<10} {r.interactions:>12} {str(r.located):>8}")
+    return out

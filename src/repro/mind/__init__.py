@@ -1,0 +1,45 @@
+"""MIND — the architecture description front end (paper §IV-A).
+
+"The PEDF dataflow graph is built with the MIND architecture compilation
+tool-chain, augmented with PEDF annotations.  MIND provides a description
+language to specify filter's architecture and interfaces.  Its compiler
+generates a C++ version of the architecture" — here, it generates a
+:class:`~repro.pedf.decls.ProgramDecl` instead.
+
+The language accepted is the paper's excerpt, verbatim::
+
+    @Filter
+    primitive AFilter {
+        data      stddefs.h:U32 a_private_data;
+        attribute stddefs.h:U32 an_attribute;
+        source    the_source.c;
+        input  stddefs.h:U32 as an_input;
+        output stddefs.h:U32 as an_output;
+    }
+
+    @Module
+    composite AModule {
+        contains as controller {
+            output U32 as cmd_out_1;
+            source ctrl_source.c;
+        }
+        input  U32 as module_in;
+        contains AFilter as filter_1;
+        binds controller.cmd_out_1 to filter_1.cmd_in;
+        binds this.module_in to filter_1.an_input;
+    }
+
+plus a few documented extensions the paper's framework implies but the
+excerpt does not show: ``@Struct`` token-type declarations, per-instance
+attribute overrides, ``hwaccel``/``cluster``/``maxsteps``/``predicate``
+annotations, link ``capacity``/``dma`` qualifiers, and top-level
+``binds moduleA.out to moduleB.in`` statements.
+
+``source foo.c;`` references are resolved against a caller-provided
+mapping from file name to Filter-C text (the "compilation unit" inputs).
+"""
+
+from .parser import MindParser, parse_adl
+from .compiler import MindCompiler, compile_adl
+
+__all__ = ["MindParser", "parse_adl", "MindCompiler", "compile_adl"]

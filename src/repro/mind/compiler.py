@@ -1,0 +1,164 @@
+"""Elaborates a parsed ADL into a :class:`~repro.pedf.decls.ProgramDecl`.
+
+This is the "compiler generates a C++ version of the architecture" step of
+the paper, retargeted at the Python PEDF runtime.  ``source foo.c;``
+references are resolved against a caller-provided ``sources`` mapping
+(file name → Filter-C text); actor compilation (parsing, mangling, type
+checking) is delegated to :mod:`repro.pedf.compile`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional
+
+from ..cminus.typesys import ArrayType, CType, StructType, type_by_name
+from ..errors import MindError
+from ..pedf.compile import compile_program
+from ..pedf.decls import (
+    ControllerDecl,
+    FilterDecl,
+    ModuleDecl,
+    ProgramDecl,
+)
+from .parser import AdlFile, AdlFilterType, AdlModule, AdlTypeRef, parse_adl
+
+
+class MindCompiler:
+    def __init__(self, adl: AdlFile, sources: Mapping[str, str]):
+        self.adl = adl
+        self.sources = dict(sources)
+        self.structs: Dict[str, StructType] = {}
+        self.filter_types: Dict[str, AdlFilterType] = {}
+
+    def error(self, message: str, line: int = 0) -> MindError:
+        return MindError(message, self.adl.filename, line)
+
+    # ----------------------------------------------------------------- main
+
+    def compile(self) -> ProgramDecl:
+        program = ProgramDecl(name=self.adl.program_name or "adl_program")
+        for s in self.adl.structs:
+            if s.name in self.structs:
+                raise self.error(f"struct {s.name!r} redeclared", s.line)
+            fields = []
+            for ftype, fname, size in s.fields:
+                ct = self._resolve_type(ftype)
+                if size:
+                    ct = ArrayType(elem=ct, size=size)
+                fields.append((fname, ct))
+            self.structs[s.name] = StructType(name=s.name, fields=tuple(fields))
+        program.structs = dict(self.structs)
+
+        for ft in self.adl.filter_types:
+            if ft.name in self.filter_types:
+                raise self.error(f"filter type {ft.name!r} redeclared", ft.line)
+            # eager type validation, even if the type is never instantiated
+            for ctype, _name in ft.data:
+                self._resolve_type(ctype)
+            for ctype, _name, _default in ft.attributes:
+                self._resolve_type(ctype)
+            for iface in ft.ifaces:
+                self._resolve_type(iface.ctype)
+            self.filter_types[ft.name] = ft
+
+        for amod in self.adl.modules:
+            program.add_module(self._compile_module(amod))
+
+        for b in self.adl.binds:
+            program.bind(b.src[0], b.src[1], b.dst[0], b.dst[1], capacity=b.capacity, dma=b.dma)
+
+        compile_program(program)
+        program.validate()
+        return program
+
+    # -------------------------------------------------------------- modules
+
+    def _compile_module(self, amod: AdlModule) -> ModuleDecl:
+        module = ModuleDecl(name=amod.name, predicates=dict(amod.predicates), cluster=amod.cluster)
+        if amod.controller is None:
+            raise self.error(f"module {amod.name!r} has no controller", amod.line)
+        actl = amod.controller
+        ctl = ControllerDecl(
+            name="controller",
+            source=self._resolve_source(actl.source, f"controller of {amod.name}", actl.line),
+            source_name=actl.source,
+            max_steps=actl.max_steps,
+        )
+        for iface in actl.ifaces:
+            ctl.add_iface(iface.name, iface.direction, self._resolve_type(iface.ctype))
+        module.set_controller(ctl)
+
+        for inst in amod.instances:
+            ftype = self.filter_types.get(inst.type_name)
+            if ftype is None:
+                raise self.error(
+                    f"module {amod.name}: unknown filter type {inst.type_name!r}", inst.line
+                )
+            module.add_filter(self._instantiate_filter(ftype, inst.name, inst.attr_overrides, inst.line))
+
+        for iface in amod.ifaces:
+            module.add_iface(iface.name, iface.direction, self._resolve_type(iface.ctype))
+
+        for b in amod.binds:
+            module.bind(b.src[0], b.src[1], b.dst[0], b.dst[1], capacity=b.capacity, dma=b.dma)
+        return module
+
+    def _instantiate_filter(
+        self, ftype: AdlFilterType, name: str, overrides: Dict[str, int], line: int
+    ) -> FilterDecl:
+        decl = FilterDecl(
+            name=name,
+            source=self._resolve_source(ftype.source, f"filter type {ftype.name}", ftype.line),
+            source_name=ftype.source,
+            hw_accel=ftype.hw_accel,
+        )
+        for ctype, dname in ftype.data:
+            decl.add_data(dname, self._resolve_type(ctype))
+        known_attrs = set()
+        for ctype, aname, default in ftype.attributes:
+            value = overrides.get(aname, default)
+            decl.add_attribute(aname, self._resolve_type(ctype), value)
+            known_attrs.add(aname)
+        for aname in overrides:
+            if aname not in known_attrs:
+                raise self.error(
+                    f"instance {name!r}: override of unknown attribute {aname!r}", line
+                )
+        for iface in ftype.ifaces:
+            decl.add_iface(iface.name, iface.direction, self._resolve_type(iface.ctype))
+        return decl
+
+    # -------------------------------------------------------------- helpers
+
+    def _resolve_type(self, ref: AdlTypeRef) -> CType:
+        builtin = type_by_name(ref.name)
+        if builtin is not None:
+            return builtin
+        struct = self.structs.get(ref.name)
+        if struct is not None:
+            return struct
+        raise self.error(f"unknown type {ref.name!r}", ref.line)
+
+    def _resolve_source(self, name: str, what: str, line: int) -> str:
+        if not name:
+            raise self.error(f"{what} declares no source file", line)
+        code = self.sources.get(name)
+        if code is None:
+            known = ", ".join(sorted(self.sources)) or "none provided"
+            raise self.error(
+                f"{what}: source file {name!r} not found (known: {known})", line
+            )
+        return code
+
+
+def compile_adl(
+    source: str,
+    sources: Mapping[str, str],
+    filename: str = "<adl>",
+    program_name: Optional[str] = None,
+) -> ProgramDecl:
+    """Parse + elaborate an architecture description in one call."""
+    adl = parse_adl(source, filename)
+    if program_name:
+        adl.program_name = program_name
+    return MindCompiler(adl, sources).compile()

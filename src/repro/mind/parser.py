@@ -1,0 +1,386 @@
+"""Lexer + parser for the MIND architecture description language."""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import MindError
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<comment>//[^\n]*|/\*.*?\*/)
+  | (?P<at>@[A-Za-z_][A-Za-z0-9_]*)
+  | (?P<ident>[A-Za-z_][A-Za-z0-9_]*)
+  | (?P<number>0x[0-9a-fA-F]+|\d+)
+  | (?P<punct>[{};:.,=\-\[\]])
+    """,
+    re.VERBOSE | re.DOTALL,
+)
+
+KEYWORDS = {
+    "primitive", "composite", "contains", "as", "binds", "to", "input",
+    "output", "data", "attribute", "source", "controller", "this",
+    "struct", "hwaccel", "cluster", "maxsteps", "predicate", "capacity",
+    "dma", "true", "false", "program",
+}
+
+
+@dataclass(frozen=True)
+class Tok:
+    kind: str  # "at" | "ident" | "number" | "punct" | "eof"
+    text: str
+    line: int
+
+
+def _lex(source: str, filename: str) -> List[Tok]:
+    toks: List[Tok] = []
+    pos = 0
+    line = 1
+    while pos < len(source):
+        m = _TOKEN_RE.match(source, pos)
+        if m is None:
+            raise MindError(f"unexpected character {source[pos]!r}", filename, line)
+        text = m.group(0)
+        kind = m.lastgroup or "?"
+        if kind not in ("ws", "comment"):
+            toks.append(Tok(kind, text, line))
+        line += text.count("\n")
+        pos = m.end()
+    toks.append(Tok("eof", "", line))
+    return toks
+
+
+# ------------------------------------------------------------------ AST
+
+
+@dataclass
+class AdlTypeRef:
+    """``stddefs.h:U32`` or plain ``U32`` or a declared struct name."""
+
+    name: str
+    header: str = ""
+    line: int = 0
+
+
+@dataclass
+class AdlIface:
+    direction: str
+    ctype: AdlTypeRef
+    name: str
+    line: int = 0
+
+
+@dataclass
+class AdlStruct:
+    name: str
+    fields: List[Tuple[AdlTypeRef, str, int]]  # (type, name, array_size; 0 = scalar)
+    line: int = 0
+
+
+@dataclass
+class AdlFilterType:
+    name: str
+    data: List[Tuple[AdlTypeRef, str]] = field(default_factory=list)
+    attributes: List[Tuple[AdlTypeRef, str, int]] = field(default_factory=list)  # default value
+    source: str = ""
+    ifaces: List[AdlIface] = field(default_factory=list)
+    hw_accel: bool = False
+    line: int = 0
+
+
+@dataclass
+class AdlController:
+    ifaces: List[AdlIface] = field(default_factory=list)
+    source: str = ""
+    max_steps: Optional[int] = None
+    line: int = 0
+
+
+@dataclass
+class AdlInstance:
+    type_name: str
+    name: str
+    attr_overrides: Dict[str, int] = field(default_factory=dict)
+    line: int = 0
+
+
+@dataclass
+class AdlBind:
+    src: Tuple[str, str]
+    dst: Tuple[str, str]
+    capacity: Optional[int] = None
+    dma: Optional[bool] = None
+    line: int = 0
+
+
+@dataclass
+class AdlModule:
+    name: str
+    controller: Optional[AdlController] = None
+    instances: List[AdlInstance] = field(default_factory=list)
+    ifaces: List[AdlIface] = field(default_factory=list)
+    binds: List[AdlBind] = field(default_factory=list)
+    predicates: Dict[str, bool] = field(default_factory=dict)
+    cluster: Optional[int] = None
+    line: int = 0
+
+
+@dataclass
+class AdlFile:
+    filename: str
+    program_name: str = ""
+    structs: List[AdlStruct] = field(default_factory=list)
+    filter_types: List[AdlFilterType] = field(default_factory=list)
+    modules: List[AdlModule] = field(default_factory=list)
+    binds: List[AdlBind] = field(default_factory=list)  # top-level (inter-module)
+
+
+# --------------------------------------------------------------- parser
+
+
+class MindParser:
+    def __init__(self, source: str, filename: str = "<adl>"):
+        self.filename = filename
+        self.toks = _lex(source, filename)
+        self.pos = 0
+
+    @property
+    def cur(self) -> Tok:
+        return self.toks[self.pos]
+
+    def error(self, message: str, tok: Optional[Tok] = None) -> MindError:
+        tok = tok or self.cur
+        return MindError(message, self.filename, tok.line)
+
+    def _advance(self) -> Tok:
+        tok = self.cur
+        if tok.kind != "eof":
+            self.pos += 1
+        return tok
+
+    def _accept(self, text: str) -> Optional[Tok]:
+        if self.cur.text == text:
+            return self._advance()
+        return None
+
+    def _expect(self, text: str) -> Tok:
+        if self.cur.text != text:
+            raise self.error(f"expected {text!r}, found {self.cur.text!r}")
+        return self._advance()
+
+    def _expect_ident(self) -> Tok:
+        if self.cur.kind != "ident":
+            raise self.error(f"expected identifier, found {self.cur.text!r}")
+        return self._advance()
+
+    def _expect_number(self) -> int:
+        if self.cur.kind != "number":
+            raise self.error(f"expected number, found {self.cur.text!r}")
+        return int(self._advance().text, 0)
+
+    # ---------------------------------------------------------------- file
+
+    def parse(self) -> AdlFile:
+        out = AdlFile(self.filename)
+        while self.cur.kind != "eof":
+            if self.cur.kind == "at":
+                ann = self._advance().text
+                if ann == "@Filter":
+                    out.filter_types.append(self._parse_filter_type())
+                elif ann == "@Module":
+                    out.modules.append(self._parse_module())
+                elif ann == "@Struct":
+                    out.structs.append(self._parse_struct())
+                elif ann == "@Program":
+                    name = self._expect_ident().text
+                    self._expect(";")
+                    out.program_name = name
+                else:
+                    raise self.error(f"unknown annotation {ann!r}")
+            elif self.cur.text == "binds":
+                out.binds.append(self._parse_bind())
+            else:
+                raise self.error(f"expected @Filter/@Module/@Struct/@Program/binds, found {self.cur.text!r}")
+        return out
+
+    # -------------------------------------------------------------- pieces
+
+    def _parse_typeref(self) -> AdlTypeRef:
+        tok = self._expect_ident()
+        name = tok.text
+        header = ""
+        # `stddefs.h:U32` — path segments then colon then the type name
+        while self._accept("."):
+            name += "." + self._expect_ident().text
+        if self._accept(":"):
+            header, name = name, self._expect_ident().text
+        return AdlTypeRef(name=name, header=header, line=tok.line)
+
+    def _parse_struct(self) -> AdlStruct:
+        self._expect("struct")
+        name_tok = self._expect_ident()
+        self._expect("{")
+        fields: List[Tuple[AdlTypeRef, str, int]] = []
+        while not self._accept("}"):
+            ftype = self._parse_typeref()
+            fname = self._expect_ident().text
+            size = 0
+            if self._accept("["):
+                size = self._expect_number()
+                self._expect("]")
+            self._expect(";")
+            fields.append((ftype, fname, size))
+        self._accept(";")
+        return AdlStruct(name=name_tok.text, fields=fields, line=name_tok.line)
+
+    def _parse_filter_type(self) -> AdlFilterType:
+        self._expect("primitive")
+        name_tok = self._expect_ident()
+        ft = AdlFilterType(name=name_tok.text, line=name_tok.line)
+        self._expect("{")
+        while not self._accept("}"):
+            tok = self.cur
+            if self._accept("data"):
+                ctype = self._parse_typeref()
+                dname = self._expect_ident().text
+                self._expect(";")
+                ft.data.append((ctype, dname))
+            elif self._accept("attribute"):
+                ctype = self._parse_typeref()
+                aname = self._expect_ident().text
+                value = 0
+                if self._accept("="):
+                    value = self._parse_int_value()
+                self._expect(";")
+                ft.attributes.append((ctype, aname, value))
+            elif self._accept("source"):
+                ft.source = self._parse_source_name()
+                self._expect(";")
+            elif self._accept("hwaccel"):
+                self._expect(";")
+                ft.hw_accel = True
+            elif self.cur.text in ("input", "output"):
+                ft.ifaces.append(self._parse_iface())
+            else:
+                raise self.error(f"unexpected {tok.text!r} in filter {ft.name}")
+        return ft
+
+    def _parse_int_value(self) -> int:
+        neg = bool(self._accept("-"))
+        value = self._expect_number()
+        return -value if neg else value
+
+    def _parse_source_name(self) -> str:
+        """A file-name-ish token sequence: ``the_source.c``."""
+        name = self._expect_ident().text
+        while self._accept("."):
+            name += "." + self._expect_ident().text
+        return name
+
+    def _parse_iface(self) -> AdlIface:
+        tok = self._advance()  # input | output
+        ctype = self._parse_typeref()
+        self._expect("as")
+        name = self._expect_ident().text
+        self._expect(";")
+        return AdlIface(direction=tok.text, ctype=ctype, name=name, line=tok.line)
+
+    def _parse_module(self) -> AdlModule:
+        self._expect("composite")
+        name_tok = self._expect_ident()
+        mod = AdlModule(name=name_tok.text, line=name_tok.line)
+        self._expect("{")
+        while not self._accept("}"):
+            tok = self.cur
+            if self._accept("contains"):
+                if self._accept("as"):
+                    self._expect("controller")
+                    if mod.controller is not None:
+                        raise self.error(f"module {mod.name}: controller redeclared", tok)
+                    mod.controller = self._parse_controller(tok.line)
+                else:
+                    type_name = self._expect_ident().text
+                    self._expect("as")
+                    inst_name = self._expect_ident().text
+                    inst = AdlInstance(type_name=type_name, name=inst_name, line=tok.line)
+                    if self._accept("{"):
+                        while not self._accept("}"):
+                            self._expect("attribute")
+                            aname = self._expect_ident().text
+                            self._expect("=")
+                            inst.attr_overrides[aname] = self._parse_int_value()
+                            self._expect(";")
+                    else:
+                        self._expect(";")
+                    mod.instances.append(inst)
+            elif self.cur.text in ("input", "output"):
+                mod.ifaces.append(self._parse_iface())
+            elif self.cur.text == "binds":
+                mod.binds.append(self._parse_bind())
+            elif self._accept("predicate"):
+                pname = self._expect_ident().text
+                self._expect("=")
+                val_tok = self._advance()
+                if val_tok.text not in ("true", "false"):
+                    raise self.error("predicate value must be true or false", val_tok)
+                self._expect(";")
+                mod.predicates[pname] = val_tok.text == "true"
+            elif self._accept("cluster"):
+                mod.cluster = self._expect_number()
+                self._expect(";")
+            else:
+                raise self.error(f"unexpected {tok.text!r} in module {mod.name}")
+        return mod
+
+    def _parse_controller(self, line: int) -> AdlController:
+        ctl = AdlController(line=line)
+        self._expect("{")
+        while not self._accept("}"):
+            tok = self.cur
+            if self.cur.text in ("input", "output"):
+                ctl.ifaces.append(self._parse_iface())
+            elif self._accept("source"):
+                ctl.source = self._parse_source_name()
+                self._expect(";")
+            elif self._accept("maxsteps"):
+                ctl.max_steps = self._expect_number()
+                self._expect(";")
+            else:
+                raise self.error(f"unexpected {tok.text!r} in controller")
+        return ctl
+
+    def _parse_bind(self) -> AdlBind:
+        tok = self._expect("binds")
+        src = self._parse_endpoint()
+        self._expect("to")
+        dst = self._parse_endpoint()
+        capacity = None
+        dma = None
+        while self.cur.text in ("capacity", "dma"):
+            if self._accept("capacity"):
+                self._expect("=")
+                capacity = self._expect_number()
+            elif self._accept("dma"):
+                self._expect("=")
+                val = self._advance()
+                if val.text not in ("true", "false"):
+                    raise self.error("dma qualifier must be true or false", val)
+                dma = val.text == "true"
+        self._expect(";")
+        return AdlBind(src=src, dst=dst, capacity=capacity, dma=dma, line=tok.line)
+
+    def _parse_endpoint(self) -> Tuple[str, str]:
+        first = self._advance()
+        if first.kind != "ident" and first.text != "this":
+            raise self.error(f"expected endpoint, found {first.text!r}", first)
+        self._expect(".")
+        iface = self._expect_ident().text
+        return (first.text, iface)
+
+
+def parse_adl(source: str, filename: str = "<adl>") -> AdlFile:
+    """Parse a MIND architecture description."""
+    return MindParser(source, filename).parse()

@@ -1,0 +1,42 @@
+"""Model of the STMicroelectronics/CEA *Platform 2012* (P2012) MPSoC.
+
+The paper targets P2012's functional simulator: a host-side general purpose
+ARM processor plus a *fabric* of clusters, each cluster containing STxP70
+processing elements (PEs) that share an L1 memory.  Inter-cluster traffic
+goes through the fabric L2; host↔fabric exchanges go through L3 via DMA
+controllers (paper Fig. 1).  Hardware accelerators can be wired into the
+fabric next to the PE that controls them.
+
+This package models exactly that topology on top of :mod:`repro.sim`:
+
+- :class:`Memory` — latency-annotated storage levels (L1/L2/L3);
+- :class:`ProcessingElement`, :class:`Cluster`, :class:`HostCpu`,
+  :class:`HardwareAccelerator` — execution resources actors map onto;
+- :class:`DmaController` — a shared engine serializing host↔fabric
+  transfers with setup latency and per-word cost;
+- :class:`P2012Platform` — builds the whole machine, allocates PEs to
+  actors, and answers "which memory does a link between these two
+  resources live in, and at what cost?" — the question the PEDF runtime
+  asks when it elaborates data links.
+"""
+
+from .memory import Memory, MemoryLevel
+from .pe import ExecResource, HardwareAccelerator, HostCpu, ProcessingElement
+from .cluster import Cluster
+from .dma import DmaController, DmaStats
+from .soc import LinkCost, P2012Platform, PlatformConfig
+
+__all__ = [
+    "Memory",
+    "MemoryLevel",
+    "ExecResource",
+    "ProcessingElement",
+    "HostCpu",
+    "HardwareAccelerator",
+    "Cluster",
+    "DmaController",
+    "DmaStats",
+    "P2012Platform",
+    "PlatformConfig",
+    "LinkCost",
+]

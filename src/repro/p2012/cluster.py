@@ -1,0 +1,41 @@
+"""A P2012 fabric cluster: PEs sharing an L1 memory."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from .memory import Memory, MemoryLevel
+from .pe import HardwareAccelerator, ProcessingElement
+
+
+@dataclass
+class Cluster:
+    index: int
+    l1: Memory
+    pes: List[ProcessingElement] = field(default_factory=list)
+    accelerators: List[HardwareAccelerator] = field(default_factory=list)
+
+    @property
+    def name(self) -> str:
+        return f"cluster{self.index}"
+
+    def free_pe(self) -> Optional[ProcessingElement]:
+        for pe in self.pes:
+            if not pe.busy:
+                return pe
+        return None
+
+    def add_accelerator(self, name: str, controlling_pe: Optional[ProcessingElement] = None,
+                        cycles_per_stmt: int = 1) -> HardwareAccelerator:
+        acc = HardwareAccelerator(
+            name=name,
+            cluster=self,
+            controlling_pe=controlling_pe or (self.pes[0] if self.pes else None),
+            cycles_per_stmt=cycles_per_stmt,
+        )
+        self.accelerators.append(acc)
+        return acc
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<Cluster {self.index}: {len(self.pes)} PEs, {len(self.accelerators)} accels>"

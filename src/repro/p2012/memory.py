@@ -1,0 +1,44 @@
+"""Latency-annotated memory levels."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class MemoryLevel(enum.Enum):
+    L1 = "L1"  # shared within a cluster
+    L2 = "L2"  # shared across the fabric
+    L3 = "L3"  # external, host side (DMA-reached from the fabric)
+
+
+@dataclass
+class Memory:
+    """One storage level; latencies are in simulated cycles per access."""
+
+    name: str
+    level: MemoryLevel
+    size_kib: int
+    read_latency: int
+    write_latency: int
+    reads: int = 0
+    writes: int = 0
+
+    def read_cost(self, words: int = 1) -> int:
+        self.reads += words
+        return self.read_latency * words
+
+    def write_cost(self, words: int = 1) -> int:
+        self.writes += words
+        return self.write_latency * words
+
+    @property
+    def accesses(self) -> int:
+        return self.reads + self.writes
+
+    def reset_counters(self) -> None:
+        self.reads = 0
+        self.writes = 0
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.name}({self.level.value}, {self.size_kib}KiB, r{self.read_latency}/w{self.write_latency})"

@@ -1,0 +1,65 @@
+"""Execution resources: PEs, the host CPU and hardware accelerators."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .cluster import Cluster
+
+
+@dataclass
+class ExecResource:
+    """Anything that can run an actor."""
+
+    name: str
+    #: simulated cycles per executed Filter-C statement
+    cycles_per_stmt: int = 1
+    #: the actor currently mapped onto this resource (set by the runtime)
+    occupant: Any = None
+
+    @property
+    def kind(self) -> str:
+        return type(self).__name__
+
+    @property
+    def busy(self) -> bool:
+        return self.occupant is not None
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        who = f" -> {self.occupant}" if self.occupant else ""
+        return f"<{self.kind} {self.name}{who}>"
+
+
+@dataclass
+class ProcessingElement(ExecResource):
+    """An STxP70 configurable processor inside a cluster."""
+
+    cluster: Optional["Cluster"] = None
+    index: int = 0
+
+
+@dataclass
+class HostCpu(ExecResource):
+    """The general-purpose (ARM) host processor.
+
+    Host code runs faster per statement than fabric PEs but pays DMA
+    latency to reach fabric links.
+    """
+
+    cycles_per_stmt: int = 1
+
+
+@dataclass
+class HardwareAccelerator(ExecResource):
+    """A synthesized filter wired into the fabric.
+
+    PEDF filters are "intended to be synthesized into hardware
+    accelerators"; an accelerator executes its WORK method with a lower
+    per-statement cost and is controlled by the PE of its cluster.
+    """
+
+    cluster: Optional["Cluster"] = None
+    controlling_pe: Optional[ProcessingElement] = None
+    cycles_per_stmt: int = 1  # pipelined: cheaper than a PE's default

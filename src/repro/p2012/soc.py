@@ -1,0 +1,172 @@
+"""The assembled P2012 platform."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple, Union
+
+from ..errors import PlatformError
+from ..sim.kernel import Scheduler
+from .cluster import Cluster
+from .dma import DmaController
+from .memory import Memory, MemoryLevel
+from .pe import ExecResource, HardwareAccelerator, HostCpu, ProcessingElement
+
+
+@dataclass
+class PlatformConfig:
+    """Topology and latency parameters (defaults follow the shape of the
+    P2012 white paper: 4 clusters of 16 STxP70 PEs; latencies grow by
+    roughly an order of magnitude per level)."""
+
+    n_clusters: int = 4
+    pes_per_cluster: int = 16
+    l1_kib: int = 256
+    l2_kib: int = 1024
+    l3_kib: int = 131072
+    l1_read: int = 1
+    l1_write: int = 1
+    l2_read: int = 8
+    l2_write: int = 8
+    l3_read: int = 40
+    l3_write: int = 40
+    dma_setup: int = 24
+    dma_per_word: int = 2
+    n_dma: int = 2
+    pe_cycles_per_stmt: int = 1
+    host_cycles_per_stmt: int = 1
+    accel_cycles_per_stmt: int = 1
+
+
+@dataclass(frozen=True)
+class LinkCost:
+    """Where a link's buffer lives and what moving one token costs."""
+
+    memory: Memory
+    push_cycles: int
+    pop_cycles: int
+    dma: Optional[DmaController] = None  # set for DMA-assisted links
+
+    @property
+    def dma_assisted(self) -> bool:
+        return self.dma is not None
+
+
+class P2012Platform:
+    """Builds the machine of Fig. 1 and maps actors onto it."""
+
+    def __init__(self, scheduler: Scheduler, config: Optional[PlatformConfig] = None):
+        self.scheduler = scheduler
+        self.config = config or PlatformConfig()
+        cfg = self.config
+        if cfg.n_clusters < 1 or cfg.pes_per_cluster < 1:
+            raise PlatformError("platform needs at least one cluster with one PE")
+
+        self.host = HostCpu(name="host_arm", cycles_per_stmt=cfg.host_cycles_per_stmt)
+        self.l2 = Memory("fabric_l2", MemoryLevel.L2, cfg.l2_kib, cfg.l2_read, cfg.l2_write)
+        self.l3 = Memory("ext_l3", MemoryLevel.L3, cfg.l3_kib, cfg.l3_read, cfg.l3_write)
+        self.clusters: List[Cluster] = []
+        for c in range(cfg.n_clusters):
+            l1 = Memory(f"cluster{c}_l1", MemoryLevel.L1, cfg.l1_kib, cfg.l1_read, cfg.l1_write)
+            cluster = Cluster(index=c, l1=l1)
+            for p in range(cfg.pes_per_cluster):
+                cluster.pes.append(
+                    ProcessingElement(
+                        name=f"pe{c}.{p}",
+                        cycles_per_stmt=cfg.pe_cycles_per_stmt,
+                        cluster=cluster,
+                        index=p,
+                    )
+                )
+            self.clusters.append(cluster)
+        self.dmas = [
+            DmaController(scheduler, f"dma{i}", cfg.dma_setup, cfg.dma_per_word)
+            for i in range(cfg.n_dma)
+        ]
+        self._dma_rr = 0
+
+    # ---------------------------------------------------------- allocation
+
+    def allocate_pe(self, cluster_index: Optional[int] = None) -> ProcessingElement:
+        """Reserve a free PE (optionally pinned to one cluster)."""
+        clusters = (
+            [self.clusters[cluster_index]] if cluster_index is not None else self.clusters
+        )
+        for cluster in clusters:
+            pe = cluster.free_pe()
+            if pe is not None:
+                return pe
+        raise PlatformError(
+            f"no free PE available (cluster={cluster_index if cluster_index is not None else 'any'})"
+        )
+
+    def allocate_accelerator(self, name: str, cluster_index: int = 0) -> HardwareAccelerator:
+        cluster = self.clusters[cluster_index]
+        return cluster.add_accelerator(name, cycles_per_stmt=self.config.accel_cycles_per_stmt)
+
+    def next_dma(self) -> DmaController:
+        dma = self.dmas[self._dma_rr % len(self.dmas)]
+        self._dma_rr += 1
+        return dma
+
+    # -------------------------------------------------------------- routing
+
+    def link_cost(self, src: ExecResource, dst: ExecResource) -> LinkCost:
+        """Pick the memory a FIFO between ``src`` and ``dst`` lives in.
+
+        Same cluster → L1; different fabric clusters → L2; host on either
+        side → L3, DMA-assisted (Fig. 1: host-fabric exchanges are
+        performed by DMA controllers with the L3 memory).
+        """
+        src_cluster = getattr(src, "cluster", None)
+        dst_cluster = getattr(dst, "cluster", None)
+        if isinstance(src, HostCpu) or isinstance(dst, HostCpu):
+            return LinkCost(self.l3, self.l3.write_latency, self.l3.read_latency, self.next_dma())
+        if src_cluster is not None and src_cluster is dst_cluster:
+            l1 = src_cluster.l1
+            return LinkCost(l1, l1.write_latency, l1.read_latency)
+        return LinkCost(self.l2, self.l2.write_latency, self.l2.read_latency)
+
+    # ------------------------------------------------------------ reporting
+
+    @property
+    def all_pes(self) -> List[ProcessingElement]:
+        return [pe for c in self.clusters for pe in c.pes]
+
+    @property
+    def memories(self) -> List[Memory]:
+        return [c.l1 for c in self.clusters] + [self.l2, self.l3]
+
+    def topology_report(self) -> Dict[str, object]:
+        """Structured description of the machine (the FIG-1 artefact)."""
+        cfg = self.config
+        return {
+            "host": {"name": self.host.name, "cycles_per_stmt": self.host.cycles_per_stmt},
+            "clusters": [
+                {
+                    "name": c.name,
+                    "pes": len(c.pes),
+                    "accelerators": [a.name for a in c.accelerators],
+                    "l1": {"size_kib": c.l1.size_kib, "read": c.l1.read_latency, "write": c.l1.write_latency},
+                }
+                for c in self.clusters
+            ],
+            "l2": {"size_kib": self.l2.size_kib, "read": self.l2.read_latency, "write": self.l2.write_latency},
+            "l3": {"size_kib": self.l3.size_kib, "read": self.l3.read_latency, "write": self.l3.write_latency},
+            "dma": [
+                {"name": d.name, "setup": d.setup_cycles, "per_word": d.cycles_per_word}
+                for d in self.dmas
+            ],
+            "total_pes": cfg.n_clusters * cfg.pes_per_cluster,
+        }
+
+    def memory_traffic_report(self) -> Dict[str, Dict[str, int]]:
+        return {
+            m.name: {"reads": m.reads, "writes": m.writes} for m in self.memories
+        }
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<P2012 {len(self.clusters)}x{self.config.pes_per_cluster}PE "
+            f"+host +{len(self.dmas)}dma>"
+        )

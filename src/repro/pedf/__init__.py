@@ -1,0 +1,116 @@
+"""PEDF — *Predicated Execution DataFlow*, the paper's dataflow framework.
+
+PEDF is STMicroelectronics' dynamic hybrid dataflow framework for P2012.
+It defines three entity classes (paper §IV):
+
+- **Filter** — a computing actor with inbound/outbound data links, whose
+  WORK method is written in a restricted C subset (our Filter-C);
+- **Controller** — one per module; schedules the module's filters per
+  *step* through ``ACTOR_START`` / ``WAIT_FOR_ACTOR_INIT`` /
+  ``ACTOR_SYNC`` / ``WAIT_FOR_ACTOR_SYNC`` (or the merged ``ACTOR_FIRE``);
+- **Module** — a sub-graph of filters plus a controller, hierarchically
+  interconnectable through its external interfaces.
+
+The package splits into:
+
+- :mod:`decls` — the architecture declarations (what the MIND compiler
+  produces);
+- :mod:`compile` — Filter-C compilation of actor sources, including the
+  symbol mangling the paper shows (``IpfFilter_work_function``,
+  ``_component_PredModule_anon_0_work``);
+- :mod:`api` — the framework's exported API symbols and the event bus the
+  debugger's *function breakpoints* attach to;
+- :mod:`links`, :mod:`envs`, :mod:`actors` — the runtime entities;
+- :mod:`stdactors` — host-side Source/Sink test-bench actors;
+- :mod:`runtime` — elaboration onto a P2012 platform and execution.
+
+The framework is **never modified for debugging**: every observable event
+flows through :class:`~repro.pedf.api.FrameworkEventBus`, which is simply
+the set of entry/exit points a debugger can breakpoint — exactly the
+mechanism of the paper (§V).
+"""
+
+from .tokens import Token
+from .decls import (
+    BindingDecl,
+    ControllerDecl,
+    EndpointRef,
+    FilterDecl,
+    IfaceDecl,
+    ModuleDecl,
+    ProgramDecl,
+)
+from .compile import compile_actor, mangle_controller_symbol, mangle_filter_symbol
+from .api import (
+    FrameworkAPI,
+    FrameworkEvent,
+    FrameworkEventBus,
+    Subscription,
+    SYMBOLS,
+    SYM_ACTOR_START,
+    SYM_ACTOR_SYNC,
+    SYM_BIND,
+    SYM_POP,
+    SYM_PUSH,
+    SYM_REGISTER_ACTOR,
+    SYM_REGISTER_IFACE,
+    SYM_REGISTER_MODULE,
+    SYM_REGISTER_PROGRAM,
+    SYM_SET_PRED,
+    SYM_STEP_BEGIN,
+    SYM_STEP_END,
+    SYM_WAIT_INIT,
+    SYM_WAIT_SYNC,
+    SYM_WORK_ENTER,
+    SYM_WORK_EXIT,
+)
+from .links import IfaceInst, LinkInst
+from .actors import ActorInst, ActorState, ControllerInst, FilterInst, ModuleInst
+from .stdactors import SinkActor, SourceActor
+from .runtime import PedfRuntime, RuntimeConfig
+
+__all__ = [
+    "Token",
+    "BindingDecl",
+    "ControllerDecl",
+    "EndpointRef",
+    "FilterDecl",
+    "IfaceDecl",
+    "ModuleDecl",
+    "ProgramDecl",
+    "compile_actor",
+    "mangle_controller_symbol",
+    "mangle_filter_symbol",
+    "FrameworkAPI",
+    "FrameworkEvent",
+    "FrameworkEventBus",
+    "Subscription",
+    "SYMBOLS",
+    "SYM_ACTOR_START",
+    "SYM_ACTOR_SYNC",
+    "SYM_BIND",
+    "SYM_POP",
+    "SYM_PUSH",
+    "SYM_REGISTER_ACTOR",
+    "SYM_REGISTER_IFACE",
+    "SYM_REGISTER_MODULE",
+    "SYM_REGISTER_PROGRAM",
+    "SYM_SET_PRED",
+    "SYM_STEP_BEGIN",
+    "SYM_STEP_END",
+    "SYM_WAIT_INIT",
+    "SYM_WAIT_SYNC",
+    "SYM_WORK_ENTER",
+    "SYM_WORK_EXIT",
+    "IfaceInst",
+    "LinkInst",
+    "ActorInst",
+    "ActorState",
+    "ControllerInst",
+    "FilterInst",
+    "ModuleInst",
+    "SinkActor",
+    "SourceActor",
+    "PedfRuntime",
+    "RuntimeConfig",
+]

@@ -1,0 +1,409 @@
+"""Elaboration and execution of a PEDF program on a P2012 platform.
+
+``PedfRuntime`` turns a :class:`~repro.pedf.decls.ProgramDecl` into live
+actors, maps them onto platform resources, resolves bindings into links,
+and (once the scheduler runs) replays the whole architecture through the
+framework API as *registration events* — the init phase from which the
+paper's debugger dynamically reconstructs the dataflow graph
+(Contribution #1).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..cminus.debuginfo import DebugInfo
+from ..cminus.interp import CostModel, DebugHook, Interpreter
+from ..cminus.typesys import CType
+from ..cminus.values import Raw
+from ..errors import PedfError
+from ..p2012.soc import LinkCost, P2012Platform
+from ..sim.channels import Fifo
+from ..sim.kernel import Scheduler, StopKind, StopReason
+from .actors import ActorInst, ActorState, ControllerInst, FilterInst, ModuleInst
+from .api import (
+    SYM_BIND,
+    SYM_REGISTER_ACTOR,
+    SYM_REGISTER_IFACE,
+    SYM_REGISTER_MODULE,
+    SYM_REGISTER_PROGRAM,
+    FrameworkAPI,
+    FrameworkEventBus,
+)
+from .compile import compile_program
+from .decls import EndpointRef, IfaceDecl, ModuleDecl, ProgramDecl
+from .envs import ActorEnv, ControllerEnv
+from .links import IfaceInst, LinkInst
+from .stdactors import SinkActor, SourceActor
+
+
+@dataclass
+class RuntimeConfig:
+    default_capacity: int = 16
+    control_capacity: int = 8
+    #: overrides every controller's own max_steps when set (safety bound)
+    max_steps: Optional[int] = None
+
+
+class PedfRuntime:
+    """One elaborated PEDF application."""
+
+    def __init__(
+        self,
+        scheduler: Scheduler,
+        platform: P2012Platform,
+        program: ProgramDecl,
+        config: Optional[RuntimeConfig] = None,
+    ):
+        self.scheduler = scheduler
+        self.platform = platform
+        self.decl = program
+        self.config = config or RuntimeConfig()
+        self.bus = FrameworkEventBus()
+        self.api = FrameworkAPI(self.bus, scheduler)
+        self.console: List[str] = []
+        self._seq = itertools.count(1)
+        self.loaded = False
+
+        compile_program(program)
+        program.validate()
+
+        self.modules: Dict[str, ModuleInst] = {}
+        self.links: List[LinkInst] = []
+        self.sources: List[SourceActor] = []
+        self.sinks: List[SinkActor] = []
+        # (module, ext iface) -> inner actor iface endpoint
+        self._ext_alias: Dict[Tuple[str, str], IfaceInst] = {}
+        self._hook: Optional[DebugHook] = None
+
+        self._elaborate_modules()
+        self._resolve_bindings()
+
+    # ------------------------------------------------------------- plumbing
+
+    def next_seq(self) -> int:
+        return next(self._seq)
+
+    def set_hook(self, hook: Optional[DebugHook]) -> None:
+        """Attach a debugger hook to every actor interpreter."""
+        self._hook = hook
+        for actor in self.all_actors():
+            interp = getattr(actor, "interp", None)
+            if interp is not None:
+                interp.hook = hook
+
+    # ----------------------------------------------------------- elaboration
+
+    def _elaborate_modules(self) -> None:
+        for i, mdecl in enumerate(self.decl.modules.values()):
+            module = ModuleInst(mdecl, self)
+            cluster = mdecl.cluster if mdecl.cluster is not None else i % len(self.platform.clusters)
+            ctl_pe = self.platform.allocate_pe(cluster)
+            controller = ControllerInst(mdecl.controller, module, self, ctl_pe)
+            if self.config.max_steps is not None:
+                if controller.max_steps is None or controller.max_steps > self.config.max_steps:
+                    controller.max_steps = self.config.max_steps
+            module.controller = controller
+            for fdecl in mdecl.filters.values():
+                if fdecl.hw_accel:
+                    resource = self.platform.allocate_accelerator(
+                        f"{mdecl.name}.{fdecl.name}.hw", cluster
+                    )
+                else:
+                    resource = self.platform.allocate_pe(cluster)
+                module.filters[fdecl.name] = FilterInst(fdecl, module, self, resource)
+            self.modules[mdecl.name] = module
+            self._build_interpreters(module)
+
+    def _build_interpreters(self, module: ModuleInst) -> None:
+        for actor in module.actors():
+            env = ControllerEnv(actor) if isinstance(actor, ControllerInst) else ActorEnv(actor)
+            actor.env = env
+            actor.interp = Interpreter(
+                actor.decl.cprogram,
+                actor.decl.debug_info,
+                env=env,
+                hook=self._hook,
+                cost=CostModel(default_stmt=actor.resource.cycles_per_stmt),
+                name=actor.qualname,
+            )
+
+    def _resolve_bindings(self) -> None:
+        # pass 1: record module-external aliases
+        for module in self.modules.values():
+            for b in module.decl.bindings:
+                if b.src.actor == "this":
+                    consumer = self._actor_iface(module, b.dst)
+                    self._ext_alias[(module.name, b.src.iface)] = consumer
+                elif b.dst.actor == "this":
+                    producer = self._actor_iface(module, b.src)
+                    self._ext_alias[(module.name, b.dst.iface)] = producer
+        # pass 2: intra-module actor-to-actor links
+        for module in self.modules.values():
+            for b in module.decl.bindings:
+                if b.src.actor == "this" or b.dst.actor == "this":
+                    continue
+                src = self._actor_iface(module, b.src)
+                dst = self._actor_iface(module, b.dst)
+                self._make_link(src, dst, b.capacity, b.dma)
+        # pass 3: program-level module-to-module links
+        for b in self.decl.bindings:
+            src = self._ext_alias.get((b.src.actor, b.src.iface))
+            dst = self._ext_alias.get((b.dst.actor, b.dst.iface))
+            if src is None or dst is None:
+                raise PedfError(
+                    f"binding {b}: module interface not aliased to an inner actor"
+                )
+            self._make_link(src, dst, b.capacity, b.dma)
+
+    def _actor_iface(self, module: ModuleInst, ref: EndpointRef) -> IfaceInst:
+        actor: Optional[ActorInst]
+        if module.controller is not None and ref.actor == module.controller.name:
+            actor = module.controller
+        else:
+            actor = module.filters.get(ref.actor)
+        if actor is None:
+            raise PedfError(f"module {module.name}: unknown actor {ref.actor!r}")
+        inst = actor.ifaces.get(ref.iface)
+        if inst is None:
+            raise PedfError(f"{actor.qualname}: no interface {ref.iface!r}")
+        return inst
+
+    def _make_link(
+        self,
+        src: IfaceInst,
+        dst: IfaceInst,
+        capacity: Optional[int],
+        dma: Optional[bool],
+    ) -> LinkInst:
+        if src.direction != "output":
+            raise PedfError(f"link source {src.qualname} is not an output")
+        if dst.direction != "input":
+            raise PedfError(f"link target {dst.qualname} is not an input")
+        kind = "control" if (src.actor.kind == "controller" or dst.actor.kind == "controller") else "data"
+        if capacity is None:
+            capacity = (
+                self.config.control_capacity if kind == "control" else self.config.default_capacity
+            )
+        cost = self.platform.link_cost(src.actor.resource, dst.actor.resource)
+        if dma is True and cost.dma is None:
+            cost = LinkCost(cost.memory, cost.push_cycles, cost.pop_cycles, self.platform.next_dma())
+        elif dma is False and cost.dma is not None:
+            cost = LinkCost(cost.memory, cost.push_cycles, cost.pop_cycles, None)
+        name = f"{src.qualname}->{dst.qualname}"
+        fifo = Fifo(self.scheduler, capacity=capacity, name=name)
+        link = LinkInst(name, fifo, src.ctype, kind, cost, capacity)
+        src.bind(link)
+        dst.bind(link)
+        self.links.append(link)
+        return link
+
+    # ----------------------------------------------------------- test bench
+
+    def add_source(
+        self,
+        name: str,
+        module: str,
+        ext_iface: str,
+        values: Sequence[Raw],
+        period: int = 0,
+        capacity: Optional[int] = None,
+    ) -> SourceActor:
+        """Attach a host-side source feeding a module's external input."""
+        if self.loaded:
+            raise PedfError("cannot add sources after load()")
+        target = self._ext_alias.get((module, ext_iface))
+        if target is None:
+            raise PedfError(f"no external interface {module}.{ext_iface}")
+        mdecl = self.decl.modules[module].ifaces.get(ext_iface)
+        if mdecl is None or mdecl.direction != "input":
+            raise PedfError(f"{module}.{ext_iface} is not a module input")
+        source = SourceActor(name, self, mdecl.ctype, values, period)
+        self._make_link(source.out, target, capacity, None)
+        self.sources.append(source)
+        return source
+
+    def add_sink(
+        self,
+        name: str,
+        module: str,
+        ext_iface: str,
+        expect: Optional[int] = None,
+        capacity: Optional[int] = None,
+    ) -> SinkActor:
+        """Attach a host-side sink draining a module's external output."""
+        if self.loaded:
+            raise PedfError("cannot add sinks after load()")
+        producer = self._ext_alias.get((module, ext_iface))
+        if producer is None:
+            raise PedfError(f"no external interface {module}.{ext_iface}")
+        mdecl = self.decl.modules[module].ifaces.get(ext_iface)
+        if mdecl is None or mdecl.direction != "output":
+            raise PedfError(f"{module}.{ext_iface} is not a module output")
+        sink = SinkActor(name, self, mdecl.ctype, expect)
+        self._make_link(producer, sink.inp, capacity, None)
+        self.sinks.append(sink)
+        return sink
+
+    # ----------------------------------------------------------------- load
+
+    def load(self) -> None:
+        """Spawn the framework init process (and, from it, every actor)."""
+        if self.loaded:
+            raise PedfError("runtime already loaded")
+        self.loaded = True
+        self.scheduler.spawn(self._init_body(), name="pedf.init", owner=self)
+
+    def _init_body(self):
+        """Replays the architecture through the framework API — the
+        'initialization phase' the debugger's graph reconstruction taps."""
+
+        def registrations():
+            for module in self.modules.values():
+                yield from self.api.call(SYM_REGISTER_MODULE, {"module": module.name})
+                for actor in module.actors():
+                    yield from self.api.call(
+                        SYM_REGISTER_ACTOR,
+                        {
+                            "module": module.name,
+                            "name": actor.name,
+                            "kind": actor.kind,
+                            "resource": actor.resource.name,
+                            "work_symbol": actor.work_symbol,
+                            "source": actor.decl.source_name,
+                        },
+                    )
+                    for iface in actor.ifaces.values():
+                        yield from self.api.call(
+                            SYM_REGISTER_IFACE,
+                            {
+                                "actor": actor.qualname,
+                                "iface": iface.name,
+                                "direction": iface.direction,
+                                "ctype": str(iface.ctype),
+                            },
+                        )
+            for host_actor in list(self.sources) + list(self.sinks):
+                yield from self.api.call(
+                    SYM_REGISTER_ACTOR,
+                    {
+                        "module": "host",
+                        "name": host_actor.name,
+                        "kind": host_actor.kind,
+                        "resource": host_actor.resource.name,
+                        "work_symbol": "",
+                        "source": "",
+                    },
+                )
+                for iface in host_actor.ifaces.values():
+                    yield from self.api.call(
+                        SYM_REGISTER_IFACE,
+                        {
+                            "actor": host_actor.qualname,
+                            "iface": iface.name,
+                            "direction": iface.direction,
+                            "ctype": str(iface.ctype),
+                        },
+                    )
+            for link in self.links:
+                yield from self.api.call(
+                    SYM_BIND,
+                    {
+                        "src_actor": link.src.actor.qualname if link.src else "",
+                        "src_iface": link.src.name if link.src else "",
+                        "dst_actor": link.dst.actor.qualname if link.dst else "",
+                        "dst_iface": link.dst.name if link.dst else "",
+                        "kind": link.kind,
+                        "capacity": link.capacity,
+                        "memory": link.cost.memory.level.value,
+                        "dma": link.dma_assisted,
+                    },
+                )
+            return 0
+
+        yield from self.api.call(
+            SYM_REGISTER_PROGRAM, {"program": self.decl.name}, impl=registrations()
+        )
+        self._spawn_actor_processes()
+
+    def _spawn_actor_processes(self) -> None:
+        for module in self.modules.values():
+            for actor in module.actors():
+                actor.process = self.scheduler.spawn(
+                    actor.body(), name=actor.qualname, owner=actor
+                )
+        for host_actor in list(self.sources) + list(self.sinks):
+            host_actor.process = self.scheduler.spawn(
+                host_actor.body(), name=host_actor.qualname, owner=host_actor
+            )
+
+    # -------------------------------------------------------------- queries
+
+    def all_actors(self) -> List[ActorInst]:
+        out: List[ActorInst] = []
+        for module in self.modules.values():
+            out.extend(module.actors())
+        out.extend(self.sources)
+        out.extend(self.sinks)
+        return out
+
+    def find_actor(self, name: str):
+        """Resolve a short (``ipf``) or qualified (``pred.ipf``) name."""
+        matches = [a for a in self.all_actors() if a.qualname == name]
+        if not matches:
+            matches = [a for a in self.all_actors() if a.name == name]
+        if not matches:
+            raise PedfError(f"no actor named {name!r}")
+        if len(matches) > 1:
+            quals = ", ".join(a.qualname for a in matches)
+            raise PedfError(f"actor name {name!r} is ambiguous: {quals}")
+        return matches[0]
+
+    def find_iface(self, spec: str) -> IfaceInst:
+        """Resolve ``actor::iface`` (the paper's display syntax)."""
+        if "::" not in spec:
+            raise PedfError(f"bad interface spec {spec!r} (expected actor::iface)")
+        actor_name, iface_name = spec.split("::", 1)
+        actor = self.find_actor(actor_name)
+        iface = actor.ifaces.get(iface_name)
+        if iface is None:
+            known = ", ".join(sorted(actor.ifaces))
+            raise PedfError(f"{actor.qualname} has no interface {iface_name!r} (known: {known})")
+        return iface
+
+    def merged_debug_info(self) -> DebugInfo:
+        info = DebugInfo()
+        for module in self.modules.values():
+            for actor in module.actors():
+                if actor.decl.debug_info is not None:
+                    info.merge(actor.decl.debug_info)
+        return info
+
+    # ------------------------------------------------------------ lifecycle
+
+    def is_quiescent(self) -> bool:
+        """True when every controller finished and no filter is mid-WORK —
+        i.e. a DEADLOCK stop from the kernel actually means 'program
+        exited' (sinks may still be waiting for tokens that will never
+        come; that is normal)."""
+        for module in self.modules.values():
+            ctl = module.controller
+            if ctl is not None and ctl.process is not None and ctl.process.alive:
+                return False
+            for filt in module.filters.values():
+                if filt.state == ActorState.RUNNING:
+                    return False
+        return True
+
+    def classify_stop(self, stop: StopReason) -> str:
+        """Map a kernel stop to an application-level outcome:
+        'exited' | 'deadlock' | 'running' | 'error'."""
+        if stop.kind == StopKind.EXHAUSTED:
+            return "exited"
+        if stop.kind == StopKind.DEADLOCK:
+            return "exited" if self.is_quiescent() else "deadlock"
+        if stop.kind == StopKind.PROCESS_ERROR:
+            return "error"
+        return "running"

@@ -1,0 +1,34 @@
+"""Runtime data tokens."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional
+
+from ..cminus.typesys import CType
+from ..cminus.values import Raw, format_value
+
+
+@dataclass
+class Token:
+    """One datum travelling over a link.
+
+    ``seq`` is globally unique and monotone, which (with FIFO links) gives
+    the deterministic ordering the paper's token-indexed stops rely on.
+    ``step_index`` is the index of the token within its producer's WORK
+    invocation (the ``n`` of ``pedf.io.name[n]``).
+    """
+
+    value: Raw
+    ctype: CType
+    seq: int
+    src_iface: str  # qualified, e.g. "pred.ipred::Add2Dblock_ipf_out"
+    dst_iface: str
+    step_index: int = 0
+    produced_at: int = 0  # simulated time of the push
+
+    def formatted(self) -> str:
+        return format_value(self.ctype, self.value)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"#{self.seq} ({self.ctype}) {self.formatted()}"

@@ -1,0 +1,57 @@
+"""Notification events processes can wait on."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .kernel import Scheduler
+    from .process import Process
+
+
+class Event:
+    """A broadcast notification: every process waiting on it is woken.
+
+    Unlike SystemC events, notifications are immediate (the woken processes
+    become READY at the current simulated time) — delayed notification is
+    expressed by the *notifying* process sleeping first, which keeps the
+    kernel simple and the dispatch order easy to reason about.
+    """
+
+    def __init__(self, scheduler: "Scheduler", name: str = ""):
+        self._scheduler = scheduler
+        self.name = name or f"event@{id(self):x}"
+        self._waiters: List["Process"] = []
+        # number of notify() calls so far; used by tests and the trace layer
+        self.notify_count = 0
+
+    @property
+    def waiters(self) -> tuple:
+        """Snapshot of the processes currently blocked on this event."""
+        return tuple(self._waiters)
+
+    def add_waiter(self, proc: "Process") -> None:
+        self._waiters.append(proc)
+
+    def remove_waiter(self, proc: "Process") -> None:
+        """Forget a waiter (used when a blocked process is killed)."""
+        try:
+            self._waiters.remove(proc)
+        except ValueError:
+            pass
+
+    def notify(self) -> int:
+        """Wake every waiter; returns the number of processes woken.
+
+        Safe to call from outside process context (e.g. from the debugger
+        injecting a token into a link to untie a deadlock).
+        """
+        self.notify_count += 1
+        woken = self._waiters
+        self._waiters = []
+        for proc in woken:
+            self._scheduler._wake(proc)
+        return len(woken)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<Event {self.name!r} waiters={len(self._waiters)}>"

@@ -1,0 +1,107 @@
+"""Processes and the kernel requests they may yield.
+
+A simulation process is a Python generator.  Each ``yield`` hands a
+*request* to the scheduler:
+
+``Delay(cycles)``
+    Resume this process after ``cycles`` simulated cycles.  ``Delay(0)``
+    re-queues the process behind the other ready processes at the current
+    time (a "delta cycle" in SystemC terms).
+
+``WaitEvent(event)``
+    Block until ``event.notify()`` is called.
+
+``Suspend(reason)``
+    Pause the whole simulation: the scheduler stops dispatching and
+    returns a :class:`~repro.sim.kernel.StopReason` to its caller, leaving
+    this process first in line for the next ``run()``.  Used exclusively by
+    the debugger hooks.
+
+``Yield()``
+    Equivalent to ``Delay(0)``; kept as a distinct type for trace clarity.
+
+Nested coroutines compose with ``yield from``: a process may call a helper
+generator (e.g. ``Fifo.put``) and every request it yields is forwarded to
+the kernel transparently.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Generator, Optional
+
+from ..errors import SimulationError
+
+
+class ProcessState(enum.Enum):
+    """Lifecycle of a simulation process."""
+
+    READY = "ready"  # runnable at the current time
+    WAITING = "waiting"  # blocked on an Event
+    TIMED = "timed"  # sleeping until a future time
+    FROZEN = "frozen"  # runnable but held back by the debugger
+    TERMINATED = "terminated"  # generator exhausted
+    FAILED = "failed"  # generator raised
+
+
+@dataclass(frozen=True)
+class Delay:
+    """Request: resume after ``cycles`` simulated cycles (>= 0)."""
+
+    cycles: int = 0
+
+    def __post_init__(self) -> None:
+        if self.cycles < 0:
+            raise SimulationError(f"negative delay: {self.cycles}")
+
+
+@dataclass(frozen=True)
+class Yield:
+    """Request: re-queue behind other ready processes (delta cycle)."""
+
+
+@dataclass(frozen=True)
+class WaitEvent:
+    """Request: block until the given event is notified."""
+
+    event: Any  # Event; typed as Any to avoid an import cycle
+
+
+@dataclass(frozen=True)
+class Suspend:
+    """Request: pause the scheduler and surface ``reason`` to its caller.
+
+    The suspended process remains READY, queued first, so the next
+    ``Scheduler.run()`` resumes it at the statement after the yield.
+    """
+
+    reason: Any = None
+
+
+@dataclass
+class Process:
+    """A cooperatively-scheduled coroutine registered with the scheduler."""
+
+    name: str
+    gen: Generator[Any, Any, Any]
+    pid: int = -1
+    state: ProcessState = ProcessState.READY
+    waiting_on: Optional[Any] = None  # Event while WAITING
+    result: Any = None  # generator return value once TERMINATED
+    exception: Optional[BaseException] = None  # set when FAILED
+    # arbitrary metadata slot used by upper layers (e.g. the PE or actor
+    # this process models); the kernel itself never reads it
+    owner: Any = None
+    #: set by Scheduler.freeze — the process is withheld from dispatch
+    #: until thawed (paper §III: "block the other execution paths until a
+    #: latter investigation")
+    frozen: bool = False
+    _send_value: Any = field(default=None, repr=False)
+
+    @property
+    def alive(self) -> bool:
+        return self.state not in (ProcessState.TERMINATED, ProcessState.FAILED)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<Process {self.pid} {self.name!r} {self.state.value}>"

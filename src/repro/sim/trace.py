@@ -1,0 +1,36 @@
+"""Lightweight kernel trace, mainly for tests and the FIG-3 bench."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, List, Optional
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    time: int
+    process: str
+    kind: str
+    detail: Any = None
+
+
+class TraceRecorder:
+    """Accumulates kernel events; cheap enough to leave on in tests."""
+
+    def __init__(self, limit: Optional[int] = None):
+        self.records: List[TraceRecord] = []
+        self.limit = limit
+        self.dropped = 0
+
+    def record(self, time: int, process: str, kind: str, detail: Any = None) -> None:
+        if self.limit is not None and len(self.records) >= self.limit:
+            self.dropped += 1
+            return
+        self.records.append(TraceRecord(time, process, kind, detail))
+
+    def of_kind(self, kind: str) -> List[TraceRecord]:
+        return [r for r in self.records if r.kind == kind]
+
+    def clear(self) -> None:
+        self.records.clear()
+        self.dropped = 0

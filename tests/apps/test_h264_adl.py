@@ -1,0 +1,50 @@
+"""The ADL route to the decoder is equivalent to the Python-API route."""
+
+from repro.apps.h264 import decode_golden, encode_bitstream, make_macroblocks
+from repro.apps.h264.adl import build_decoder_program_from_adl
+from repro.apps.h264.app import build_decoder_program
+from repro.p2012.soc import P2012Platform, PlatformConfig
+from repro.pedf.compile import compile_program
+from repro.pedf.runtime import PedfRuntime
+from repro.sim import Scheduler
+
+
+def test_adl_structurally_equivalent_to_python_api():
+    adl_prog = build_decoder_program_from_adl()
+    py_prog = build_decoder_program()
+    compile_program(py_prog)
+    assert set(adl_prog.modules) == set(py_prog.modules)
+    for mname in py_prog.modules:
+        am, pm = adl_prog.modules[mname], py_prog.modules[mname]
+        assert set(am.filters) == set(pm.filters)
+        assert {(str(b.src), str(b.dst), b.capacity) for b in am.bindings} == {
+            (str(b.src), str(b.dst), b.capacity) for b in pm.bindings
+        }
+        for fname, pf in pm.filters.items():
+            af = am.filters[fname]
+            assert set(af.ifaces) == set(pf.ifaces)
+            for iname in pf.ifaces:
+                assert af.ifaces[iname].ctype == pf.ifaces[iname].ctype
+                assert af.ifaces[iname].direction == pf.ifaces[iname].direction
+            assert af.attributes == pf.attributes
+            assert af.hw_accel == pf.hw_accel
+            assert af.work_symbol == pf.work_symbol
+    assert {(str(b.src), str(b.dst), b.capacity, b.dma) for b in adl_prog.bindings} == {
+        (str(b.src), str(b.dst), b.capacity, b.dma) for b in py_prog.bindings
+    }
+
+
+def test_adl_decoder_produces_identical_output():
+    mbs = make_macroblocks(6, mb_types=(5, 10, 15))
+    sched = Scheduler()
+    platform = P2012Platform(sched, PlatformConfig(n_clusters=2, pes_per_cluster=8))
+    program = build_decoder_program_from_adl(max_steps=len(mbs))
+    runtime = PedfRuntime(sched, platform, program)
+    runtime.add_source("stream", "front", "stream_in", encode_bitstream(mbs))
+    sink = runtime.add_sink("display", "pred", "decoded_out", expect=len(mbs))
+    runtime.load()
+    stop = sched.run()
+    assert runtime.classify_stop(stop) == "exited"
+    assert sink.values == [g.decoded for g in decode_golden(mbs)]
+    # the hwaccel annotation mapped ipf onto an accelerator
+    assert runtime.modules["pred"].filters["ipf"].resource.kind == "HardwareAccelerator"

@@ -1,0 +1,98 @@
+"""Component-model extras: error attribution, nested chains, costs."""
+
+import pytest
+
+from repro.ccm import AssemblyDecl, AssemblyRuntime, ComponentDecl, ComponentSession
+from repro.dbg import CommandCli, Debugger, StopKind
+from repro.p2012.soc import P2012Platform, PlatformConfig
+from repro.sim import Scheduler
+
+
+def make(components, bindings):
+    asm = AssemblyDecl(name="x")
+    for c in components:
+        asm.add_component(c)
+    for b in bindings:
+        asm.bind(*b)
+    sched = Scheduler()
+    platform = P2012Platform(sched, PlatformConfig(n_clusters=1, pes_per_cluster=8))
+    runtime = AssemblyRuntime(sched, platform, asm)
+    return sched, runtime
+
+
+def test_service_runtime_error_attributed_to_component():
+    sched, runtime = make(
+        [ComponentDecl(name="div", provides=["invert"], source="""
+            U32 serve_invert(U32 x) { return 100 / x; }
+        """)],
+        [],
+    )
+    dbg = Debugger(sched, runtime)
+    runtime.invoke("div", "invert", 0)
+    ev = dbg.run()
+    assert ev.kind == StopKind.ERROR
+    assert "division by zero" in ev.message
+    assert ev.actor == "ccm.div"
+
+
+def test_three_level_call_chain():
+    sched, runtime = make(
+        [
+            ComponentDecl(name="a", provides=["top"], requires=["mid"], source="""
+                U32 serve_top(U32 x) { return CALL(mid, x) + 1; }
+            """),
+            ComponentDecl(name="b", provides=["mid"], requires=["bot"], source="""
+                U32 serve_mid(U32 x) { return CALL(bot, x) * 2; }
+            """, source_name="b.c"),
+            ComponentDecl(name="c", provides=["bot"], source="""
+                U32 serve_bot(U32 x) { return x + 10; }
+            """, source_name="c.c"),
+        ],
+        [("a", "mid", "b", "mid"), ("b", "bot", "c", "bot")],
+    )
+    dbg = Debugger(sched, runtime)
+    session = ComponentSession(dbg)
+    r = runtime.invoke("a", "top", 5)
+    ev = dbg.run()
+    assert ev.kind in (StopKind.EXITED, StopKind.DEADLOCK)
+    assert r == [(5 + 10) * 2 + 1]
+    # the trace pairs all three nested calls
+    done = [m for m in session.trace if not m.pending]
+    assert {m.service for m in done} == {"top", "mid", "bot"}
+
+
+def test_component_state_persists_across_services():
+    sched, runtime = make(
+        [ComponentDecl(name="counter", provides=["bump", "read"], source="""
+            U32 n = 0;
+            U32 serve_bump(U32 by) { n = n + by; return n; }
+            U32 serve_read(U32 unused) { return n; }
+        """)],
+        [],
+    )
+    r1 = runtime.invoke("counter", "bump", 3)
+    r2 = runtime.invoke("counter", "bump", 4)
+    runtime.load()
+    sched.run()
+    r3 = runtime.invoke("counter", "read", 0)
+    sched.run()
+    assert r1 == [3] and r2 == [7] and r3 == [7]
+
+
+def test_self_request_would_deadlock_and_is_reported():
+    """A component synchronously calling its own provided service blocks
+    on itself — the debugger reports the deadlock, not a hang."""
+    sched, runtime = make(
+        [ComponentDecl(name="loopy", provides=["svc"], requires=["self_svc"], source="""
+            U32 serve_svc(U32 x) {
+                if (x == 0) return 0;
+                return CALL(self_svc, x - 1);
+            }
+        """)],
+        [("loopy", "self_svc", "loopy", "svc")],
+    )
+    dbg = Debugger(sched, runtime)
+    runtime.invoke("loopy", "svc", 2)
+    ev = dbg.run()
+    assert ev.kind == StopKind.DEADLOCK
+    assert "ccm.loopy" in ev.message

@@ -1,0 +1,87 @@
+"""Line tables, symbol lookup, source windows."""
+
+from repro.cminus import DebugInfo, LineTable, analyze, parse_program
+
+
+def compile_info(src, filename="unit.c"):
+    prog = parse_program(src, filename)
+    return analyze(prog, None, src)
+
+
+SRC = """\
+// header comment
+U32 helper(U32 x) {
+    U32 y = x + 1;
+    return y;
+}
+
+void work_like() {
+    U32 a = helper(1);
+    U32 b = helper(a);
+}
+"""
+
+
+def test_line_table_resolve_snaps_forward():
+    info = compile_info(SRC)
+    lt = info.line_table
+    assert lt.is_executable("unit.c", 3)
+    assert not lt.is_executable("unit.c", 1)
+    assert lt.resolve("unit.c", 1) == 3
+    assert lt.resolve("unit.c", 5) == 8  # blank/closing lines snap to next stmt
+    assert lt.resolve("unit.c", 99) is None
+    assert lt.files() == ["unit.c"]
+
+
+def test_line_table_merge_dedups():
+    a, b = LineTable(), LineTable()
+    a.add("f.c", 3)
+    a.add("f.c", 5)
+    b.add("f.c", 5)
+    b.add("g.c", 1)
+    a.merge(b)
+    assert a.lines("f.c") == [3, 5]
+    assert a.lines("g.c") == [1]
+
+
+def test_function_symbols_and_lookup():
+    info = compile_info(SRC)
+    f = info.lookup_function("helper")
+    assert f is not None
+    assert f.line == 2 and f.end_line == 5
+    assert [p.name for p in f.params] == ["x"]
+    assert f.variable("y").kind == "local"
+    assert f.variable("x").kind == "param"
+    assert f.variable("zz") is None
+
+
+def test_function_at_line():
+    info = compile_info(SRC)
+    assert info.function_at_line("unit.c", 3).name == "helper"
+    assert info.function_at_line("unit.c", 8).name == "work_like"
+    assert info.function_at_line("unit.c", 6) is None
+    assert info.function_at_line("other.c", 3) is None
+
+
+def test_match_functions_substring():
+    info = compile_info(SRC)
+    assert [f.name for f in info.match_functions("help")] == ["helper"]
+    assert len(info.match_functions("")) == 2
+
+
+def test_source_windows():
+    info = compile_info(SRC)
+    window = info.source_window("unit.c", 3, radius=1)
+    assert [n for n, _ in window] == [2, 3, 4]
+    assert info.source_line("unit.c", 2) == "U32 helper(U32 x) {"
+    assert info.source_line("unit.c", 999) is None
+    assert info.source_line("missing.c", 1) is None
+    assert info.source_window("missing.c", 1) == []
+
+
+def test_merge_combines_units():
+    a = compile_info(SRC)
+    b = compile_info("void other() { U32 q = 0; }", "b.c")
+    a.merge(b)
+    assert "other" in a.functions
+    assert a.source_line("b.c", 1) is not None

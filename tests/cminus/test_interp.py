@@ -1,0 +1,244 @@
+import pytest
+
+from repro.cminus import (
+    Interpreter,
+    NullEnvironment,
+    analyze,
+    parse_program,
+    run_sync,
+)
+from repro.errors import CMinusRuntimeError
+
+from .util import run, run_with_env
+
+
+def test_arithmetic_and_return():
+    assert run("S32 main() { return 2 + 3 * 4; }") == 14
+
+
+def test_default_return_zero():
+    assert run("U32 main() { U32 x = 5; x = x; }") == 0
+
+
+def test_unsigned_wraparound():
+    assert run("U8 main() { U8 x = 250; x = x + 10; return x; }") == 4
+    assert run("U16 main() { return (U16)70000; }") == 70000 - 65536
+    assert run("U32 main() { U32 x = 0; x = x - 1; return x; }") == 2**32 - 1
+
+
+def test_signed_twos_complement_wrap():
+    assert run("S8 main() { S8 x = 127; x = x + 1; return x; }") == -128
+    assert run("S32 main() { S32 x = 2147483647; x = x + 1; return x; }") == -(2**31)
+
+
+def test_c_style_truncating_division():
+    assert run("S32 main() { return -7 / 2; }") == -3
+    assert run("S32 main() { return 7 / -2; }") == -3
+    assert run("S32 main() { return -7 % 2; }") == -1
+
+
+def test_division_by_zero_raises():
+    with pytest.raises(CMinusRuntimeError):
+        run("S32 main() { S32 z = 0; return 1 / z; }")
+
+
+def test_bitwise_and_shifts():
+    assert run("U32 main() { return (0xF0 | 0x0F) & 0xFF; }") == 0xFF
+    assert run("U32 main() { return 1 << 10; }") == 1024
+    assert run("U32 main() { U32 x = 0x80000000; return x >> 4; }") == 0x08000000
+    assert run("S32 main() { S32 x = -16; return x >> 2; }") == -4  # arithmetic shift
+
+
+def test_logical_short_circuit():
+    src = """
+    U32 calls;
+    bool bump() { calls = calls + 1; return true; }
+    U32 main() {
+        bool a = false && bump();
+        bool b = true || bump();
+        return calls;
+    }
+    """
+    assert run(src) == 0
+
+
+def test_ternary():
+    assert run("S32 main() { S32 a = -5; return a > 0 ? a : -a; }") == 5
+
+
+def test_while_loop_sum():
+    src = """
+    U32 main() {
+        U32 s = 0;
+        U32 i = 1;
+        while (i <= 10) { s += i; i++; }
+        return s;
+    }
+    """
+    assert run(src) == 55
+
+
+def test_for_loop_with_break_continue():
+    src = """
+    U32 main() {
+        U32 s = 0;
+        for (U32 i = 0; i < 100; i++) {
+            if (i % 2 == 0) continue;
+            if (i > 10) break;
+            s += i;
+        }
+        return s;
+    }
+    """
+    assert run(src) == 1 + 3 + 5 + 7 + 9
+
+
+def test_do_while_runs_once():
+    src = "U32 main() { U32 n = 0; do { n++; } while (false); return n; }"
+    assert run(src) == 1
+
+
+def test_nested_function_calls_and_recursion():
+    src = """
+    U32 fib(U32 n) {
+        if (n < 2) return n;
+        return fib(n - 1) + fib(n - 2);
+    }
+    U32 main() { return fib(12); }
+    """
+    assert run(src) == 144
+
+
+def test_arrays():
+    src = """
+    U32 main() {
+        U32 a[5];
+        for (U32 i = 0; i < 5; i++) a[i] = i * i;
+        U32 s = 0;
+        for (U32 i = 0; i < 5; i++) s += a[i];
+        return s;
+    }
+    """
+    assert run(src) == 0 + 1 + 4 + 9 + 16
+
+
+def test_array_out_of_bounds_detected():
+    with pytest.raises(CMinusRuntimeError) as e:
+        run("U32 main() { U32 a[3]; return a[3]; }")
+    assert "out of bounds" in str(e.value)
+
+
+def test_array_store_out_of_bounds_detected():
+    with pytest.raises(CMinusRuntimeError):
+        run("void main() { U32 a[3]; a[5] = 1; }")
+
+
+def test_struct_value_semantics():
+    src = """
+    struct Point { S32 x; S32 y; };
+    void move(Point p) { p.x = 99; }
+    S32 main() {
+        Point a;
+        a.x = 1;
+        Point b = a;      // copy
+        b.x = 2;
+        move(a);          // by value: no effect
+        return a.x * 10 + b.x;
+    }
+    """
+    assert run(src) == 12
+
+
+def test_struct_with_array_field():
+    src = """
+    struct MB { U8 pix[4]; U32 sum; };
+    U32 main() {
+        MB m;
+        for (U32 i = 0; i < 4; i++) m.pix[i] = (U8)(i + 250);
+        m.sum = 0;
+        for (U32 i = 0; i < 4; i++) m.sum += m.pix[i];
+        return m.sum;
+    }
+    """
+    assert run(src) == (250 + 251 + 252 + 253) % (2**32)
+
+
+def test_globals_initialized_once():
+    src = """
+    U32 counter = 100;
+    void bump() { counter += 1; }
+    U32 main() { bump(); bump(); return counter; }
+    """
+    assert run(src) == 102
+
+
+def test_builtins():
+    assert run("S32 main() { return abs(-9); }") == 9
+    assert run("S32 main() { return min(3, -4); }") == -4
+    assert run("S32 main() { return max(3, -4); }") == 3
+    assert run("S32 main() { return clip(300, 0, 255); }") == 255
+    assert run("S32 main() { return clip(-4, 0, 255); }") == 0
+
+
+def test_print_captured():
+    _, env = run_with_env('void main() { print("value:", 42, true); }')
+    assert env.printed == ["value: 42 true"]
+
+
+def test_casts():
+    assert run("U8 main() { return (U8)0x1FF; }") == 0xFF
+    assert run("S8 main() { return (S8)0xFF; }") == -1
+    assert run("bool main() { return (bool)42; }") is True
+
+
+def test_compound_assignment_semantics():
+    src = """
+    U32 main() {
+        U32 x = 10;
+        x += 5; x -= 3; x *= 2; x /= 4; x %= 4; x <<= 4; x |= 1; x ^= 3; x &= 0xFE;
+        return x;
+    }
+    """
+    x = 10
+    x += 5; x -= 3; x *= 2; x //= 4; x %= 4; x <<= 4; x |= 1; x ^= 3; x &= 0xFE
+    assert run(src) == x
+
+
+def test_scoping_shadowing():
+    src = """
+    U32 main() {
+        U32 x = 1;
+        { U32 x = 2; x = 3; }
+        return x;
+    }
+    """
+    assert run(src) == 1
+
+
+def test_statement_counter():
+    src = "U32 main() { U32 s = 0; for (U32 i = 0; i < 3; i++) s += i; return s; }"
+    prog = parse_program(src)
+    info = analyze(prog, None, src)
+    interp = Interpreter(prog, info, env=NullEnvironment(), timed=False)
+    assert run_sync(interp.run_function("main")) == 3
+    assert interp.state.statements_executed > 5
+
+
+def test_frames_pop_after_calls():
+    src = """
+    U32 inner(U32 a) { return a * 2; }
+    U32 main() { return inner(inner(3)); }
+    """
+    prog = parse_program(src)
+    info = analyze(prog, None, src)
+    interp = Interpreter(prog, info, env=NullEnvironment(), timed=False)
+    assert run_sync(interp.run_function("main")) == 12
+    assert interp.frames == []
+
+
+def test_missing_function_raises():
+    prog = parse_program("void f() {}")
+    info = analyze(prog)
+    interp = Interpreter(prog, info, timed=False)
+    with pytest.raises(CMinusRuntimeError):
+        run_sync(interp.run_function("nope"))

@@ -1,0 +1,147 @@
+"""Interpreter corner cases not covered by the main suite."""
+
+import pytest
+
+from repro.errors import CMinusRuntimeError, CMinusTypeError
+
+from .util import run, run_with_env
+
+
+def test_do_while_with_continue():
+    src = """
+    U32 main() {
+        U32 i = 0;
+        U32 s = 0;
+        do {
+            i++;
+            if (i % 2 == 0) continue;
+            s += i;
+        } while (i < 6);
+        return s;
+    }
+    """
+    assert run(src) == 1 + 3 + 5
+
+
+def test_nested_loops_break_inner_only():
+    src = """
+    U32 main() {
+        U32 hits = 0;
+        for (U32 i = 0; i < 3; i++) {
+            for (U32 j = 0; j < 10; j++) {
+                if (j == 2) break;
+                hits++;
+            }
+        }
+        return hits;
+    }
+    """
+    assert run(src) == 6
+
+
+def test_global_array_mutation_across_calls():
+    src = """
+    U32 hist[4];
+    void bump(U32 i) { hist[i] += 1; }
+    U32 main() {
+        bump(1); bump(1); bump(3);
+        return hist[0] * 1000 + hist[1] * 100 + hist[3];
+    }
+    """
+    assert run(src) == 201
+
+
+def test_nested_struct_copy_semantics():
+    src = """
+    struct Inner { U32 v; };
+    struct Outer { Inner a; Inner b; };
+    U32 main() {
+        Outer o;
+        o.a.v = 1;
+        o.b = o.a;     // struct field copy
+        o.a.v = 9;
+        return o.b.v;  // must still be 1
+    }
+    """
+    assert run(src) == 1
+
+
+def test_print_formats_struct_and_strings():
+    src = """
+    struct P { U32 x; U32 y; };
+    void main() {
+        P p;
+        p.x = 1; p.y = 2;
+        print("point:", p);
+    }
+    """
+    _, env = run_with_env(src)
+    assert env.printed == ["point: { x = 1, y = 2 }"]
+
+
+def test_shift_out_of_range_is_runtime_error():
+    with pytest.raises(CMinusRuntimeError):
+        run("U32 main() { U32 n = 40; return 1 << n; }")
+
+
+def test_recursion_with_struct_args():
+    src = """
+    struct Acc { U32 total; U32 n; };
+    Acc step(Acc a) {
+        if (a.n == 0) return a;
+        Acc nxt;
+        nxt.total = a.total + a.n;
+        nxt.n = a.n - 1;
+        return step(nxt);
+    }
+    U32 main() {
+        Acc a;
+        a.total = 0;
+        a.n = 10;
+        Acc r = step(a);
+        return r.total;
+    }
+    """
+    assert run(src) == 55
+
+
+def test_ternary_with_structs():
+    src = """
+    struct P { U32 x; };
+    U32 main() {
+        P a; P b;
+        a.x = 1; b.x = 2;
+        P c = true ? a : b;
+        return c.x;
+    }
+    """
+    assert run(src) == 1
+
+
+def test_const_local_assignment_rejected():
+    with pytest.raises(CMinusTypeError):
+        run("U32 main() { const U32 c = 1; c = 2; return c; }")
+
+
+def test_const_global_assignment_rejected():
+    with pytest.raises(CMinusTypeError):
+        run("const U32 G = 1;\nU32 main() { G = 2; return G; }")
+
+
+def test_bool_arithmetic_promotes():
+    assert run("U32 main() { bool b = true; return b + 3; }") == 4
+
+
+def test_char_literals_usable_as_ints():
+    assert run("U32 main() { return 'A' + 1; }") == 66
+
+
+def test_deep_call_chain():
+    src = """
+    U32 f0(U32 x) { return x + 1; }
+    U32 f1(U32 x) { return f0(x) + 1; }
+    U32 f2(U32 x) { return f1(x) + 1; }
+    U32 f3(U32 x) { return f2(x) + 1; }
+    U32 main() { return f3(0); }
+    """
+    assert run(src) == 4

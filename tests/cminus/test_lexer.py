@@ -1,0 +1,71 @@
+import pytest
+
+from repro.cminus import TokenKind, tokenize
+from repro.errors import CMinusSyntaxError
+
+
+def kinds(source):
+    return [(t.kind, t.text) for t in tokenize(source)[:-1]]
+
+
+def test_keywords_vs_identifiers():
+    toks = kinds("U32 counter while whiles")
+    assert toks == [
+        (TokenKind.KEYWORD, "U32"),
+        (TokenKind.IDENT, "counter"),
+        (TokenKind.KEYWORD, "while"),
+        (TokenKind.IDENT, "whiles"),
+    ]
+
+
+def test_number_literals_decimal_hex_binary():
+    toks = tokenize("42 0x145D 0b1010 7u 9UL")
+    values = [t.value for t in toks[:-1]]
+    assert values == [42, 0x145D, 0b1010, 7, 9]
+
+
+def test_char_literal_and_escapes():
+    toks = tokenize(r"'a' '\n' '\''")
+    assert [t.value for t in toks[:-1]] == [ord("a"), ord("\n"), ord("'")]
+
+
+def test_string_literal_with_escapes():
+    toks = tokenize(r'"hello\tworld\n"')
+    assert toks[0].value == "hello\tworld\n"
+
+
+def test_operators_maximal_munch():
+    toks = kinds("a<<=b<<c<=d<e")
+    ops = [text for kind, text in toks if kind == TokenKind.OP]
+    assert ops == ["<<=", "<<", "<=", "<"]
+
+
+def test_comments_are_skipped():
+    src = """
+    // line comment
+    U32 x; /* block
+    comment */ U32 y;
+    """
+    toks = kinds(src)
+    idents = [text for kind, text in toks if kind == TokenKind.IDENT]
+    assert idents == ["x", "y"]
+
+
+def test_line_and_column_tracking():
+    toks = tokenize("a\n  bb\n   c")
+    positions = [(t.text, t.line, t.col) for t in toks[:-1]]
+    assert positions == [("a", 1, 1), ("bb", 2, 3), ("c", 3, 4)]
+
+
+def test_eof_token_always_present():
+    assert tokenize("")[-1].kind == TokenKind.EOF
+    assert tokenize("x")[-1].kind == TokenKind.EOF
+
+
+@pytest.mark.parametrize(
+    "bad",
+    ['"unterminated', "'x", "0xZZ", "123abc", "/* unterminated", "@", "'\\q'"],
+)
+def test_lexical_errors(bad):
+    with pytest.raises(CMinusSyntaxError):
+        tokenize(bad)

@@ -1,0 +1,176 @@
+import pytest
+
+from repro.cminus import parse_program
+from repro.cminus import ast
+from repro.cminus.typesys import ArrayType, StructType, U8, U32, S32
+from repro.errors import CMinusSyntaxError
+
+
+def test_empty_program():
+    prog = parse_program("")
+    assert prog.functions == [] and prog.structs == [] and prog.globals == []
+
+
+def test_function_with_params():
+    prog = parse_program("U32 add(U32 a, U32 b) { return a + b; }")
+    f = prog.functions[0]
+    assert f.name == "add"
+    assert [p.name for p in f.params] == ["a", "b"]
+    assert isinstance(f.body.body[0], ast.Return)
+
+
+def test_void_paramlist():
+    prog = parse_program("void f(void) { }")
+    assert prog.functions[0].params == []
+
+
+def test_struct_definition_and_use():
+    src = """
+    struct Point { S32 x; S32 y; };
+    struct Point origin;
+    S32 getx(Point p) { return p.x; }
+    """
+    prog = parse_program(src)
+    assert prog.structs[0].name == "Point"
+    assert prog.globals[0].name == "origin"
+    assert isinstance(prog.globals[0].ctype, StructType)
+    # bare struct name usable as a type (typedef-style, like CbCrMB_t)
+    assert isinstance(prog.functions[0].params[0].ctype, StructType)
+
+
+def test_struct_with_array_field():
+    prog = parse_program("struct MB { U8 pix[16]; U32 addr; };")
+    fields = dict(prog.structs[0].fields)
+    assert isinstance(fields["pix"], ArrayType)
+    assert fields["pix"].size == 16
+
+
+def test_global_array():
+    prog = parse_program("U32 table[8];")
+    assert isinstance(prog.globals[0].ctype, ArrayType)
+
+
+def test_operator_precedence_shape():
+    prog = parse_program("int f() { return 1 + 2 * 3; }")
+    ret = prog.functions[0].body.body[0]
+    assert ret.value.op == "+"
+    assert ret.value.right.op == "*"
+
+
+def test_precedence_shift_vs_add():
+    prog = parse_program("int f(int a) { return a + 1 << 2; }")
+    # C precedence: shift binds looser than +
+    assert prog.functions[0].body.body[0].value.op == "<<"
+
+
+def test_ternary_expression():
+    prog = parse_program("int f(int a) { return a > 0 ? a : -a; }")
+    assert isinstance(prog.functions[0].body.body[0].value, ast.Ternary)
+
+
+def test_cast_expression():
+    prog = parse_program("int f(int a) { return (U8)a; }")
+    cast = prog.functions[0].body.body[0].value
+    assert isinstance(cast, ast.Cast)
+    assert cast.target is U8
+
+
+def test_parenthesized_expr_not_confused_with_cast():
+    prog = parse_program("int f(int a) { return (a) + 1; }")
+    assert prog.functions[0].body.body[0].value.op == "+"
+
+
+def test_compound_assignment_ops():
+    prog = parse_program("void f() { U32 x = 0; x += 2; x <<= 1; x++; x--; }")
+    body = prog.functions[0].body.body
+    assert isinstance(body[1], ast.Assign) and body[1].op == "+="
+    assert isinstance(body[2], ast.Assign) and body[2].op == "<<="
+    assert isinstance(body[3], ast.IncDec) and body[3].op == "++"
+    assert isinstance(body[4], ast.IncDec) and body[4].op == "--"
+
+
+def test_control_flow_statements():
+    src = """
+    void f() {
+        for (U32 i = 0; i < 4; i++) { if (i == 2) break; else continue; }
+        while (true) { break; }
+        do { } while (false);
+    }
+    """
+    prog = parse_program(src)
+    body = prog.functions[0].body.body
+    assert isinstance(body[0], ast.For)
+    assert isinstance(body[1], ast.While)
+    assert isinstance(body[2], ast.DoWhile)
+
+
+def test_pedf_io_expressions():
+    src = """
+    void work() {
+        U32 v = pedf.io.an_input[0];
+        pedf.io.an_output[0] = v + pedf.data.a_private_data + pedf.attribute.an_attribute;
+    }
+    """
+    prog = parse_program(src)
+    body = prog.functions[0].body.body
+    assert isinstance(body[0].init, ast.PedfIo)
+    assert body[0].init.iface == "an_input"
+    assert isinstance(body[1].target, ast.PedfIo)
+    rhs = body[1].value
+    assert isinstance(rhs.right, ast.PedfAttr)
+    assert isinstance(rhs.left.right, ast.PedfData)
+
+
+def test_pedf_io_requires_index():
+    with pytest.raises(CMinusSyntaxError):
+        parse_program("void f() { U32 v = pedf.io.x; }")
+
+
+def test_pedf_unknown_namespace_rejected():
+    with pytest.raises(CMinusSyntaxError):
+        parse_program("void f() { U32 v = pedf.bogus.x; }")
+
+
+def test_call_with_identifier_args():
+    prog = parse_program("void ctl() { ACTOR_START(filter_1); WAIT_FOR_ACTOR_SYNC(); }")
+    calls = [s.expr for s in prog.functions[0].body.body]
+    assert calls[0].name == "ACTOR_START"
+    assert isinstance(calls[0].args[0], ast.Ident)
+    assert calls[1].args == []
+
+
+def test_line_numbers_recorded():
+    src = "void f() {\n  U32 x = 1;\n  x = 2;\n}"
+    prog = parse_program(src)
+    body = prog.functions[0].body.body
+    assert body[0].line == 2
+    assert body[1].line == 3
+
+
+@pytest.mark.parametrize(
+    "bad",
+    [
+        "U32;",
+        "void f( {",
+        "void f() { return }",
+        "void f() { if x {} }",
+        "struct S { U32 x };",  # missing ';' after field... actually missing after x
+        "void f() { 1 +; }",
+        "void f() { x[; }",
+        "struct S { U32 x; }",  # missing trailing ';'
+        "void f() { U32 0bad; }",
+    ],
+)
+def test_syntax_errors(bad):
+    with pytest.raises(CMinusSyntaxError):
+        parse_program(bad)
+
+
+def test_duplicate_struct_rejected():
+    with pytest.raises(CMinusSyntaxError):
+        parse_program("struct S { U32 x; }; struct S { U32 y; };")
+
+
+def test_unknown_type_rejected():
+    with pytest.raises(CMinusSyntaxError):
+        parse_program("Bogus f() { }")

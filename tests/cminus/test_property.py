@@ -1,0 +1,121 @@
+"""Property tests: Filter-C arithmetic must match C semantics exactly."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cminus.typesys import S8, S16, S32, U8, U16, U32, wrap_int
+
+from .util import run
+
+INT_TYPES = [U8, U16, U32, S8, S16, S32]
+
+
+@st.composite
+def typed_value(draw, types=INT_TYPES):
+    t = draw(st.sampled_from(types))
+    v = draw(st.integers(min_value=t.min, max_value=t.max))
+    return t, v
+
+
+@settings(max_examples=80, deadline=None)
+@given(data=st.data())
+def test_wrap_int_is_idempotent_and_in_range(data):
+    t, v = data.draw(typed_value())
+    raw = data.draw(st.integers(min_value=-(2**40), max_value=2**40))
+    w = wrap_int(raw, t)
+    assert t.min <= w <= t.max
+    assert wrap_int(w, t) == w
+    # wrapping preserves value modulo 2^bits
+    assert (w - raw) % (1 << t.bits) == 0
+
+
+def c_wrap(x, t):
+    return wrap_int(x, t)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    a=st.integers(min_value=0, max_value=2**32 - 1),
+    b=st.integers(min_value=0, max_value=2**32 - 1),
+    op=st.sampled_from(["+", "-", "*", "&", "|", "^"]),
+)
+def test_u32_arithmetic_matches_c(a, b, op):
+    got = run(f"U32 main() {{ U32 a = {a}; U32 b = {b}; return a {op} b; }}")
+    expected = c_wrap(eval(f"a {op} b"), U32)
+    assert got == expected
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    a=st.integers(min_value=-(2**31), max_value=2**31 - 1),
+    b=st.integers(min_value=-(2**31), max_value=2**31 - 1),
+)
+def test_s32_add_sub_wraps(a, b):
+    got = run(f"S32 main() {{ S32 a = {a}; S32 b = {b}; return a + b; }}")
+    assert got == c_wrap(a + b, S32)
+    got = run(f"S32 main() {{ S32 a = {a}; S32 b = {b}; return a - b; }}")
+    assert got == c_wrap(a - b, S32)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    a=st.integers(min_value=-(2**31), max_value=2**31 - 1),
+    b=st.integers(min_value=-(2**31), max_value=2**31 - 1),
+)
+def test_s32_division_truncates_toward_zero(a, b):
+    if b == 0:
+        return
+    got = run(f"S32 main() {{ S32 a = {a}; S32 b = {b}; return a / b; }}")
+    import math
+
+    expected = c_wrap(math.trunc(a / b) if abs(b) > 1 else math.trunc(a / b), S32)
+    # trunc of exact integer division
+    q = abs(a) // abs(b)
+    if (a >= 0) != (b >= 0):
+        q = -q
+    assert got == c_wrap(q, S32)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    a=st.integers(min_value=0, max_value=2**32 - 1),
+    sh=st.integers(min_value=0, max_value=31),
+)
+def test_u32_shifts_match_c(a, sh):
+    got = run(f"U32 main() {{ U32 a = {a}; return a >> {sh}; }}")
+    assert got == a >> sh
+    got = run(f"U32 main() {{ U32 a = {a}; return a << {sh}; }}")
+    assert got == c_wrap(a << sh, U32)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    vals=st.lists(st.integers(min_value=0, max_value=255), min_size=1, max_size=12)
+)
+def test_array_sum_loop_matches_python(vals):
+    n = len(vals)
+    inits = " ".join(f"a[{i}] = {v};" for i, v in enumerate(vals))
+    src = f"""
+    U32 main() {{
+        U32 a[{n}];
+        {inits}
+        U32 s = 0;
+        for (U32 i = 0; i < {n}; i++) s += a[i];
+        return s;
+    }}
+    """
+    assert run(src) == sum(vals) % 2**32
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    x=st.integers(min_value=-1000, max_value=1000),
+    lo=st.integers(min_value=-100, max_value=100),
+    span=st.integers(min_value=0, max_value=200),
+)
+def test_clip_builtin_property(x, lo, span):
+    hi = lo + span
+    got = run(f"S32 main() {{ return clip({x}, {lo}, {hi}); }}")
+    assert got == max(lo, min(hi, x))
+    assert lo <= got <= hi

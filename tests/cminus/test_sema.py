@@ -1,0 +1,215 @@
+import pytest
+
+from repro.cminus import analyze, parse_program
+from repro.cminus.sema import ActorContext, IfaceSig
+from repro.cminus.typesys import BOOL, S32, U8, U16, U32, StructType
+from repro.errors import CMinusTypeError
+
+
+def check(source, context=None):
+    prog = parse_program(source)
+    return prog, analyze(prog, context, source)
+
+
+def filter_ctx(**kwargs):
+    ctx = ActorContext(kind="filter")
+    ctx.ifaces["an_input"] = IfaceSig("an_input", "input", U32)
+    ctx.ifaces["an_output"] = IfaceSig("an_output", "output", U32)
+    ctx.data["a_private_data"] = U32
+    ctx.attributes["an_attribute"] = U32
+    for k, v in kwargs.items():
+        setattr(ctx, k, v)
+    return ctx
+
+
+def controller_ctx(actors=("filter_1", "filter_2")):
+    ctx = ActorContext(kind="controller", actor_names=set(actors))
+    ctx.ifaces["cmd_out_1"] = IfaceSig("cmd_out_1", "output", U32)
+    return ctx
+
+
+# ------------------------------------------------------------ positive cases
+
+
+def test_simple_function_annotated():
+    prog, info = check("U32 add(U32 a, U32 b) { return a + b; }")
+    ret = prog.functions[0].body.body[0]
+    assert ret.value.ctype is U32
+    assert "add" in info.functions
+
+
+def test_debug_info_symbols():
+    src = "U32 g;\nS32 f(S32 p) {\n  S32 x = p;\n  return x;\n}\n"
+    prog, info = check(src)
+    fsym = info.functions["f"]
+    assert [v.name for v in fsym.params] == ["p"]
+    assert [v.name for v in fsym.locals] == ["x"]
+    assert info.globals["g"].ctype is U32
+    assert info.line_table.is_executable("<source>", 3)
+    assert info.line_table.is_executable("<source>", 4)
+    assert not info.line_table.is_executable("<source>", 1)
+
+
+def test_common_type_promotion():
+    prog, _ = check("void f(U8 a, U16 b) { U32 c = a + b; }")
+    decl = prog.functions[0].body.body[0]
+    assert decl.init.ctype is S32  # both promote to S32
+
+
+def test_u32_wins_promotion():
+    prog, _ = check("void f(U32 a, S32 b) { U32 c = a + b; }")
+    assert prog.functions[0].body.body[0].init.ctype is U32
+
+
+def test_comparison_yields_bool():
+    prog, _ = check("bool f(U32 a) { return a < 4; }")
+    assert prog.functions[0].body.body[0].value.ctype is BOOL
+
+
+def test_struct_member_types():
+    src = """
+    struct MB { U16 kind; U8 pix[4]; };
+    U16 f(MB m) { return m.kind; }
+    U8 g(MB m) { return m.pix[2]; }
+    """
+    prog, info = check(src)
+    assert "MB" in info.structs
+    assert prog.functions[0].body.body[0].value.ctype is U16
+    assert prog.functions[1].body.body[0].value.ctype is U8
+
+
+def test_pedf_access_with_context():
+    src = """
+    void work() {
+        pedf.io.an_output[0] = pedf.io.an_input[0] + pedf.data.a_private_data
+                               + pedf.attribute.an_attribute;
+        pedf.data.a_private_data = 7;
+    }
+    """
+    prog, _ = check(src, filter_ctx())
+    assign = prog.functions[0].body.body[0]
+    assert assign.target.ctype is U32
+
+
+def test_controller_intrinsics_identifier_to_string():
+    src = """
+    void work() {
+        ACTOR_START(filter_1);
+        WAIT_FOR_ACTOR_INIT();
+        ACTOR_SYNC(filter_1);
+        WAIT_FOR_ACTOR_SYNC();
+        if (PRED("fast")) { ACTOR_FIRE(filter_2); }
+    }
+    """
+    prog, _ = check(src, controller_ctx())
+    call = prog.functions[0].body.body[0].expr
+    from repro.cminus import ast
+
+    assert isinstance(call.args[0], ast.StringLit)
+    assert call.args[0].value == "filter_1"
+
+
+def test_intrinsic_local_variable_not_rewritten():
+    # a declared local shadows the actor-name shorthand
+    src = """
+    void work(U32 filter_1) {
+        ACTOR_START(filter_1);
+    }
+    """
+    with pytest.raises(CMinusTypeError):
+        check(src, controller_ctx())
+
+
+# ------------------------------------------------------------ negative cases
+
+
+@pytest.mark.parametrize(
+    "bad",
+    [
+        "void f() { x = 1; }",  # undeclared
+        "void f() { U32 x; U32 x; }",  # redeclared
+        "void f() { U32 x = 1; bool b = x; U32 y; struct_like(); }",  # undefined call
+        "U32 f() { return; }",  # missing return value
+        "void f() { return 3; }",  # value in void
+        "void f() { break; }",  # break outside loop
+        "void f() { continue; }",
+        "void f(U32 a) { a(); }",  # var used as function (undefined function)
+        "void f() { const U32 c = 1; c = 2; }",  # assign to const
+        "void f() { U32 a[4]; a = a; }",  # whole-array assign to array var ok? target is array: assignable requires same -> actually allowed
+    ][:-1],
+)
+def test_semantic_errors(bad):
+    with pytest.raises(CMinusTypeError):
+        check(bad)
+
+
+def test_void_variable_rejected():
+    with pytest.raises(CMinusTypeError):
+        check("void f() { void x; }")
+
+
+def test_struct_arith_rejected():
+    with pytest.raises(CMinusTypeError):
+        check("struct S { U32 x; };\nvoid f(S a, S b) { U32 c = a + b; }")
+
+
+def test_unknown_member_rejected():
+    with pytest.raises(CMinusTypeError):
+        check("struct S { U32 x; };\nU32 f(S s) { return s.y; }")
+
+
+def test_index_non_array_rejected():
+    with pytest.raises(CMinusTypeError):
+        check("void f(U32 a) { U32 x = a[0]; }")
+
+
+def test_call_arity_checked():
+    with pytest.raises(CMinusTypeError):
+        check("U32 g(U32 a) { return a; } void f() { g(); }")
+
+
+def test_pedf_without_context_rejected():
+    with pytest.raises(CMinusTypeError):
+        check("void f() { U32 v = pedf.io.x[0]; }")
+
+
+def test_unknown_interface_rejected():
+    with pytest.raises(CMinusTypeError):
+        check("void f() { U32 v = pedf.io.nope[0]; }", filter_ctx())
+
+
+def test_read_from_output_iface_rejected():
+    with pytest.raises(CMinusTypeError) as e:
+        check("void f() { U32 v = pedf.io.an_output[0]; }", filter_ctx())
+    assert "read back" in str(e.value)
+
+
+def test_write_to_input_iface_rejected():
+    with pytest.raises(CMinusTypeError):
+        check("void f() { pedf.io.an_input[0] = 1; }", filter_ctx())
+
+
+def test_compound_assign_to_output_rejected():
+    with pytest.raises(CMinusTypeError):
+        check("void f() { pedf.io.an_output[0] += 1; }", filter_ctx())
+
+
+def test_attribute_is_readonly():
+    with pytest.raises(CMinusTypeError):
+        check("void f() { pedf.attribute.an_attribute = 1; }", filter_ctx())
+
+
+def test_intrinsics_rejected_in_filter_code():
+    with pytest.raises(CMinusTypeError):
+        check("void f() { WAIT_FOR_ACTOR_SYNC(); }", filter_ctx())
+
+
+def test_unknown_actor_name_rejected():
+    with pytest.raises(CMinusTypeError) as e:
+        check("void f() { ACTOR_START(bogus); }", controller_ctx())
+    assert "unknown actor" in str(e.value)
+
+
+def test_builtin_shadowing_rejected():
+    with pytest.raises(CMinusTypeError):
+        check("S32 abs(S32 x) { return x; }")

@@ -1,0 +1,56 @@
+"""The cost model: simulated time tracks executed statements."""
+
+from repro.cminus import CostModel, Interpreter, NullEnvironment, analyze, parse_program
+from repro.sim import Scheduler, StopKind
+
+
+def run_timed(src, fn="main", stmt_cost=1, call_overhead=2):
+    prog = parse_program(src)
+    info = analyze(prog, None, src)
+    interp = Interpreter(
+        prog, info, env=NullEnvironment(),
+        cost=CostModel(default_stmt=stmt_cost, call_overhead=call_overhead),
+        timed=True,
+    )
+    sched = Scheduler()
+    result = {}
+
+    def proc():
+        result["value"] = yield from interp.run_function(fn)
+
+    sched.spawn(proc(), "p")
+    stop = sched.run()
+    assert stop.kind == StopKind.EXHAUSTED
+    return result["value"], sched.now, interp.state.statements_executed
+
+
+def test_simulated_time_equals_statements_plus_call_overhead():
+    src = """
+    U32 main() {
+        U32 a = 1;
+        U32 b = 2;
+        return a + b;
+    }
+    """
+    value, cycles, stmts = run_timed(src)
+    assert value == 3
+    assert stmts == 3
+    assert cycles == 3 * 1 + 2  # 3 statements + main's call overhead
+
+
+def test_statement_cost_scales_time():
+    src = "U32 main() { U32 s = 0; for (U32 i = 0; i < 10; i++) s += i; return s; }"
+    _, cheap, stmts = run_timed(src, stmt_cost=1)
+    _, costly, _ = run_timed(src, stmt_cost=5)
+    assert costly > cheap
+    # pure per-statement scaling once the fixed call overhead (2) is removed
+    assert costly - 2 == 5 * (cheap - 2)
+
+
+def test_call_overhead_counted_per_call():
+    src = """
+    U32 f(U32 x) { return x; }
+    U32 main() { return f(1) + f(2) + f(3); }
+    """
+    _, cycles, stmts = run_timed(src, stmt_cost=0, call_overhead=7)
+    assert cycles == 7 * 4  # main + three calls to f

@@ -1,0 +1,84 @@
+"""Raw value payloads: defaults, copies, formatting."""
+
+import pytest
+
+from repro.cminus.typesys import (
+    BOOL,
+    U8,
+    U16,
+    U32,
+    S32,
+    ArrayType,
+    StructType,
+    word_count,
+)
+from repro.cminus.values import (
+    Value,
+    coerce,
+    copy_raw,
+    default_value,
+    format_value,
+)
+from repro.errors import CMinusRuntimeError
+
+POINT = StructType("Point", (("x", S32), ("y", S32)))
+MB = StructType("MB", (("Addr", U32), ("pix", ArrayType(elem=U8, size=3))))
+
+
+def test_default_values():
+    assert default_value(U32) == 0
+    assert default_value(BOOL) is False
+    assert default_value(ArrayType(elem=U8, size=3)) == [0, 0, 0]
+    assert default_value(POINT) == {"x": 0, "y": 0}
+    assert default_value(MB) == {"Addr": 0, "pix": [0, 0, 0]}
+
+
+def test_copy_raw_is_deep():
+    raw = {"Addr": 1, "pix": [1, 2, 3]}
+    cp = copy_raw(raw)
+    cp["pix"][0] = 99
+    assert raw["pix"][0] == 1
+
+
+def test_value_slot_copy():
+    v = Value(MB, {"Addr": 5, "pix": [1, 2, 3]})
+    w = v.copy()
+    w.data["Addr"] = 9
+    assert v.data["Addr"] == 5
+
+
+def test_coerce_scalars_wrap():
+    assert coerce(300, U8) == 44
+    assert coerce(-1, U32) == 2**32 - 1
+    assert coerce(5, BOOL) is True
+
+
+def test_coerce_aggregate_copies():
+    src = {"x": 1, "y": 2}
+    out = coerce(src, POINT)
+    assert out == src and out is not src
+
+
+def test_coerce_aggregate_to_scalar_rejected():
+    with pytest.raises(CMinusRuntimeError):
+        coerce([1, 2], U32)
+
+
+def test_format_value_struct_gdb_style():
+    text = format_value(MB, {"Addr": 0x145D, "pix": [1, 2, 3]})
+    assert text == "{ Addr = 0x145d, pix = {1, 2, 3} }"
+
+
+def test_format_value_scalars():
+    assert format_value(U32, 7) == "7"
+    assert format_value(BOOL, True) == "true"
+    assert format_value(BOOL, False) == "false"
+
+
+def test_word_count():
+    assert word_count(U32) == 1
+    assert word_count(ArrayType(elem=U8, size=4)) == 4
+    assert word_count(POINT) == 2
+    assert word_count(MB) == 4
+    empty = StructType("E", ())
+    assert word_count(empty) == 1  # never zero-cost

@@ -1,0 +1,31 @@
+"""Helpers shared by the Filter-C tests."""
+
+from repro.cminus import (
+    Interpreter,
+    NullEnvironment,
+    analyze,
+    parse_program,
+    run_sync,
+)
+from repro.cminus.sema import ActorContext
+
+
+def compile_program(source, context=None, filename="<test>"):
+    prog = parse_program(source, filename)
+    info = analyze(prog, context, source)
+    return prog, info
+
+
+def run(source, fn="main", args=(), context=None, env=None):
+    prog, info = compile_program(source, context)
+    env = env or NullEnvironment()
+    interp = Interpreter(prog, info, env=env, timed=False)
+    return run_sync(interp.run_function(fn, args))
+
+
+def run_with_env(source, fn="main", args=(), context=None):
+    prog, info = compile_program(source, context)
+    env = NullEnvironment()
+    interp = Interpreter(prog, info, env=env, timed=False)
+    value = run_sync(interp.run_function(fn, args))
+    return value, env

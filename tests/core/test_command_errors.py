@@ -1,0 +1,73 @@
+"""Negative paths of the dataflow command set: every malformed command
+must produce a helpful error line, never a traceback."""
+
+import pytest
+
+from .util import make_session
+
+
+@pytest.fixture()
+def cli_session():
+    session, cli, dbg, runtime, sink = make_session([1], stop_on_init=True)
+    dbg.run()
+    return cli, session, dbg
+
+
+BAD_COMMANDS = [
+    "filter",
+    "filter nope catch work",
+    "filter filter_1 bogusverb x",
+    "filter filter_1 catch",
+    "filter filter_1 catch an_input=x",
+    "filter filter_1 catch an_output=1",  # outputs can't count inbound tokens
+    "filter filter_1 configure warp",
+    "filter filter_1 info bogus",
+    "filter filter_1 print bogus",
+    "iface no_doublecolon record",
+    "iface filter_1::nope record",
+    "iface filter_1::an_input bogus",
+    "iface filter_1::an_input poke x y",
+    "iface filter_1::an_input drop 5",
+    "iface filter_1::an_input insert notanumber",
+    "step_both",  # no actor stopped inside a filter
+    "dataflow bogus",
+    "dataflow token notanumber",
+    "dataflow update sometimes",
+    "sched bogus",
+    "sched catch bogus",
+    "sched pred m",
+    "freeze",
+    "thaw nope",
+    "until",
+]
+
+
+@pytest.mark.parametrize("command", BAD_COMMANDS)
+def test_malformed_commands_report_errors(cli_session, command):
+    cli, session, dbg = cli_session
+    out = cli.execute(command)
+    assert out, command
+    assert out[0].startswith("error:"), (command, out)
+
+
+def test_iface_print_requires_recording(cli_session):
+    cli, session, dbg = cli_session
+    out = cli.execute("iface filter_1::an_input print")
+    assert "not being recorded" in out[0]
+
+
+def test_graph_written_to_file(cli_session, tmp_path):
+    cli, session, dbg = cli_session
+    target = tmp_path / "graph.dot"
+    out = cli.execute(f"dataflow graph {target}")
+    assert "written" in out[0]
+    text = target.read_text()
+    assert text.startswith('digraph "amodule_demo"')
+
+
+def test_record_with_capacity_via_cli(cli_session):
+    cli, session, dbg = cli_session
+    cli.execute("iface filter_2::an_output record 1")
+    dbg.cont()
+    buf = session.records.get("filter_2::an_output")
+    assert buf.capacity == 1

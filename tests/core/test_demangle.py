@@ -1,0 +1,71 @@
+"""§VI-F: mapping mangled framework symbols back to dataflow entities."""
+
+import pytest
+
+from repro.apps.h264.app import build_decoder
+from repro.core import DataflowSession
+from repro.dbg import CommandCli, Debugger
+from repro.errors import DataflowDebugError
+
+
+def make():
+    sched, platform, runtime, source, sink, mbs = build_decoder(n_mbs=1)
+    dbg = Debugger(sched, runtime)
+    cli = CommandCli(dbg)
+    session = DataflowSession(dbg, cli=cli, stop_on_init=True)
+    dbg.run()
+    return cli, session
+
+
+def test_demangle_work_symbols():
+    cli, session = make()
+    assert session.demangle("IpfFilter_work_function") == (
+        "WORK method of filter `pred.ipf'"
+    )
+    assert session.demangle("_component_PredModule_anon_0_work") == (
+        "WORK method of controller `pred.pred_controller'"
+    )
+    out = cli.execute("dataflow demangle IpredFilter_work_function")
+    assert out == ["WORK method of filter `pred.ipred'"]
+
+
+def test_demangle_unknown_symbol():
+    cli, session = make()
+    with pytest.raises(DataflowDebugError):
+        session.demangle("totally_unknown_symbol")
+    out = cli.execute("dataflow demangle nope")
+    assert out[0].startswith("error:")
+
+
+def test_demangle_helper_symbol():
+    """Helper functions carry the actor prefix and demangle to it."""
+    from repro.cminus.typesys import U32
+    from repro.p2012.soc import P2012Platform, PlatformConfig
+    from repro.pedf import ControllerDecl, FilterDecl, ModuleDecl, ProgramDecl
+    from repro.pedf.runtime import PedfRuntime
+    from repro.sim import Scheduler
+
+    program = ProgramDecl(name="p")
+    mod = ModuleDecl(name="m")
+    mod.set_controller(ControllerDecl(
+        name="controller", max_steps=0,
+        source="void work() { }"))
+    f = FilterDecl(name="ipf", source="""
+        U32 clamp16(U32 x) { return x & 0xFFFF; }
+        void work() { pedf.io.o[0] = clamp16(pedf.io.i[0]); }
+    """, source_name="ipf.c")
+    f.add_iface("i", "input", U32)
+    f.add_iface("o", "output", U32)
+    mod.add_filter(f)
+    mod.add_iface("min_", "input", U32)
+    mod.add_iface("mout", "output", U32)
+    mod.bind("this", "min_", "ipf", "i")
+    mod.bind("ipf", "o", "this", "mout")
+    program.add_module(mod)
+    sched = Scheduler()
+    platform = P2012Platform(sched, PlatformConfig(n_clusters=1, pes_per_cluster=4))
+    runtime = PedfRuntime(sched, platform, program)
+    dbg = Debugger(sched, runtime)
+    session = DataflowSession(dbg, stop_on_init=True)
+    dbg.run()
+    assert session.demangle("IpfFilter_clamp16") == "helper `clamp16' of filter `m.ipf'"

@@ -1,0 +1,66 @@
+"""Graph-theoretic validation of the reconstruction (networkx).
+
+The debugger's event-derived graph must be isomorphic to the declared
+architecture — not just similar-looking.
+"""
+
+import networkx as nx
+
+from repro.apps.h264.app import build_decoder
+from repro.core import DataflowSession
+from repro.dbg import Debugger
+
+
+def build_graphs():
+    sched, platform, runtime, source, sink, mbs = build_decoder(n_mbs=1)
+    dbg = Debugger(sched, runtime)
+    session = DataflowSession(dbg, stop_on_init=True)
+    dbg.run()
+
+    reconstructed = nx.MultiDiGraph()
+    for actor in session.model.actors.values():
+        reconstructed.add_node(actor.qualname, kind=actor.kind)
+    for link in session.model.links:
+        reconstructed.add_edge(
+            link.src.actor.qualname, link.dst.actor.qualname, kind=link.kind
+        )
+
+    ground_truth = nx.MultiDiGraph()
+    for actor in runtime.all_actors():
+        ground_truth.add_node(actor.qualname, kind=actor.kind)
+    for link in runtime.links:
+        if link.src is not None and link.dst is not None:
+            ground_truth.add_edge(
+                link.src.actor.qualname, link.dst.actor.qualname, kind=link.kind
+            )
+    return reconstructed, ground_truth, session
+
+
+def test_reconstruction_is_graph_identical():
+    reconstructed, ground_truth, _ = build_graphs()
+    assert set(reconstructed.nodes) == set(ground_truth.nodes)
+    assert sorted(reconstructed.edges()) == sorted(ground_truth.edges())
+    for node in reconstructed.nodes:
+        assert reconstructed.nodes[node]["kind"] == ground_truth.nodes[node]["kind"]
+
+
+def test_decoder_graph_is_a_dag_with_expected_flow():
+    reconstructed, _, _ = build_graphs()
+    flat = nx.DiGraph(reconstructed)
+    assert nx.is_directed_acyclic_graph(flat)
+    order = list(nx.topological_sort(flat))
+    # sources first, sinks last, vlc before everything downstream
+    assert order.index("host.stream") < order.index("front.vlc")
+    assert order.index("front.vlc") < order.index("pred.ipf")
+    assert order[-1] == "host.display"
+    # the display is reachable from the bitstream
+    assert nx.has_path(flat, "host.stream", "host.display")
+
+
+def test_every_actor_lies_on_a_source_to_sink_path():
+    reconstructed, _, _ = build_graphs()
+    flat = nx.DiGraph(reconstructed)
+    for node in flat.nodes:
+        if node == "host.stream":
+            continue
+        assert nx.has_path(flat, "host.stream", node) or node.endswith("controller"), node

@@ -1,0 +1,68 @@
+"""`iface ... catch full` — catching the rate mismatch at its onset."""
+
+import pytest
+
+from repro.apps.h264.bugs import build_rate_mismatch
+from repro.core import DataflowSession
+from repro.dbg import CommandCli, Debugger, StopKind
+from repro.errors import DataflowDebugError
+
+
+def test_catch_full_fires_before_the_deadlock():
+    sched, platform, runtime, source, sink, mbs = build_rate_mismatch(n_mbs=24)
+    dbg = Debugger(sched, runtime)
+    cli = CommandCli(dbg)
+    session = DataflowSession(dbg, cli=cli, stop_on_init=True)
+    dbg.run()
+    out = cli.execute("iface ipf::Pipe_cfg_in catch full")
+    assert "catch full" in out[0]
+    ev = dbg.cont()
+    assert ev.kind == StopKind.DATAFLOW
+    assert "is full (20/20 tokens)" in ev.message
+    assert "rate mismatch" in ev.message
+    # we're at the onset: the rest of the pipeline is still healthy and
+    # the decoder has produced output so far
+    assert len(sink.values) >= 19
+    link = session.model.link_between("pipe::Pipe_ipf_out", "ipf::Pipe_cfg_in")
+    assert link.occupancy == 20
+    # continuing from here runs into the eventual stall
+    ev = dbg.cont()
+    assert ev.kind == StopKind.DEADLOCK
+
+
+def test_catch_full_accepts_either_endpoint():
+    sched, platform, runtime, source, sink, mbs = build_rate_mismatch(n_mbs=24)
+    dbg = Debugger(sched, runtime)
+    session = DataflowSession(dbg, stop_on_init=True)
+    dbg.run()
+    session.catch_link_full("pipe::Pipe_ipf_out")  # producer side
+    ev = dbg.cont()
+    assert ev.kind == StopKind.DATAFLOW
+    assert "is full" in ev.message
+
+
+def test_catch_full_rejects_unbounded_links():
+    from repro.apps.amodule import build_demo
+
+    sched, platform, runtime, source, sink = build_demo([1])
+    dbg = Debugger(sched, runtime)
+    session = DataflowSession(dbg, stop_on_init=True)
+    dbg.run()
+    # AModule links have capacity 16; forge an unbounded one via the model
+    link = session.model.link_between("filter_1::an_output", "filter_2::an_input")
+    link.capacity = 0
+    with pytest.raises(DataflowDebugError) as e:
+        session.catch_link_full("filter_2::an_input")
+    assert "unbounded" in str(e.value)
+
+
+def test_catch_full_never_fires_on_healthy_decoder():
+    from repro.apps.h264.app import build_decoder
+
+    sched, platform, runtime, source, sink, mbs = build_decoder(n_mbs=6)
+    dbg = Debugger(sched, runtime)
+    session = DataflowSession(dbg, stop_on_init=True)
+    dbg.run()
+    session.catch_link_full("ipf::Pipe_cfg_in")
+    ev = dbg.cont()
+    assert ev.kind == StopKind.EXITED

@@ -1,0 +1,287 @@
+"""Graph reconstruction, catchpoints, token tracking on AModule."""
+
+import pytest
+
+from repro.dbg import StopKind
+from repro.errors import DataflowDebugError
+
+from .util import make_session
+
+
+# ------------------------------------------------- graph reconstruction (#1)
+
+
+def test_graph_reconstructed_during_init():
+    session, cli, dbg, runtime, sink = make_session([1])
+    assert not session.model.initialized
+    dbg.run()
+    model = session.model
+    assert model.initialized
+    assert model.program_name == "amodule_demo"
+    assert model.modules == ["AModule"]
+    quals = set(model.actors)
+    assert {"AModule.controller", "AModule.filter_1", "AModule.filter_2",
+            "host.stim", "host.capture"} == quals
+    # 2 cmd links + filter_1->filter_2 + source link + sink link (the two
+    # `this.*` bindings are aliases, not links)
+    assert len(model.links) == 5
+
+
+def test_stop_on_init_gives_control_after_reconstruction():
+    session, cli, dbg, runtime, sink = make_session([1], stop_on_init=True)
+    ev = dbg.run()
+    assert ev.kind == StopKind.DATAFLOW
+    assert "reconstructed" in ev.message
+    assert session.model.initialized
+    assert len(sink.values) == 0  # nothing ran yet
+    ev = dbg.cont()
+    assert ev.kind == StopKind.EXITED
+    assert len(sink.values) == 1
+
+
+def test_connections_and_link_metadata():
+    session, cli, dbg, *_ = make_session([1], stop_on_init=True)
+    dbg.run()
+    f1 = session.model.find_actor("filter_1")
+    assert set(f1.inbound) == {"an_input", "cmd_in"}
+    assert set(f1.outbound) == {"an_output"}
+    link = session.model.link_between("filter_1::an_output", "filter_2::an_input")
+    assert link is not None
+    assert link.kind == "data"
+    ctl_link = session.model.link_between("controller::cmd_out_1", "filter_1::cmd_in")
+    assert ctl_link.kind == "control"
+    src_link = session.model.link_between("stim::out", "filter_1::an_input")
+    assert src_link.dma
+
+
+def test_completion_names_include_ifaces():
+    session, cli, dbg, *_ = make_session([1], stop_on_init=True)
+    dbg.run()
+    names = session.completion_names()
+    assert "filter_1" in names
+    assert "filter_1::an_output" in names
+    assert "AModule.controller" in names
+    # CLI completion for the filter command uses them
+    cands = cli.complete("filter fil")
+    assert "filter_1" in cands
+
+
+def test_find_actor_errors():
+    session, cli, dbg, *_ = make_session([1], stop_on_init=True)
+    dbg.run()
+    with pytest.raises(DataflowDebugError):
+        session.model.find_actor("nope")
+    with pytest.raises(DataflowDebugError):
+        session.model.find_actor("controller").connection("bogus")
+
+
+# ----------------------------------------------------------- catchpoints
+
+
+def test_catch_work_stops_at_filter_fire():
+    session, cli, dbg, *_ = make_session([1, 2], stop_on_init=True)
+    dbg.run()
+    cli_out = cli.execute("filter filter_1 catch work")
+    assert "Catchpoint" in cli_out[0]
+    ev = dbg.cont()
+    assert ev.kind == StopKind.DATAFLOW
+    assert "WORK method of filter `filter_1'" in ev.message
+    assert ev.actor == "AModule.filter_1"
+    ev = dbg.cont()
+    assert ev.kind == StopKind.DATAFLOW  # second invocation
+    ev = dbg.cont()
+    assert ev.kind == StopKind.EXITED
+
+
+def test_catch_token_counts_explicit():
+    session, cli, dbg, *_ = make_session([1], stop_on_init=True)
+    dbg.run()
+    cli.execute("filter filter_1 catch an_input=1, cmd_in=1")
+    ev = dbg.cont()
+    assert ev.kind == StopKind.DATAFLOW
+    assert "received the requested tokens" in ev.message
+    assert "an_input=1" in ev.message
+
+
+def test_catch_star_in():
+    session, cli, dbg, *_ = make_session([1], stop_on_init=True)
+    dbg.run()
+    cp = session.catch_tokens("filter_2", {"*": 1})
+    assert set(cp.requirements) == {"an_input", "cmd_in"}
+    ev = dbg.cont()
+    assert ev.kind == StopKind.DATAFLOW
+    assert "filter_2" in ev.message
+
+
+def test_catch_counts_reset_after_trigger():
+    session, cli, dbg, *_ = make_session([1, 2, 3], stop_on_init=True)
+    dbg.run()
+    cp = session.catch_tokens("filter_1", {"an_input": 1})
+    hits = 0
+    while True:
+        ev = dbg.cont()
+        if ev.kind != StopKind.DATAFLOW:
+            break
+        hits += 1
+    assert hits == 3  # once per step
+
+
+def test_catch_iface_receive_and_send_wording():
+    session, cli, dbg, *_ = make_session([1], stop_on_init=True)
+    dbg.run()
+    session.catch_iface("filter_2::an_input", event="pop")
+    session.catch_iface("filter_1::an_output", event="push")
+    ev = dbg.cont()
+    assert "Stopped after sending token on `filter_1::an_output`" in ev.message
+    ev = dbg.cont()
+    assert "Stopped after receiving token from `filter_2::an_input'" in ev.message
+
+
+def test_catch_iface_with_content_condition():
+    session, cli, dbg, *_ = make_session([3, 8, 5], stop_on_init=True)
+    dbg.run()
+    cli.execute("iface filter_1::an_input catch if value == 8")
+    ev = dbg.cont()
+    assert ev.kind == StopKind.DATAFLOW
+    # confirm via the model: the last consumed token of filter_1 is 8
+    assert session.model.find_actor("filter_1").last_token_in.value == 8
+    ev = dbg.cont()
+    assert ev.kind == StopKind.EXITED
+
+
+def test_sched_catchpoints():
+    session, cli, dbg, *_ = make_session([1], stop_on_init=True)
+    dbg.run()
+    session.catch_step("begin")
+    session.catch_schedule("filter_2")
+    ev = dbg.cont()
+    assert "begin of step 1" in ev.message
+    ev = dbg.cont()
+    assert "scheduled filter `filter_2' for execution" in ev.message
+
+
+def test_catchpoints_manageable_via_classic_commands():
+    """Two-level: delete/disable work on dataflow catchpoints too."""
+    session, cli, dbg, *_ = make_session([1, 2], stop_on_init=True)
+    dbg.run()
+    cp = session.catch_work("filter_1")
+    out = cli.execute("info breakpoints")
+    assert any("filter filter_1 catch work" in line for line in out)
+    cli.execute(f"disable {cp.id}")
+    ev = dbg.cont()
+    assert ev.kind == StopKind.EXITED
+
+
+# --------------------------------------------------- scheduling monitor (#2)
+
+
+def test_sched_status_reports_states_and_steps():
+    session, cli, dbg, *_ = make_session([1, 2], stop_on_init=True)
+    dbg.run()
+    session.catch_work("filter_2", temporary=True)
+    dbg.cont()
+    out = session.sched_status()
+    joined = "\n".join(out)
+    assert "controller AModule.controller: step" in joined
+    assert "AModule.filter_2: running" in joined
+    dbg.cont()  # to exit
+    out = session.sched_status()
+    assert "finished" in "\n".join(out)
+
+
+def test_filter_state_details():
+    session, cli, dbg, *_ = make_session([1], stop_on_init=True)
+    dbg.run()
+    session.catch_work("filter_1", temporary=True)
+    dbg.cont()
+    out = cli.execute("filter filter_1 info state")
+    joined = "\n".join(out)
+    assert "scheduling: running" in joined
+    assert "inbound: " in joined
+
+
+# ------------------------------------------------ token flow / recording (#3)
+
+
+def test_link_occupancy_tracked_from_events():
+    session, cli, dbg, *_ = make_session([1], stop_on_init=True)
+    dbg.run()
+    # stop when filter_2 receives its data token; at that moment the
+    # controller->filter links may still hold tokens
+    session.catch_iface("filter_2::an_input", event="pop", temporary=True)
+    dbg.cont()
+    link = session.model.link_between("filter_1::an_output", "filter_2::an_input")
+    assert link.total_pushed == 1
+    assert link.total_popped == 1
+    assert link.occupancy == 0
+
+
+def test_token_provenance_default_behavior():
+    session, cli, dbg, *_ = make_session([5], stop_on_init=True)
+    dbg.run()
+    session.catch_iface("filter_2::an_input", event="pop", temporary=True)
+    dbg.cont()
+    out = session.token_path("filter_2")
+    # hop 1: filter_1 -> filter_2, value 11 (5*2+1)
+    assert out[0].startswith("#1 filter_1 -> filter_2")
+    assert "11" in out[0]
+    # hop 2: the token filter_1 consumed to produce it (its an_input, 5)
+    assert out[1].startswith("#2 stim -> filter_1")
+    assert "5" in out[1]
+
+
+def test_token_provenance_respects_splitter_configuration():
+    session, cli, dbg, *_ = make_session([5], stop_on_init=True)
+    dbg.run()
+    out = cli.execute("filter filter_1 configure splitter")
+    assert "splitter" in out[0]
+    session.catch_iface("filter_2::an_input", event="pop", temporary=True)
+    dbg.cont()
+    out = session.token_path("filter_2")
+    # with splitter the parent is the FIRST consumed token (cmd_in from
+    # the controller), not the last
+    assert out[1].startswith("#2 controller -> filter_1")
+
+
+def test_record_and_print_tokens():
+    session, cli, dbg, *_ = make_session([5, 6, 7], stop_on_init=True)
+    dbg.run()
+    cli.execute("iface filter_2::an_output record")
+    dbg.cont()
+    out = cli.execute("iface filter_2::an_output print")
+    assert out == [
+        "#1 (U32) 23",  # (5*2+1)*2+1
+        "#2 (U32) 27",
+        "#3 (U32) 31",
+    ]
+
+
+def test_record_buffer_capacity_drops_oldest():
+    session, cli, dbg, *_ = make_session([1, 2, 3, 4], stop_on_init=True)
+    dbg.run()
+    session.records.enable("filter_2::an_output", capacity=2)
+    dbg.cont()
+    buf = session.records.get("filter_2::an_output")
+    assert buf.recorded == 4
+    assert buf.dropped == 2
+    lines = buf.format_lines()
+    assert lines[0].startswith("#3")
+    assert "dropped" in lines[-1]
+
+
+def test_print_last_token_flows_into_value_history():
+    session, cli, dbg, *_ = make_session([5], stop_on_init=True)
+    dbg.run()
+    session.catch_iface("filter_2::an_input", event="pop", temporary=True)
+    dbg.cont()
+    out = cli.execute("filter filter_2 print last_token")
+    assert out == ["$1 = (U32)11"]
+    # two-level: plain print can reuse it
+    assert cli.execute("print $1 + 1") == ["$2 = 12"]
+
+
+def test_token_path_unavailable_without_traffic():
+    session, cli, dbg, *_ = make_session([1], stop_on_init=True)
+    dbg.run()
+    with pytest.raises(DataflowDebugError):
+        session.token_path("filter_1")

@@ -1,0 +1,51 @@
+"""§III conditional catchpoints on token source/destination."""
+
+import pytest
+
+from repro.dbg import StopKind
+from repro.errors import DataflowDebugError
+
+from .util import make_session
+
+
+def test_catch_from_source_actor():
+    session, cli, dbg, runtime, sink = make_session([1], stop_on_init=True)
+    dbg.run()
+    # filter_1's an_input tokens come from stim; cmd_in from the controller
+    out = cli.execute("iface filter_1::an_input catch from stim")
+    assert "from stim" in out[0]
+    ev = dbg.cont()
+    assert ev.kind == StopKind.DATAFLOW
+    tok = session.model.find_actor("filter_1").last_token_in
+    assert tok.src_actor == "stim"
+
+
+def test_catch_from_mismatched_actor_never_fires():
+    session, cli, dbg, runtime, sink = make_session([1], stop_on_init=True)
+    dbg.run()
+    cli.execute("iface filter_1::an_input catch from controller")
+    ev = dbg.cont()
+    assert ev.kind == StopKind.EXITED
+
+
+def test_catch_to_destination_with_condition():
+    session, cli, dbg, runtime, sink = make_session([4, 9], stop_on_init=True)
+    dbg.run()
+    cli.execute("iface filter_1::an_output catch to filter_2 if value == 19")
+    ev = dbg.cont()
+    assert ev.kind == StopKind.DATAFLOW  # 9*2+1 == 19
+    assert session.model.find_actor("filter_1").last_token_out.value == 19
+
+
+def test_catch_usage_error():
+    session, cli, dbg, runtime, sink = make_session([1], stop_on_init=True)
+    dbg.run()
+    out = cli.execute("iface filter_1::an_input catch bogus syntax")
+    assert "usage:" in out[0]
+
+
+def test_catch_unknown_src_actor_rejected():
+    session, cli, dbg, runtime, sink = make_session([1], stop_on_init=True)
+    dbg.run()
+    with pytest.raises(DataflowDebugError):
+        session.catch_iface("filter_1::an_input", src_actor="nope")

@@ -1,0 +1,13 @@
+"""Dataflow-session test harness."""
+
+from repro.apps.amodule import build_demo
+from repro.core import DataflowSession, install_dataflow_commands
+from repro.dbg import CommandCli, Debugger
+
+
+def make_session(values=(1, 2, 3, 4), attribute=1, **session_kwargs):
+    sched, platform, runtime, source, sink = build_demo(values, attribute)
+    dbg = Debugger(sched, runtime)
+    cli = CommandCli(dbg)
+    session = DataflowSession(dbg, cli=cli, **session_kwargs)
+    return session, cli, dbg, runtime, sink

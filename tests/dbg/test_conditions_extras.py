@@ -1,0 +1,88 @@
+"""Breakpoint condition edge paths."""
+
+from repro.dbg import StopKind
+
+from .util import LINE_COMPUTE, LINE_READ_INPUT, WORK_F1, make_cli, make_session
+
+
+def test_condition_eval_error_still_stops_with_warning():
+    """GDB stops (and warns) when a condition cannot be evaluated."""
+    dbg, *_ = make_session([1])
+    bp = dbg.break_source(f"the_source.c:{LINE_READ_INPUT}", condition="nonexistent > 0")
+    ev = dbg.run()
+    assert ev.kind == StopKind.BREAKPOINT
+    assert "condition error" in ev.message
+
+
+def test_false_condition_never_stops():
+    cli, dbg, *_ = make_cli([1, 2])
+    # at LINE_COMPUTE `v` is in scope; the condition is simply never true
+    cli.execute(f"break the_source.c:{LINE_COMPUTE} if v == 99")
+    out = cli.execute("run")
+    assert any("exited" in line.lower() for line in out)
+
+
+def test_condition_set_then_cleared():
+    cli, dbg, *_ = make_cli([1, 2])
+    cli.execute(f"break the_source.c:{LINE_COMPUTE}")
+    cli.execute("condition 1 v == 2")
+    out = cli.execute("run")
+    assert any("Breakpoint 1" in line for line in out)
+    assert dbg.eval_expr("v")[1] == 2
+    cli.execute("condition 1")  # clear
+    bp = dbg.breakpoints.get(1)
+    assert bp.condition is None
+
+
+def test_function_breakpoint_with_condition_on_args():
+    """Conditions on function breakpoints evaluate in the callee frame,
+    so parameters are visible."""
+    from repro.cminus.typesys import U32
+    from repro.dbg import Debugger
+    from repro.p2012.soc import P2012Platform, PlatformConfig
+    from repro.pedf import ControllerDecl, FilterDecl, ModuleDecl, ProgramDecl
+    from repro.pedf.runtime import PedfRuntime
+    from repro.sim import Scheduler
+
+    src = """
+    U32 helper(U32 x) { return x * 2; }
+    void work() {
+        U32 v = pedf.io.i[0];
+        pedf.io.o[0] = helper(v);
+    }
+    """
+    program = ProgramDecl(name="p")
+    mod = ModuleDecl(name="m")
+    mod.set_controller(ControllerDecl(
+        name="controller", max_steps=3,
+        source="void work() { ACTOR_FIRE(f); WAIT_FOR_ACTOR_SYNC(); }"))
+    f = FilterDecl(name="f", source=src, source_name="f.c")
+    f.add_iface("i", "input", U32)
+    f.add_iface("o", "output", U32)
+    mod.add_filter(f)
+    mod.add_iface("min_", "input", U32)
+    mod.add_iface("mout", "output", U32)
+    mod.bind("this", "min_", "f", "i")
+    mod.bind("f", "o", "this", "mout")
+    program.add_module(mod)
+    sched = Scheduler()
+    platform = P2012Platform(sched, PlatformConfig(n_clusters=1, pes_per_cluster=4))
+    runtime = PedfRuntime(sched, platform, program)
+    runtime.add_source("s", "m", "min_", [1, 5, 9])
+    runtime.add_sink("k", "m", "mout", expect=3)
+    dbg = Debugger(sched, runtime)
+    dbg.break_function("FFilter_helper", condition="x == 5")
+    ev = dbg.run()
+    assert ev.kind == StopKind.FUNCTION_BP
+    assert dbg.eval_expr("x")[1] == 5
+    ev = dbg.cont()
+    assert ev.kind == StopKind.EXITED
+
+
+def test_breakpoint_actor_filter_via_kwarg():
+    dbg, runtime, _, _ = make_session([1])
+    bp = dbg.break_source(f"the_source.c:{LINE_READ_INPUT}", actor="AModule.filter_2")
+    ev = dbg.run()
+    # filter_2 uses its own source file name, so this never matches
+    assert ev.kind == StopKind.EXITED
+    assert bp.hit_count == 0

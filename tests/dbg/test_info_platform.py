@@ -1,0 +1,24 @@
+"""`info platform` — processor/memory inspection (paper §III two-level)."""
+
+from .util import make_cli
+
+
+def test_info_platform_lists_topology_and_occupants():
+    cli, dbg, runtime, sink = make_cli([1])
+    dbg.run()
+    out = cli.execute("info platform")
+    joined = "\n".join(out)
+    assert joined.startswith("host: host_arm")
+    assert "cluster0:" in joined
+    assert "memory traffic" in joined
+    assert "AModule.filter_1" in joined  # occupied PE listing
+    # traffic counters moved during the run
+    assert any(
+        line.strip().startswith(("cluster", "fabric_l2", "ext_l3")) and "/" in line
+        for line in out
+    )
+
+
+def test_info_platform_completion():
+    cli, *_ = make_cli([1])
+    assert "platform" in cli.complete("info pl")

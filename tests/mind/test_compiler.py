@@ -1,0 +1,214 @@
+"""ADL → ProgramDecl elaboration, and equivalence with the Python API."""
+
+import pytest
+
+from repro.apps.amodule import (
+    ADL_SOURCE,
+    CONTROLLER_SOURCE,
+    FILTER_SOURCE,
+    build_amodule_program,
+)
+from repro.apps.amodule.app import expected_output
+from repro.cminus.typesys import U32, StructType
+from repro.errors import MindError
+from repro.mind import compile_adl
+from repro.p2012.soc import P2012Platform, PlatformConfig
+from repro.pedf.compile import compile_program
+from repro.pedf.runtime import PedfRuntime
+from repro.sim import Scheduler
+
+SOURCES = {"the_source.c": FILTER_SOURCE, "ctrl_source.c": CONTROLLER_SOURCE}
+
+
+def compile_paper_adl():
+    return compile_adl(ADL_SOURCE, SOURCES, program_name="amodule_demo")
+
+
+def test_adl_compiles_to_program_decl():
+    program = compile_paper_adl()
+    assert set(program.modules) == {"AModule"}
+    mod = program.modules["AModule"]
+    assert set(mod.filters) == {"filter_1", "filter_2"}
+    assert mod.controller is not None
+    assert mod.controller.work_symbol == "_component_AModuleModule_anon_0_work"
+    assert mod.filters["filter_1"].work_symbol == "Filter1Filter_work_function"
+    assert len(mod.bindings) == 5
+
+
+def test_adl_equivalent_to_python_api():
+    """The ADL route and the Python-API route produce the same graph."""
+    adl_prog = compile_paper_adl()
+    py_prog = build_amodule_program()
+    compile_program(py_prog)
+    adl_mod = adl_prog.modules["AModule"]
+    py_mod = py_prog.modules["AModule"]
+    assert set(adl_mod.filters) == set(py_mod.filters)
+    assert {(str(b.src), str(b.dst)) for b in adl_mod.bindings} == {
+        (str(b.src), str(b.dst)) for b in py_mod.bindings
+    }
+    f_adl = adl_mod.filters["filter_1"]
+    f_py = py_mod.filters["filter_1"]
+    assert set(f_adl.ifaces) == set(f_py.ifaces)
+    assert set(f_adl.data) == set(f_py.data)
+    assert set(f_adl.attributes) == set(f_py.attributes)
+
+
+def test_adl_program_runs_end_to_end():
+    sched = Scheduler()
+    platform = P2012Platform(sched, PlatformConfig(n_clusters=2, pes_per_cluster=4))
+    program = compile_paper_adl()
+    program.modules["AModule"].controller.max_steps = 3
+    # attribute default is 0 in the ADL (no '=' given)
+    runtime = PedfRuntime(sched, platform, program)
+    runtime.add_source("stim", "AModule", "module_in", [1, 2, 3])
+    sink = runtime.add_sink("cap", "AModule", "module_out", expect=3)
+    runtime.load()
+    stop = sched.run()
+    assert runtime.classify_stop(stop) == "exited"
+    assert sink.values == expected_output([1, 2, 3], attribute=0)
+
+
+def test_struct_token_type_flows_through():
+    adl = """
+    @Struct
+    struct Pair { U32 a; U32 b; };
+    @Filter
+    primitive Swap {
+        source swap.c;
+        input Pair as i;
+        output Pair as o;
+    }
+    @Module
+    composite M {
+        contains as controller { source ctl.c; maxsteps 1; }
+        contains Swap as sw;
+        input Pair as min_;
+        output Pair as mout;
+        binds this.min_ to sw.i;
+        binds sw.o to this.mout;
+    }
+    """
+    sources = {
+        "swap.c": """
+            void work() {
+                Pair p = pedf.io.i[0];
+                Pair q;
+                q.a = p.b;
+                q.b = p.a;
+                pedf.io.o[0] = q;
+            }
+        """,
+        "ctl.c": "void work() { ACTOR_FIRE(sw); WAIT_FOR_ACTOR_SYNC(); }",
+    }
+    program = compile_adl(adl, sources)
+    assert isinstance(program.structs["Pair"], StructType)
+
+    sched = Scheduler()
+    platform = P2012Platform(sched, PlatformConfig(n_clusters=1, pes_per_cluster=4))
+    runtime = PedfRuntime(sched, platform, program)
+    runtime.add_source("s", "M", "min_", [{"a": 1, "b": 2}])
+    sink = runtime.add_sink("k", "M", "mout", expect=1)
+    runtime.load()
+    stop = sched.run()
+    assert runtime.classify_stop(stop) == "exited"
+    assert sink.values == [{"a": 2, "b": 1}]
+
+
+def test_attribute_override_applies():
+    adl = """
+    @Filter
+    primitive F {
+        attribute U32 gain = 1;
+        source f.c;
+        input U32 as i;
+        output U32 as o;
+    }
+    @Module
+    composite M {
+        contains as controller { source c.c; maxsteps 1; }
+        contains F as f1 { attribute gain = 9; }
+        input U32 as min_;
+        output U32 as mout;
+        binds this.min_ to f1.i;
+        binds f1.o to this.mout;
+    }
+    """
+    sources = {
+        "f.c": "void work() { pedf.io.o[0] = pedf.io.i[0] * pedf.attribute.gain; }",
+        "c.c": "void work() { ACTOR_FIRE(f1); WAIT_FOR_ACTOR_SYNC(); }",
+    }
+    program = compile_adl(adl, sources)
+    assert program.modules["M"].filters["f1"].attributes["gain"] == (U32, 9)
+
+    sched = Scheduler()
+    platform = P2012Platform(sched, PlatformConfig(n_clusters=1, pes_per_cluster=4))
+    runtime = PedfRuntime(sched, platform, program)
+    runtime.add_source("s", "M", "min_", [5])
+    sink = runtime.add_sink("k", "M", "mout", expect=1)
+    runtime.load()
+    sched.run()
+    assert sink.values == [45]
+
+
+def test_missing_source_file_reported():
+    with pytest.raises(MindError) as e:
+        compile_adl(ADL_SOURCE, {"ctrl_source.c": CONTROLLER_SOURCE})
+    assert "the_source.c" in str(e.value)
+
+
+def test_unknown_type_reported():
+    with pytest.raises(MindError) as e:
+        compile_adl(
+            "@Filter primitive F { source f.c; input Bogus as i; }",
+            {"f.c": "void work() {}"},
+        )
+    assert "unknown type" in str(e.value)
+
+
+def test_unknown_filter_type_reported():
+    adl = """
+    @Module
+    composite M {
+        contains as controller { source c.c; }
+        contains Nope as f1;
+    }
+    """
+    with pytest.raises(MindError) as e:
+        compile_adl(adl, {"c.c": "void work() {}"})
+    assert "unknown filter type" in str(e.value)
+
+
+def test_override_unknown_attribute_reported():
+    adl = """
+    @Filter
+    primitive F { source f.c; input U32 as i; }
+    @Module
+    composite M {
+        contains as controller { source c.c; }
+        contains F as f1 { attribute nope = 1; }
+        input U32 as min_;
+        binds this.min_ to f1.i;
+    }
+    """
+    with pytest.raises(MindError) as e:
+        compile_adl(adl, {"f.c": "void work() { U32 x = pedf.io.i[0]; }", "c.c": "void work() {}"})
+    assert "unknown attribute" in str(e.value)
+
+
+def test_filter_c_type_error_surfaces_with_location():
+    adl = """
+    @Filter
+    primitive F { source f.c; input U32 as i; }
+    @Module
+    composite M {
+        contains as controller { source c.c; }
+        contains F as f1;
+        input U32 as min_;
+        binds this.min_ to f1.i;
+    }
+    """
+    from repro.errors import CMinusTypeError
+
+    with pytest.raises(CMinusTypeError) as e:
+        compile_adl(adl, {"f.c": "void work() { pedf.io.i[0] = 3; }", "c.c": "void work() {}"})
+    assert "f.c" in str(e.value)

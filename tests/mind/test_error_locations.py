@@ -1,0 +1,73 @@
+"""MIND errors carry the ADL file name and line number."""
+
+import pytest
+
+from repro.errors import MindError
+from repro.mind import compile_adl, parse_adl
+
+
+def test_parse_error_reports_line():
+    adl = "\n\n@Filter\nprimitive F {\n    junk;\n}\n"
+    with pytest.raises(MindError) as e:
+        parse_adl(adl, filename="app.adl")
+    assert "app.adl:5" in str(e.value)
+
+
+def test_unknown_type_reports_line():
+    adl = "@Filter\nprimitive F {\n    source f.c;\n    input Bogus as i;\n}\n"
+    with pytest.raises(MindError) as e:
+        compile_adl(adl, {"f.c": "void work() {}"}, filename="app.adl")
+    assert "app.adl:4" in str(e.value)
+
+
+def test_missing_source_reports_filter_context():
+    adl = """
+    @Filter
+    primitive F { source missing.c; input U32 as i; }
+    @Module
+    composite M {
+        contains as controller { source ctl.c; }
+        contains F as f;
+        input U32 as min_;
+        binds this.min_ to f.i;
+    }
+    """
+    with pytest.raises(MindError) as e:
+        compile_adl(adl, {"ctl.c": "void work() {}"})
+    msg = str(e.value)
+    assert "missing.c" in msg and "filter type F" in msg
+    assert "known: ctl.c" in msg
+
+
+def test_binding_direction_error_names_binding():
+    adl = """
+    @Filter
+    primitive F { source f.c; input U32 as i; output U32 as o; }
+    @Module
+    composite M {
+        contains as controller { source c.c; }
+        contains F as a;
+        contains F as b;
+        binds a.i to b.i;
+    }
+    """
+    from repro.errors import PedfError
+
+    with pytest.raises(PedfError) as e:
+        compile_adl(adl, {"f.c": "void work() { pedf.io.o[0] = pedf.io.i[0]; }",
+                          "c.c": "void work() {}"})
+    assert "a.i" in str(e.value) and "producer" in str(e.value)
+
+
+def test_comment_line_counting():
+    adl = """/* a long
+block
+comment */
+@Filter
+primitive F {
+    bad_keyword;
+}
+"""
+    with pytest.raises(MindError) as e:
+        parse_adl(adl, filename="x.adl")
+    assert "x.adl:6" in str(e.value)

@@ -1,0 +1,165 @@
+import pytest
+
+from repro.errors import MindError
+from repro.mind import parse_adl
+
+
+PAPER_ADL = """
+@Filter
+primitive AFilter {
+    data      stddefs.h:U32 a_private_data;
+    attribute stddefs.h:U32 an_attribute;
+    source    the_source.c;
+    input  stddefs.h:U32 as an_input;
+    input  stddefs.h:U32 as cmd_in;
+    output stddefs.h:U32 as an_output;
+}
+
+@Module
+composite AModule {
+    contains as controller {
+        output U32 as cmd_out_1;
+        output U32 as cmd_out_2;
+        source ctrl_source.c;
+    }
+    // External connections
+    input  U32 as module_in;
+    output U32 as module_out;
+    // Sub-components
+    contains AFilter as filter_1;
+    contains AFilter as filter_2;
+    // Connections
+    binds controller.cmd_out_1 to filter_1.cmd_in;
+    binds controller.cmd_out_2 to filter_2.cmd_in;
+    binds this.module_in       to filter_1.an_input;
+    binds filter_1.an_output   to filter_2.an_input;
+    binds filter_2.an_output   to this.module_out;
+}
+"""
+
+
+def test_paper_excerpt_parses():
+    adl = parse_adl(PAPER_ADL)
+    assert len(adl.filter_types) == 1
+    assert len(adl.modules) == 1
+    ft = adl.filter_types[0]
+    assert ft.name == "AFilter"
+    assert [d[1] for d in ft.data] == ["a_private_data"]
+    assert [a[1] for a in ft.attributes] == ["an_attribute"]
+    assert ft.source == "the_source.c"
+    assert [(i.direction, i.name) for i in ft.ifaces] == [
+        ("input", "an_input"),
+        ("input", "cmd_in"),
+        ("output", "an_output"),
+    ]
+    # header-qualified type refs
+    assert ft.ifaces[0].ctype.header == "stddefs.h"
+    assert ft.ifaces[0].ctype.name == "U32"
+
+
+def test_module_structure():
+    adl = parse_adl(PAPER_ADL)
+    mod = adl.modules[0]
+    assert mod.name == "AModule"
+    assert mod.controller is not None
+    assert [i.name for i in mod.controller.ifaces] == ["cmd_out_1", "cmd_out_2"]
+    assert mod.controller.source == "ctrl_source.c"
+    assert [(i.type_name, i.name) for i in mod.instances] == [
+        ("AFilter", "filter_1"),
+        ("AFilter", "filter_2"),
+    ]
+    assert [i.name for i in mod.ifaces] == ["module_in", "module_out"]
+    assert len(mod.binds) == 5
+    assert mod.binds[2].src == ("this", "module_in")
+    assert mod.binds[2].dst == ("filter_1", "an_input")
+
+
+def test_struct_declaration():
+    adl = parse_adl("""
+    @Struct
+    struct CbCrMB_t {
+        U32 Addr;
+        U32 InterNotIntra;
+        U32 Izz;
+        U8 pix[16];
+    };
+    """)
+    s = adl.structs[0]
+    assert s.name == "CbCrMB_t"
+    assert [f[1] for f in s.fields] == ["Addr", "InterNotIntra", "Izz", "pix"]
+    assert s.fields[3][2] == 16  # array field
+
+
+def test_extensions_parse():
+    adl = parse_adl("""
+    @Program demo;
+    @Filter
+    primitive F {
+        source f.c;
+        hwaccel;
+        attribute U32 gain = 3;
+        input U32 as i;
+        output U32 as o;
+    }
+    @Module
+    composite M {
+        cluster 2;
+        predicate fast = true;
+        contains as controller { source c.c; maxsteps 10; }
+        contains F as f1 { attribute gain = 7; }
+        input U32 as min_;
+        output U32 as mout;
+        binds this.min_ to f1.i capacity=4 dma=true;
+        binds f1.o to this.mout;
+    }
+    @Module
+    composite N {
+        contains as controller { source c.c; }
+        contains F as f2;
+        input U32 as nin;
+        binds this.nin to f2.i;
+    }
+    binds M.mout to N.nin capacity=2;
+    """)
+    assert adl.program_name == "demo"
+    assert adl.filter_types[0].hw_accel
+    assert adl.filter_types[0].attributes[0][2] == 3
+    mod = adl.modules[0]
+    assert mod.cluster == 2
+    assert mod.predicates == {"fast": True}
+    assert mod.controller.max_steps == 10
+    assert mod.instances[0].attr_overrides == {"gain": 7}
+    assert mod.binds[0].capacity == 4 and mod.binds[0].dma is True
+    assert adl.binds[0].src == ("M", "mout")
+    assert adl.binds[0].capacity == 2
+
+
+def test_comments_and_negative_attribute():
+    adl = parse_adl("""
+    /* block
+       comment */
+    @Filter
+    primitive F {
+        source f.c; // trailing comment
+        attribute S32 bias = -5;
+        input U32 as i;
+    }
+    """)
+    assert adl.filter_types[0].attributes[0][2] == -5
+
+
+@pytest.mark.parametrize(
+    "bad",
+    [
+        "@Bogus",
+        "@Filter primitive F { junk; }",
+        "@Module composite M { contains as controller { source c.c; } contains as controller { source d.c; } }",
+        "@Module composite M { binds a.b to ; }",
+        "@Module composite M { predicate p = maybe; }",
+        "binds a to b;",
+        "@Filter primitive F { input U32 i; }",  # missing 'as'
+    ],
+)
+def test_parse_errors(bad):
+    with pytest.raises(MindError):
+        parse_adl(bad)

@@ -1,0 +1,30 @@
+"""Hardware accelerators change simulated cost, not behaviour."""
+
+from repro.apps.h264.app import build_decoder
+from repro.p2012.soc import PlatformConfig
+
+
+def decode_cycles(pe_cost, accel_cost):
+    cfg = PlatformConfig(
+        n_clusters=2, pes_per_cluster=8,
+        pe_cycles_per_stmt=pe_cost, accel_cycles_per_stmt=accel_cost,
+    )
+    sched, platform, runtime, source, sink, mbs = build_decoder(n_mbs=6, platform_config=cfg)
+    runtime.load()
+    stop = sched.run()
+    assert runtime.classify_stop(stop) == "exited"
+    return sched.now, sink.values
+
+
+def test_accelerated_ipf_reduces_simulated_time():
+    slow_cycles, slow_out = decode_cycles(pe_cost=4, accel_cost=4)
+    fast_cycles, fast_out = decode_cycles(pe_cost=4, accel_cost=1)
+    assert fast_out == slow_out  # identical results
+    assert fast_cycles < slow_cycles  # ipf (hw_accel) runs cheaper
+
+
+def test_statement_cost_scales_simulated_time():
+    c1, out1 = decode_cycles(pe_cost=1, accel_cost=1)
+    c4, out4 = decode_cycles(pe_cost=4, accel_cost=4)
+    assert out1 == out4
+    assert c4 > c1

@@ -1,0 +1,144 @@
+import pytest
+
+from repro.errors import PlatformError
+from repro.p2012 import (
+    DmaController,
+    HostCpu,
+    Memory,
+    MemoryLevel,
+    P2012Platform,
+    PlatformConfig,
+)
+from repro.sim import Delay, Scheduler, StopKind
+
+
+def make_platform(**kwargs):
+    sched = Scheduler()
+    return sched, P2012Platform(sched, PlatformConfig(**kwargs))
+
+
+def test_default_topology_matches_fig1_shape():
+    _, plat = make_platform()
+    report = plat.topology_report()
+    assert report["total_pes"] == 64
+    assert len(report["clusters"]) == 4
+    assert all(c["pes"] == 16 for c in report["clusters"])
+    assert report["host"]["name"] == "host_arm"
+    assert len(report["dma"]) == 2
+
+
+def test_memory_latency_hierarchy_increases():
+    _, plat = make_platform()
+    l1 = plat.clusters[0].l1
+    assert l1.read_latency < plat.l2.read_latency < plat.l3.read_latency
+
+
+def test_allocate_pe_round_robin_until_exhausted():
+    _, plat = make_platform(n_clusters=1, pes_per_cluster=2)
+    a = plat.allocate_pe()
+    a.occupant = "actorA"
+    b = plat.allocate_pe()
+    b.occupant = "actorB"
+    assert a is not b
+    with pytest.raises(PlatformError):
+        plat.allocate_pe()
+
+
+def test_allocate_pe_pinned_cluster():
+    _, plat = make_platform(n_clusters=2, pes_per_cluster=1)
+    pe = plat.allocate_pe(cluster_index=1)
+    assert pe.cluster.index == 1
+
+
+def test_link_cost_levels():
+    _, plat = make_platform()
+    pe_a = plat.clusters[0].pes[0]
+    pe_b = plat.clusters[0].pes[1]
+    pe_c = plat.clusters[1].pes[0]
+    intra = plat.link_cost(pe_a, pe_b)
+    inter = plat.link_cost(pe_a, pe_c)
+    hostl = plat.link_cost(plat.host, pe_a)
+    assert intra.memory.level == MemoryLevel.L1
+    assert inter.memory.level == MemoryLevel.L2
+    assert hostl.memory.level == MemoryLevel.L3
+    assert not intra.dma_assisted and not inter.dma_assisted
+    assert hostl.dma_assisted
+    assert intra.push_cycles < inter.push_cycles < hostl.push_cycles
+
+
+def test_accelerator_allocation():
+    _, plat = make_platform()
+    acc = plat.allocate_accelerator("ipf_hw", cluster_index=2)
+    assert acc.cluster.index == 2
+    assert acc in plat.clusters[2].accelerators
+    assert acc.controlling_pe is plat.clusters[2].pes[0]
+    # accelerator-to-PE link within same cluster is L1
+    cost = plat.link_cost(acc, plat.clusters[2].pes[3])
+    assert cost.memory.level == MemoryLevel.L1
+
+
+def test_memory_counters():
+    mem = Memory("m", MemoryLevel.L1, 256, 2, 3)
+    assert mem.read_cost(4) == 8
+    assert mem.write_cost(2) == 6
+    assert mem.reads == 4 and mem.writes == 2
+    assert mem.accesses == 6
+    mem.reset_counters()
+    assert mem.accesses == 0
+
+
+def test_dma_transfer_cost_and_stats():
+    sched = Scheduler()
+    dma = DmaController(sched, setup_cycles=10, cycles_per_word=2)
+    assert dma.transfer_cost(5) == 20
+    done = []
+
+    def proc():
+        yield from dma.transfer(5)
+        done.append(sched.now)
+
+    sched.spawn(proc(), "p")
+    stop = sched.run()
+    assert stop.kind == StopKind.EXHAUSTED
+    assert done == [20]
+    assert dma.stats.transfers == 1
+    assert dma.stats.words_moved == 5
+
+
+def test_dma_contention_serializes():
+    sched = Scheduler()
+    dma = DmaController(sched, setup_cycles=10, cycles_per_word=0)
+    finish = {}
+
+    def proc(tag):
+        yield from dma.transfer(1)
+        finish[tag] = sched.now
+
+    sched.spawn(proc("a"), "a")
+    sched.spawn(proc("b"), "b")
+    sched.run()
+    # both issue at t=0; the second must wait for the first
+    assert finish["a"] == 10
+    assert finish["b"] == 20
+
+
+def test_dma_idle_gap_does_not_accumulate():
+    sched = Scheduler()
+    dma = DmaController(sched, setup_cycles=10, cycles_per_word=0)
+    finish = []
+
+    def proc():
+        yield from dma.transfer(1)
+        yield Delay(100)  # long idle gap
+        yield from dma.transfer(1)
+        finish.append(sched.now)
+
+    sched.spawn(proc(), "p")
+    sched.run()
+    assert finish == [120]  # 10 + 100 + 10, no stale backlog
+
+
+def test_invalid_config_rejected():
+    sched = Scheduler()
+    with pytest.raises(PlatformError):
+        P2012Platform(sched, PlatformConfig(n_clusters=0))

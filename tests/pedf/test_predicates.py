@@ -1,0 +1,148 @@
+"""Predicated execution — the 'P' of PEDF.
+
+"PEDF also originates from dynamic dataflow modeling [...] it offers
+advanced scheduling capabilities, allowing the modification of the
+dataflow graph behavior during its execution (based on a set of
+predicates) or run some parts of the graph at different rates."
+"""
+
+import pytest
+
+from repro.cminus.typesys import U32
+from repro.core import DataflowSession
+from repro.dbg import CommandCli, Debugger, StopKind
+from repro.p2012.soc import P2012Platform, PlatformConfig
+from repro.pedf import ControllerDecl, FilterDecl, ModuleDecl, ProgramDecl
+from repro.pedf.runtime import PedfRuntime
+from repro.sim import Scheduler
+
+CONTROLLER = """\
+void work() {
+    U32 step = STEP_COUNT();
+    if (PRED(use_fast)) {
+        pedf.io.cmd_fast[0] = step;
+        ACTOR_FIRE(fast);
+    } else {
+        pedf.io.cmd_slow[0] = step;
+        ACTOR_FIRE(slow);
+    }
+    WAIT_FOR_ACTOR_SYNC();
+    if (step == 2) {
+        SET_PRED(use_fast, false);
+    }
+}
+"""
+
+FAST = "void work() { pedf.io.o[0] = pedf.io.cmd[0] * 2; }"
+SLOW = "void work() { pedf.io.o[0] = pedf.io.cmd[0] * 3; }"
+
+
+def build(max_steps=5, use_fast=True):
+    program = ProgramDecl(name="predicated")
+    mod = ModuleDecl(name="m", predicates={"use_fast": use_fast})
+    ctl = ControllerDecl(name="controller", source=CONTROLLER, source_name="ctl.c",
+                         max_steps=max_steps)
+    ctl.add_iface("cmd_fast", "output", U32)
+    ctl.add_iface("cmd_slow", "output", U32)
+    mod.set_controller(ctl)
+    for name, src in (("fast", FAST), ("slow", SLOW)):
+        f = FilterDecl(name=name, source=src, source_name=f"{name}.c")
+        f.add_iface("cmd", "input", U32)
+        f.add_iface("o", "output", U32)
+        mod.add_filter(f)
+    mod.add_iface("out_fast", "output", U32)
+    mod.add_iface("out_slow", "output", U32)
+    mod.bind("controller", "cmd_fast", "fast", "cmd")
+    mod.bind("controller", "cmd_slow", "slow", "cmd")
+    mod.bind("fast", "o", "this", "out_fast")
+    mod.bind("slow", "o", "this", "out_slow")
+    program.add_module(mod)
+
+    sched = Scheduler()
+    platform = P2012Platform(sched, PlatformConfig(n_clusters=1, pes_per_cluster=4))
+    runtime = PedfRuntime(sched, platform, program)
+    fast_sink = runtime.add_sink("fastcap", "m", "out_fast", expect=None)
+    slow_sink = runtime.add_sink("slowcap", "m", "out_slow", expect=None)
+    return sched, runtime, fast_sink, slow_sink
+
+
+def test_predicate_routes_scheduling():
+    sched, runtime, fast_sink, slow_sink = build()
+    runtime.load()
+    stop = sched.run()
+    assert runtime.classify_stop(stop) == "exited"
+    # steps 1-2 via fast, SET_PRED flips at end of step 2, steps 3-5 via slow
+    assert fast_sink.values == [2, 4]
+    assert slow_sink.values == [9, 12, 15]
+    assert runtime.modules["m"].filters["fast"].works_done == 2
+    assert runtime.modules["m"].filters["slow"].works_done == 3
+
+
+def test_initial_predicate_false():
+    sched, runtime, fast_sink, slow_sink = build(use_fast=False)
+    runtime.load()
+    sched.run()
+    assert fast_sink.values == []
+    assert slow_sink.values == [3, 6, 9, 12, 15]
+
+
+def test_set_pred_event_captured_by_debugger():
+    sched, runtime, fast_sink, slow_sink = build()
+    dbg = Debugger(sched, runtime)
+    session = DataflowSession(dbg)
+    dbg.run()
+    assert session.model.predicates == {"m": {"use_fast": False}}
+
+
+def test_debugger_overrides_predicate():
+    """Altering the scheduling dimension: flip the predicate from the
+    debugger at a step boundary and watch the schedule change."""
+    sched, runtime, fast_sink, slow_sink = build(max_steps=4)
+    dbg = Debugger(sched, runtime)
+    cli = CommandCli(dbg)
+    session = DataflowSession(dbg, cli=cli, stop_on_init=True)
+    dbg.run()
+    cp = session.catch_step("begin", temporary=True)
+    ev = dbg.cont()
+    assert "begin of step 1" in ev.message
+    out = cli.execute("sched pred")
+    assert out == ["m.use_fast = true"]
+    cli.execute("sched pred m use_fast false")
+    ev = dbg.cont()
+    assert ev.kind == StopKind.EXITED
+    # the override redirected every step to the slow filter
+    assert fast_sink.values == []
+    assert slow_sink.values == [3, 6, 9, 12]
+
+
+def test_sched_pred_usage_error():
+    sched, runtime, *_ = build()
+    dbg = Debugger(sched, runtime)
+    cli = CommandCli(dbg)
+    DataflowSession(dbg, cli=cli)
+    out = cli.execute("sched pred m use_fast maybe")
+    assert "usage:" in out[0]
+
+
+def test_sched_catch_pred_stops_on_set_pred():
+    """The debugger can stop exactly when the graph behaviour changes."""
+    from repro.dbg import StopKind
+
+    sched, runtime, fast_sink, slow_sink = build(max_steps=5)
+    dbg = Debugger(sched, runtime)
+    cli = CommandCli(dbg)
+    session = DataflowSession(dbg, cli=cli, stop_on_init=True)
+    dbg.run()
+    out = cli.execute("sched catch pred")
+    assert "Catchpoint" in out[0]
+    ev = dbg.cont()
+    assert ev.kind == StopKind.DATAFLOW
+    assert "predicate `m.use_fast' set to false" in ev.message
+    # at the stop the fast path already ran its two steps (the second
+    # token may still be in DMA flight toward the host sink)
+    assert fast_sink.values in ([2], [2, 4])
+    cli.execute("delete 1")
+    ev = dbg.cont()
+    assert ev.kind == StopKind.EXITED
+    assert fast_sink.values == [2, 4]
+    assert slow_sink.values == [9, 12, 15]

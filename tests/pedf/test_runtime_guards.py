@@ -1,0 +1,136 @@
+"""Runtime misuse guards: io discipline and link endpoint rules."""
+
+import pytest
+
+from repro.cminus.typesys import U32
+from repro.errors import PedfError
+from repro.p2012.soc import P2012Platform, PlatformConfig
+from repro.pedf import ControllerDecl, FilterDecl, ModuleDecl, ProgramDecl
+from repro.pedf.runtime import PedfRuntime
+from repro.sim import Scheduler, StopKind
+
+
+def build_single_filter(filter_src, max_steps=1, n_inputs=1, n_outputs=1):
+    program = ProgramDecl(name="g")
+    mod = ModuleDecl(name="m")
+    mod.set_controller(ControllerDecl(
+        name="controller", max_steps=max_steps,
+        source="void work() { ACTOR_FIRE(f); WAIT_FOR_ACTOR_SYNC(); }"))
+    f = FilterDecl(name="f", source=filter_src, source_name="f.c")
+    for i in range(n_inputs):
+        f.add_iface(f"i{i}", "input", U32)
+    for i in range(n_outputs):
+        f.add_iface(f"o{i}", "output", U32)
+    mod.add_filter(f)
+    for i in range(n_inputs):
+        mod.add_iface(f"min{i}", "input", U32)
+        mod.bind("this", f"min{i}", "f", f"i{i}")
+    for i in range(n_outputs):
+        mod.add_iface(f"mout{i}", "output", U32)
+        mod.bind("f", f"o{i}", "this", f"mout{i}")
+    program.add_module(mod)
+    sched = Scheduler()
+    platform = P2012Platform(sched, PlatformConfig(n_clusters=1, pes_per_cluster=4))
+    runtime = PedfRuntime(sched, platform, program)
+    return sched, runtime
+
+
+def test_out_of_order_push_is_a_runtime_error():
+    src = """
+    void work() {
+        U32 v = pedf.io.i0[0];
+        pedf.io.o0[1] = v;   // skips index 0
+    }
+    """
+    sched, runtime = build_single_filter(src)
+    runtime.add_source("s", "m", "min0", [1])
+    runtime.add_sink("k", "m", "mout0", expect=1)
+    runtime.load()
+    stop = sched.run()
+    assert stop.kind == StopKind.PROCESS_ERROR
+    assert "out-of-order push" in str(stop.payload)
+
+
+def test_reread_of_consumed_index_is_stable():
+    """Reading pedf.io.i[0] twice in one invocation returns the same
+    token without consuming another (the structure-dataflow window)."""
+    src = """
+    void work() {
+        U32 a = pedf.io.i0[0];
+        U32 b = pedf.io.i0[0];
+        pedf.io.o0[0] = a * 100 + b;
+    }
+    """
+    sched, runtime = build_single_filter(src)
+    runtime.add_source("s", "m", "min0", [7])
+    sink = runtime.add_sink("k", "m", "mout0", expect=1)
+    runtime.load()
+    stop = sched.run()
+    assert runtime.classify_stop(stop) == "exited"
+    assert sink.values == [707]
+    link = next(l for l in runtime.links if l.dst and l.dst.qualname == "f::i0")
+    assert link.total_popped == 1  # not two
+
+
+def test_negative_io_index_is_a_runtime_error():
+    src = """
+    void work() {
+        S32 k = 0;
+        U32 v = pedf.io.i0[k - 1];
+        pedf.io.o0[0] = v;
+    }
+    """
+    sched, runtime = build_single_filter(src)
+    runtime.add_source("s", "m", "min0", [1])
+    runtime.load()
+    stop = sched.run()
+    assert stop.kind == StopKind.PROCESS_ERROR
+    assert "negative io index" in str(stop.payload)
+
+
+def test_window_resets_between_invocations():
+    src = """
+    void work() {
+        pedf.io.o0[0] = pedf.io.i0[0] + 1;
+    }
+    """
+    sched, runtime = build_single_filter(src, max_steps=3)
+    runtime.add_source("s", "m", "min0", [10, 20, 30])
+    sink = runtime.add_sink("k", "m", "mout0", expect=3)
+    runtime.load()
+    sched.run()
+    assert sink.values == [11, 21, 31]
+
+
+def test_link_endpoint_direction_enforced():
+    from repro.pedf.links import IfaceInst
+
+    sched, runtime = build_single_filter("void work() { pedf.io.o0[0] = pedf.io.i0[0]; }")
+    f = runtime.modules["m"].filters["f"]
+    out_iface = f.ifaces["o0"]
+    in_iface = f.ifaces["i0"]
+    with pytest.raises(PedfError):
+        # pops are only legal on inputs
+        next(out_iface.pop(0))
+    with pytest.raises(PedfError):
+        next(in_iface.push(1, 0))
+
+
+def test_iface_rebind_rejected():
+    sched, runtime = build_single_filter("void work() { pedf.io.o0[0] = pedf.io.i0[0]; }")
+    runtime.add_sink("k", "m", "mout0", expect=1)  # materializes o0's link
+    f = runtime.modules["m"].filters["f"]
+    assert f.ifaces["o0"].link is not None
+    with pytest.raises(PedfError) as e:
+        f.ifaces["o0"].bind(f.ifaces["o0"].link)
+    assert "already bound" in str(e.value)
+
+
+def test_dangling_iface_pop_reports_unbound():
+    sched, runtime = build_single_filter("void work() { pedf.io.o0[0] = pedf.io.i0[0]; }")
+    f = runtime.modules["m"].filters["f"]
+    # module-level aliases exist but no source/sink attached: the actual
+    # actor interfaces are unbound and any traffic is a clear error
+    with pytest.raises(PedfError) as e:
+        next(f.ifaces["i0"].pop(0))
+    assert "not bound to any link" in str(e.value)

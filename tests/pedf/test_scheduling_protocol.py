@@ -1,0 +1,179 @@
+"""The §IV-B step protocol: START / WAIT_INIT / SYNC / WAIT_SYNC."""
+
+import pytest
+
+from repro.cminus.typesys import U32
+from repro.p2012.soc import P2012Platform, PlatformConfig
+from repro.pedf import (
+    ControllerDecl,
+    FilterDecl,
+    ModuleDecl,
+    ProgramDecl,
+    SYM_ACTOR_START,
+    SYM_WAIT_INIT,
+    SYM_WAIT_SYNC,
+    SYM_WORK_ENTER,
+    SYM_WORK_EXIT,
+)
+from repro.pedf.runtime import PedfRuntime
+from repro.sim import Scheduler
+
+
+def build(controller_src, filter_srcs, max_steps=1, sources=None, sinks=None):
+    program = ProgramDecl(name="proto")
+    mod = ModuleDecl(name="m")
+    ctl = ControllerDecl(name="controller", source=controller_src, source_name="ctl.c",
+                         max_steps=max_steps)
+    mod.set_controller(ctl)
+    for name, src, ifaces in filter_srcs:
+        f = FilterDecl(name=name, source=src, source_name=f"{name}.c")
+        for iname, direction in ifaces:
+            f.add_iface(iname, direction, U32)
+        mod.add_filter(f)
+    return program, mod
+
+
+def run_with_events(program, mod, attach=None):
+    sched = Scheduler()
+    platform = P2012Platform(sched, PlatformConfig(n_clusters=1, pes_per_cluster=8))
+    runtime = PedfRuntime(sched, platform, program)
+    if attach:
+        attach(runtime)
+    events = []
+    runtime.bus.subscribe("*", lambda e: events.append(e) or None)
+    runtime.load()
+    stop = sched.run()
+    return runtime, sched, stop, events
+
+
+def test_wait_init_blocks_until_filters_begin():
+    """The controller's WAIT_FOR_ACTOR_INIT exit event must come after
+    every started filter's WORK_ENTER."""
+    ctl = """
+    void work() {
+        ACTOR_START(a);
+        ACTOR_START(b);
+        WAIT_FOR_ACTOR_INIT();
+        ACTOR_SYNC(a);
+        ACTOR_SYNC(b);
+        WAIT_FOR_ACTOR_SYNC();
+    }
+    """
+    filters = [
+        ("a", "void work() { U32 x = 1; }", []),
+        ("b", "void work() { U32 x = 2; }", []),
+    ]
+    program, mod = build(ctl, filters)
+    mod.add_iface("dummy_in", "input", U32)  # keep module well-formed shape
+    p = ProgramDecl(name="proto2")
+    p.add_module(mod)
+    runtime, sched, stop, events = run_with_events(p, mod)
+    assert runtime.classify_stop(stop) == "exited"
+
+    def idx(symbol, phase):
+        return next(i for i, e in enumerate(events) if e.symbol == symbol and e.phase == phase)
+
+    wait_init_exit = idx(SYM_WAIT_INIT, "exit")
+    enters = [i for i, e in enumerate(events) if e.symbol == SYM_WORK_ENTER and e.phase == "entry"]
+    assert len(enters) == 2
+    assert all(i < wait_init_exit for i in enters)
+    # and WAIT_SYNC exits after both WORK_EXITs
+    wait_sync_exit = idx(SYM_WAIT_SYNC, "exit")
+    exits = [i for i, e in enumerate(events) if e.symbol == SYM_WORK_EXIT and e.phase == "entry"]
+    assert all(i < wait_sync_exit for i in exits)
+
+
+def test_double_start_queues_two_invocations():
+    """A filter started twice in one step runs its WORK method twice —
+    the 'run some parts of the graph at different rates' capability."""
+    ctl = """
+    void work() {
+        ACTOR_START(a);
+        ACTOR_START(a);
+        ACTOR_SYNC(a);
+        WAIT_FOR_ACTOR_SYNC();
+    }
+    """
+    filters = [("a", "void work() { pedf.data.n = pedf.data.n + 1; }", [])]
+    program = ProgramDecl(name="proto")
+    mod = ModuleDecl(name="m")
+    c = ControllerDecl(name="controller", source=ctl, source_name="ctl.c", max_steps=3)
+    mod.set_controller(c)
+    f = FilterDecl(name="a", source=filters[0][1], source_name="a.c")
+    f.add_data("n", U32)
+    mod.add_filter(f)
+    program.add_module(mod)
+    runtime, sched, stop, events = run_with_events(program, mod)
+    assert runtime.classify_stop(stop) == "exited"
+    inst = runtime.modules["m"].filters["a"]
+    assert inst.works_done == 6  # 2 per step x 3 steps
+    assert inst.data_store["n"].data == 6
+
+
+def test_actor_start_events_carry_controller_and_target():
+    ctl = "void work() { ACTOR_FIRE(a); WAIT_FOR_ACTOR_SYNC(); }"
+    program = ProgramDecl(name="proto")
+    mod = ModuleDecl(name="m")
+    c = ControllerDecl(name="controller", source=ctl, source_name="ctl.c", max_steps=1)
+    mod.set_controller(c)
+    f = FilterDecl(name="a", source="void work() { }", source_name="a.c")
+    mod.add_filter(f)
+    program.add_module(mod)
+    runtime, sched, stop, events = run_with_events(program, mod)
+    starts = [e for e in events if e.symbol == SYM_ACTOR_START and e.phase == "entry"]
+    assert len(starts) == 1
+    assert starts[0].args == {"controller": "m.controller", "actor": "m.a"}
+    assert starts[0].actor == "m.controller"
+
+
+def test_unknown_actor_in_start_is_a_runtime_error():
+    # bypass sema validation by constructing the controller without an
+    # actor list check (call through a variable is impossible; instead we
+    # exercise the runtime guard directly)
+    from repro.errors import PedfError
+    from repro.sim import StopKind
+
+    ctl = "void work() { ACTOR_FIRE(a); WAIT_FOR_ACTOR_SYNC(); }"
+    program = ProgramDecl(name="proto")
+    mod = ModuleDecl(name="m")
+    c = ControllerDecl(name="controller", source=ctl, source_name="ctl.c", max_steps=1)
+    mod.set_controller(c)
+    f = FilterDecl(name="a", source="void work() { }", source_name="a.c")
+    mod.add_filter(f)
+    program.add_module(mod)
+    sched = Scheduler()
+    platform = P2012Platform(sched, PlatformConfig(n_clusters=1, pes_per_cluster=4))
+    runtime = PedfRuntime(sched, platform, program)
+    # sabotage after compile: remove the filter from the live module
+    runtime.load()
+    del runtime.modules["m"].filters["a"]
+    stop = sched.run()
+    assert stop.kind == StopKind.PROCESS_ERROR
+    assert isinstance(stop.payload, PedfError)
+
+
+def test_filters_idle_between_steps():
+    """Without ACTOR_START a filter never runs, even with data waiting."""
+    ctl = "void work() { }"  # schedules nothing
+    program = ProgramDecl(name="proto")
+    mod = ModuleDecl(name="m")
+    c = ControllerDecl(name="controller", source=ctl, source_name="ctl.c", max_steps=2)
+    mod.set_controller(c)
+    f = FilterDecl(name="a", source="void work() { U32 v = pedf.io.i[0]; }", source_name="a.c")
+    f.add_iface("i", "input", U32)
+    mod.add_filter(f)
+    mod.add_iface("min_", "input", U32)
+    mod.bind("this", "min_", "a", "i")
+    program.add_module(mod)
+    sched = Scheduler()
+    platform = P2012Platform(sched, PlatformConfig(n_clusters=1, pes_per_cluster=4))
+    runtime = PedfRuntime(sched, platform, program)
+    runtime.add_source("s", "m", "min_", [1, 2, 3])
+    runtime.load()
+    stop = sched.run()
+    assert runtime.classify_stop(stop) == "exited"
+    inst = runtime.modules["m"].filters["a"]
+    assert inst.works_done == 0
+    # the data is still parked on the link
+    link = next(l for l in runtime.links if l.dst and l.dst.qualname == "a::i")
+    assert link.occupancy == 3

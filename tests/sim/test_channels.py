@@ -1,0 +1,208 @@
+"""Unit + property tests for the FIFO channel."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import Delay, Fifo, Scheduler, StopKind
+
+
+def drive(sched):
+    stop = sched.run()
+    assert stop.kind == StopKind.EXHAUSTED, stop
+    return stop
+
+
+def test_put_get_preserves_fifo_order():
+    sched = Scheduler()
+    fifo = Fifo(sched, capacity=4)
+    got = []
+
+    def producer():
+        for i in range(10):
+            yield from fifo.put(i)
+
+    def consumer():
+        for _ in range(10):
+            item = yield from fifo.get()
+            got.append(item)
+
+    sched.spawn(producer(), "prod")
+    sched.spawn(consumer(), "cons")
+    drive(sched)
+    assert got == list(range(10))
+
+
+def test_bounded_capacity_blocks_producer():
+    sched = Scheduler()
+    fifo = Fifo(sched, capacity=2)
+    log = []
+
+    def producer():
+        for i in range(4):
+            yield from fifo.put(i)
+            log.append(("put", i, sched.now))
+
+    def consumer():
+        yield Delay(100)
+        while True:
+            item = fifo.try_get()
+            if item is None:
+                break
+            log.append(("got", item, sched.now))
+            yield Delay(10)
+
+    sched.spawn(producer(), "prod")
+    sched.spawn(consumer(), "cons")
+    drive(sched)
+    puts = [e for e in log if e[0] == "put"]
+    # first two puts at t=0, the rest only after the consumer drains
+    assert puts[0][2] == 0 and puts[1][2] == 0
+    assert puts[2][2] >= 100
+
+
+def test_unbounded_fifo_never_blocks_producer():
+    sched = Scheduler()
+    fifo = Fifo(sched, capacity=0)
+
+    def producer():
+        for i in range(1000):
+            yield from fifo.put(i)
+
+    sched.spawn(producer(), "prod")
+    drive(sched)
+    assert len(fifo) == 1000
+    assert fifo.snapshot()[:3] == [0, 1, 2]
+
+
+def test_consumer_blocks_until_data():
+    sched = Scheduler()
+    fifo = Fifo(sched)
+    log = []
+
+    def consumer():
+        item = yield from fifo.get()
+        log.append((item, sched.now))
+
+    def producer():
+        yield Delay(7)
+        yield from fifo.put("x")
+
+    sched.spawn(consumer(), "cons")
+    sched.spawn(producer(), "prod")
+    drive(sched)
+    assert log == [("x", 7)]
+
+
+def test_multiple_consumers_each_get_distinct_items():
+    sched = Scheduler()
+    fifo = Fifo(sched)
+    got = {}
+
+    def consumer(tag):
+        item = yield from fifo.get()
+        got[tag] = item
+
+    def producer():
+        yield Delay(1)
+        yield from fifo.put(1)
+        yield Delay(1)
+        yield from fifo.put(2)
+
+    sched.spawn(consumer("a"), "a")
+    sched.spawn(consumer("b"), "b")
+    sched.spawn(producer(), "p")
+    drive(sched)
+    assert sorted(got.values()) == [1, 2]
+
+
+def test_force_put_wakes_blocked_consumer():
+    """Debugger token injection unties a blocked consumer."""
+    sched = Scheduler()
+    fifo = Fifo(sched)
+    log = []
+
+    def consumer():
+        item = yield from fifo.get()
+        log.append(item)
+
+    sched.spawn(consumer(), "cons")
+    stop = sched.run()
+    assert stop.kind == StopKind.DEADLOCK
+    fifo.force_put("injected")
+    drive(sched)
+    assert log == ["injected"]
+
+
+def test_force_put_with_index_positions_item():
+    sched = Scheduler()
+    fifo = Fifo(sched)
+    for i in range(3):
+        fifo.try_put(i)
+    fifo.force_put(99, index=1)
+    assert fifo.snapshot() == [0, 99, 1, 2]
+
+
+def test_remove_at_and_replace_at():
+    sched = Scheduler()
+    fifo = Fifo(sched)
+    for i in range(4):
+        fifo.try_put(i)
+    assert fifo.remove_at(2) == 2
+    assert fifo.snapshot() == [0, 1, 3]
+    assert fifo.replace_at(1, "new") == 1
+    assert fifo.snapshot() == [0, "new", 3]
+
+
+def test_try_put_respects_capacity():
+    sched = Scheduler()
+    fifo = Fifo(sched, capacity=1)
+    assert fifo.try_put("a")
+    assert not fifo.try_put("b")
+    assert fifo.try_get() == "a"
+    assert fifo.try_get() is None
+
+
+def test_counters_track_traffic():
+    sched = Scheduler()
+    fifo = Fifo(sched)
+    fifo.try_put(1)
+    fifo.try_put(2)
+    fifo.try_get()
+    assert fifo.total_put == 2
+    assert fifo.total_got == 1
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    items=st.lists(st.integers(), max_size=60),
+    capacity=st.integers(min_value=1, max_value=8),
+    consumer_delay=st.integers(min_value=0, max_value=5),
+    producer_delay=st.integers(min_value=0, max_value=5),
+)
+def test_property_fifo_order_preserved(items, capacity, consumer_delay, producer_delay):
+    """Whatever the capacity and timing, a single producer/consumer pair
+    observes items in exact production order with none lost or duplicated.
+    This is the token-determinism property the paper's debugger relies on."""
+    sched = Scheduler()
+    fifo = Fifo(sched, capacity=capacity)
+    got = []
+
+    def producer():
+        for x in items:
+            yield from fifo.put(x)
+            if producer_delay:
+                yield Delay(producer_delay)
+
+    def consumer():
+        for _ in items:
+            item = yield from fifo.get()
+            got.append(item)
+            if consumer_delay:
+                yield Delay(consumer_delay)
+
+    sched.spawn(producer(), "prod")
+    sched.spawn(consumer(), "cons")
+    stop = sched.run()
+    assert stop.kind == StopKind.EXHAUSTED
+    assert got == items
+    assert fifo.empty

@@ -1,0 +1,103 @@
+"""Kernel-level freeze/thaw (paper §III path blocking)."""
+
+from repro.sim import Delay, ProcessState, Scheduler, StopKind, WaitEvent
+
+
+def test_freeze_ready_process_holds_it():
+    sched = Scheduler()
+    log = []
+
+    def proc(tag):
+        for _ in range(2):
+            log.append(tag)
+            yield Delay(1)
+
+    a = sched.spawn(proc("a"), "a")
+    b = sched.spawn(proc("b"), "b")
+    sched.freeze(b)
+    stop = sched.run()
+    assert stop.kind == StopKind.DEADLOCK  # b still frozen
+    assert log == ["a", "a"]
+    assert "b (frozen)" in stop.payload
+    sched.thaw(b)
+    stop = sched.run()
+    assert stop.kind == StopKind.EXHAUSTED
+    assert log == ["a", "a", "b", "b"]
+
+
+def test_freeze_timed_process_parks_on_wake():
+    sched = Scheduler()
+    log = []
+
+    def sleeper():
+        yield Delay(5)
+        log.append(sched.now)
+
+    p = sched.spawn(sleeper(), "p")
+    sched.run(max_dispatches=1)  # let it enter its sleep
+    sched.freeze(p)
+    stop = sched.run()
+    assert stop.kind == StopKind.DEADLOCK
+    assert p.state == ProcessState.FROZEN
+    assert log == []
+    sched.thaw(p)
+    sched.run()
+    assert log == [5]
+
+
+def test_freeze_waiting_process_intercepts_notify():
+    sched = Scheduler()
+    ev = sched.event()
+    log = []
+
+    def waiter():
+        yield WaitEvent(ev)
+        log.append("woke")
+
+    p = sched.spawn(waiter(), "w")
+    sched.run(max_dispatches=1)
+    sched.freeze(p)
+    ev.notify()
+    stop = sched.run()
+    assert stop.kind == StopKind.DEADLOCK
+    assert log == []
+    sched.thaw(p)
+    sched.run()
+    assert log == ["woke"]
+
+
+def test_freeze_thaw_idempotent():
+    sched = Scheduler()
+
+    def proc():
+        yield Delay(1)
+
+    p = sched.spawn(proc(), "p")
+    sched.freeze(p)
+    sched.freeze(p)
+    sched.thaw(p)
+    sched.thaw(p)
+    assert sched.run().kind == StopKind.EXHAUSTED
+
+
+def test_freeze_actor_blocks_one_dataflow_path():
+    """Freeze ipf mid-decode: upstream backs up, the rest of the pipeline
+    drains, thaw completes the sequence — the §III stepping scenario."""
+    from repro.apps.h264.app import build_decoder
+    from repro.dbg import CommandCli, Debugger, StopKind as DStopKind
+
+    sched, platform, runtime, source, sink, mbs = build_decoder(n_mbs=4)
+    dbg = Debugger(sched, runtime)
+    cli = CommandCli(dbg)
+    dbg.break_source("ipred.c:7", temporary=True)
+    dbg.run()
+    out = cli.execute("freeze ipf")
+    assert "frozen" in out[0]
+    ev = dbg.cont()
+    assert ev.kind == DStopKind.DEADLOCK
+    assert "pred.ipf (frozen)" in ev.message
+    assert sink.values == []  # nothing reached the display
+    cli.execute("thaw ipf")
+    ev = dbg.cont()
+    assert ev.kind == DStopKind.EXITED
+    assert len(sink.values) == 4

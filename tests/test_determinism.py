@@ -1,0 +1,67 @@
+"""End-to-end determinism: the invariant the paper's approach rests on.
+
+"The deterministic nature of dataflow communications fades away the
+intrusiveness brought by debugger breakpoints and user interactions.
+Indeed, the execution semantic is not altered by the slowdown they
+introduce."  Two identical runs must match event for event; a run under a
+(non-intervening) debugger must match a native run cycle for cycle.
+"""
+
+from repro.apps.h264.app import build_decoder
+from repro.core import DataflowSession
+from repro.dbg import Debugger
+
+
+def run_once(with_debugger: bool, n_mbs: int = 12):
+    sched, platform, runtime, source, sink, mbs = build_decoder(n_mbs=n_mbs)
+    events = []
+    runtime.bus.subscribe(
+        "*",
+        lambda e: events.append((e.phase, e.symbol, e.actor, repr(sorted(e.args.items())))) or None,
+    )
+    if with_debugger:
+        dbg = Debugger(sched, runtime)
+        session = DataflowSession(dbg)
+        dbg.run()
+    else:
+        runtime.load()
+        sched.run()
+    return sink.values, sched.now, events
+
+
+def test_identical_runs_produce_identical_event_streams():
+    out1, t1, ev1 = run_once(False)
+    out2, t2, ev2 = run_once(False)
+    assert out1 == out2
+    assert t1 == t2
+    assert ev1 == ev2  # every framework event, in order, identical
+
+
+def test_debugger_attachment_is_cycle_transparent():
+    native_out, native_t, native_ev = run_once(False)
+    dbg_out, dbg_t, dbg_ev = run_once(True)
+    assert dbg_out == native_out
+    assert dbg_t == native_t
+    assert dbg_ev == native_ev
+
+
+def test_debugger_stops_and_resumes_preserve_semantics():
+    """Even with many stops along the way, the final state matches a
+    straight-through run exactly."""
+    from repro.dbg import StopKind
+
+    native_out, native_t, _ = run_once(False)
+
+    sched, platform, runtime, source, sink, mbs = build_decoder(n_mbs=12)
+    dbg = Debugger(sched, runtime)
+    session = DataflowSession(dbg)
+    session.catch_step("begin")  # stop at every step of both controllers
+    stops = 0
+    ev = dbg.run()
+    while ev.kind == StopKind.DATAFLOW:
+        stops += 1
+        ev = dbg.cont()
+    assert ev.kind == StopKind.EXITED
+    assert stops == 24  # 12 steps x 2 controllers
+    assert sink.values == native_out
+    assert sched.now == native_t
