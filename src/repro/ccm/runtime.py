@@ -232,6 +232,7 @@ class AssemblyRuntime:
         self._hook = hook
         for comp in self.components.values():
             comp.interp.hook = hook
+            comp.interp.refresh_hook_caps()
 
     def all_actors(self) -> List[ComponentInst]:
         return list(self.components.values())

@@ -117,7 +117,25 @@ class DebugHook:
     Each method may return ``None`` (keep going) or a kernel request —
     normally :class:`~repro.sim.process.Suspend` — which the interpreter
     yields before proceeding.
+
+    :attr:`capabilities` is the hook-elision bitmask (paper §V: disabling
+    instrumentation "would significantly improve performance during the
+    non-interactive parts of the execution").  The debugger lowers bits
+    whenever no breakpoint of the matching kind could possibly fire; the
+    interpreter caches the mask (:meth:`Interpreter.refresh_hook_caps`)
+    and then skips the callback entirely — the software analogue of GDB
+    physically removing its trap instructions.  The default is
+    ``CAP_ALL`` so hand-written hooks observe everything unless a
+    debugger actively manages the mask.
     """
+
+    CAP_STATEMENTS = 0x1
+    CAP_CALLS = 0x2
+    CAP_RETURNS = 0x4
+    CAP_DATA = 0x8
+    CAP_ALL = 0xF
+
+    capabilities: int = CAP_ALL
 
     def on_statement(self, interp: "Interpreter", stmt: ast.Stmt) -> Optional[Suspend]:
         return None
@@ -217,6 +235,20 @@ class Interpreter:
         self.globals: Dict[str, Value] = {}
         self.state = CallState()
         self._globals_ready = False
+        # hook-elision fast-path flags, cached from hook.capabilities so the
+        # per-statement checkpoint is one attribute test when disarmed
+        self._want_stmt = True
+        self._want_call = True
+        self._want_ret = True
+        self.refresh_hook_caps()
+
+    def refresh_hook_caps(self) -> None:
+        """Re-cache the hook's capability mask (call after changing either
+        ``self.hook`` or ``hook.capabilities``)."""
+        caps = DebugHook.CAP_ALL if self.hook is None else self.hook.capabilities
+        self._want_stmt = bool(caps & DebugHook.CAP_STATEMENTS)
+        self._want_call = bool(caps & DebugHook.CAP_CALLS)
+        self._want_ret = bool(caps & DebugHook.CAP_RETURNS)
 
     # ------------------------------------------------------------- queries
 
@@ -269,8 +301,9 @@ class Interpreter:
         frame.scopes.append(params)
         self.frames.append(frame)
         self.state.calls_made += 1
-        if self.hook:
-            req = self.hook.on_call(self, frame)
+        hook = self.hook
+        if hook is not None and self._want_call:
+            req = hook.on_call(self, frame)
             if req is not None:
                 yield req
         if self.timed and self.cost.call_overhead:
@@ -282,8 +315,9 @@ class Interpreter:
                 ret = default_value(func.ret)
         except _Return as r:
             ret = r.value if r.value is not None else 0
-        if self.hook:
-            req = self.hook.on_return(self, frame, ret)
+        hook = self.hook
+        if hook is not None and self._want_ret:
+            req = hook.on_return(self, frame, ret)
             self.frames.pop()
             if req is not None:
                 yield req
@@ -309,8 +343,9 @@ class Interpreter:
         frame = self.frames[-1]
         frame.line = stmt.line
         self.state.statements_executed += 1
-        if self.hook:
-            req = self.hook.on_statement(self, stmt)
+        hook = self.hook
+        if hook is not None and self._want_stmt:
+            req = hook.on_statement(self, stmt)
             if req is not None:
                 yield req
         if self.timed:

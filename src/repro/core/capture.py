@@ -136,9 +136,8 @@ class EventCapture:
     # ---------------------------------------------------------- catch logic
 
     def _catchpoints(self) -> Iterable[DataflowCatchpoint]:
-        for cp in self.dbg.breakpoints.all.values():
-            if isinstance(cp, DataflowCatchpoint) and cp.enabled and not cp.deleted:
-                yield cp
+        # indexed by category: no scan over source/function/api breakpoints
+        return self.dbg.breakpoints.catchpoints()
 
     def _stop_if(self, message: Optional[str], cp: DataflowCatchpoint,
                  event: FrameworkEvent) -> Union[bool, StopEvent]:

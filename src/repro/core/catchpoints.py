@@ -63,6 +63,7 @@ class DataflowCatchpoint(BreakpointBase):
     """Base for catchpoints evaluated by the capture layer."""
 
     kind = "dataflow"
+    index_category = "catch"
 
     def check_work_enter(self, actor: DbgActor) -> Optional[str]:
         return None

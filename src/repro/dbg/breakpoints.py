@@ -13,7 +13,7 @@ debugger stops only if it returns True (GDB Python API semantics).
 from __future__ import annotations
 
 import itertools
-from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional
+from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..errors import DebuggerError
 
@@ -26,11 +26,15 @@ class BreakpointBase:
     """State common to every breakpoint kind."""
 
     kind = "breakpoint"
+    #: which registry index (and armed-count bucket) this kind lives in;
+    #: ``None`` keeps the breakpoint out of the hot-path indices entirely
+    index_category: Optional[str] = None
 
     def __init__(self, *, temporary: bool = False, internal: bool = False,
                  condition: Optional[str] = None, actor: Optional[str] = None):
         self.id: int = -1  # assigned by the registry
-        self.enabled = True
+        self._enabled = True
+        self._registry: Optional["BreakpointRegistry"] = None
         self.temporary = temporary
         #: internal breakpoints do not show in `info breakpoints` — the
         #: dataflow extension's capture breakpoints are internal, like the
@@ -41,6 +45,21 @@ class BreakpointBase:
         self.ignore_count = 0
         self.hit_count = 0
         self.deleted = False
+
+    # -- enable/disable -----------------------------------------------------
+
+    @property
+    def enabled(self) -> bool:
+        return self._enabled
+
+    @enabled.setter
+    def enabled(self, value: bool) -> None:
+        value = bool(value)
+        if value == self._enabled:
+            return
+        self._enabled = value
+        if self._registry is not None:
+            self._registry._on_enabled_toggle(self, value)
 
     # -- overridable (GDB Python API style) --------------------------------
 
@@ -70,6 +89,7 @@ class BreakpointBase:
 
 class SourceBreakpoint(BreakpointBase):
     kind = "source"
+    index_category = "source"
 
     def __init__(self, filename: str, line: int, **kwargs):
         super().__init__(**kwargs)
@@ -89,6 +109,7 @@ class FunctionBreakpoint(BreakpointBase):
     """Breaks on entry of a Filter-C function (by possibly-mangled symbol)."""
 
     kind = "function"
+    index_category = "function"
 
     def __init__(self, symbol: str, **kwargs):
         super().__init__(**kwargs)
@@ -112,6 +133,7 @@ class ApiBreakpoint(BreakpointBase):
     """
 
     kind = "api"
+    index_category = "api"
 
     def __init__(
         self,
@@ -150,6 +172,7 @@ class Watchpoint(BreakpointBase):
     """Stops when an expression's value changes in a given actor."""
 
     kind = "watch"
+    index_category = "watch"
 
     def __init__(self, expr_text: str, actor: str, **kwargs):
         super().__init__(actor=actor, **kwargs)
@@ -165,6 +188,7 @@ class FinishBreakpoint(BreakpointBase):
     """Fires when a specific frame returns (GDB's FinishBreakpoint)."""
 
     kind = "finish"
+    index_category = "finish"
 
     def __init__(self, frame: "Frame", interp: "Interpreter", **kwargs):
         kwargs.setdefault("temporary", True)
@@ -182,12 +206,95 @@ class FinishBreakpoint(BreakpointBase):
 
 
 class BreakpointRegistry:
-    """Owns every breakpoint; provides the lookup indices the hook uses."""
+    """Owns every breakpoint; provides the lookup indices the hook uses.
+
+    Hot-path queries are O(1) dict lookups, maintained incrementally on
+    ``add`` / ``remove`` / enable / disable:
+
+    - source breakpoints are keyed by ``(filename, line)``;
+    - function breakpoints by symbol;
+    - watchpoints by actor qualname;
+    - finish breakpoints by the interpreter they watch;
+    - dataflow catchpoints and API breakpoints in flat per-category lists.
+
+    ``armed_count(category)`` answers "could anything of this kind fire?"
+    without allocating; :attr:`on_change` (set by the debugger) fires on
+    every mutation so hook capabilities can be recomputed.
+    """
 
     def __init__(self) -> None:
         self._next_id = itertools.count(1)
         self._next_internal_id = itertools.count(-1, -1)
         self.all: Dict[int, BreakpointBase] = {}
+        self._source_at: Dict[Tuple[str, int], List[SourceBreakpoint]] = {}
+        self._function_at: Dict[str, List[FunctionBreakpoint]] = {}
+        self._watch_at: Dict[str, List[Watchpoint]] = {}
+        self._finish_at: Dict[int, List[FinishBreakpoint]] = {}
+        self._flat: Dict[str, List[BreakpointBase]] = {}  # "api" / "catch"
+        self._armed: Dict[str, int] = {}
+        #: bumped on every structural mutation (add/remove/enable/disable)
+        self.generation = 0
+        #: notified after every mutation; the debugger re-derives its hook
+        #: capability mask here (hook elision)
+        self.on_change: Optional[Callable[[], None]] = None
+
+    # ------------------------------------------------------------- indices
+
+    def _bucket(self, bp: BreakpointBase) -> Optional[List]:
+        cat = bp.index_category
+        if cat == "source":
+            return self._source_at.setdefault((bp.filename, bp.line), [])
+        if cat == "function":
+            return self._function_at.setdefault(bp.symbol, [])
+        if cat == "watch":
+            return self._watch_at.setdefault(bp.actor, [])
+        if cat == "finish":
+            return self._finish_at.setdefault(id(bp.interp), [])
+        if cat is not None:
+            return self._flat.setdefault(cat, [])
+        return None
+
+    def _drop_from_bucket(self, bp: BreakpointBase) -> None:
+        cat = bp.index_category
+        if cat == "source":
+            table, key = self._source_at, (bp.filename, bp.line)
+        elif cat == "function":
+            table, key = self._function_at, bp.symbol
+        elif cat == "watch":
+            table, key = self._watch_at, bp.actor
+        elif cat == "finish":
+            table, key = self._finish_at, id(bp.interp)
+        elif cat is not None:
+            table, key = self._flat, cat
+        else:
+            return
+        bucket = table.get(key)
+        if bucket is None:
+            return
+        try:
+            bucket.remove(bp)
+        except ValueError:  # pragma: no cover - defensive
+            pass
+        if not bucket:
+            del table[key]
+
+    def _changed(self) -> None:
+        self.generation += 1
+        if self.on_change is not None:
+            self.on_change()
+
+    def _on_enabled_toggle(self, bp: BreakpointBase, enabled: bool) -> None:
+        cat = bp.index_category
+        if cat is not None:
+            self._armed[cat] = self._armed.get(cat, 0) + (1 if enabled else -1)
+        self._changed()
+
+    def armed_count(self, category: str) -> int:
+        """Enabled breakpoints in a category ('source', 'function',
+        'watch', 'finish', 'api', 'catch') — O(1), no allocation."""
+        return self._armed.get(category, 0)
+
+    # ---------------------------------------------------------- life cycle
 
     def add(self, bp: BreakpointBase) -> BreakpointBase:
         # internal breakpoints get negative numbers, like GDB's, so user
@@ -195,6 +302,14 @@ class BreakpointRegistry:
         # breakpoints by accident
         bp.id = next(self._next_internal_id) if bp.internal else next(self._next_id)
         self.all[bp.id] = bp
+        bp._registry = self
+        bucket = self._bucket(bp)
+        if bucket is not None:
+            bucket.append(bp)
+            if bp.enabled:
+                cat = bp.index_category
+                self._armed[cat] = self._armed.get(cat, 0) + 1
+        self._changed()
         return bp
 
     def remove(self, bp_id: int) -> BreakpointBase:
@@ -202,8 +317,13 @@ class BreakpointRegistry:
         if bp is None:
             raise DebuggerError(f"no breakpoint {bp_id}")
         bp.deleted = True
+        self._drop_from_bucket(bp)
+        if bp.enabled and bp.index_category is not None:
+            self._armed[bp.index_category] = self._armed.get(bp.index_category, 1) - 1
+        bp._registry = None
         if isinstance(bp, ApiBreakpoint) and bp.subscription is not None:
             bp.subscription.unsubscribe()
+        self._changed()
         return bp
 
     def get(self, bp_id: int) -> BreakpointBase:
@@ -214,6 +334,45 @@ class BreakpointRegistry:
 
     def visible(self) -> List[BreakpointBase]:
         return [bp for bp in self.all.values() if not bp.internal]
+
+    # ------------------------------------------------------ hot-path lookups
+
+    def source_bps_at(self, filename: str, line: int) -> Sequence[SourceBreakpoint]:
+        """Enabled source breakpoints at exactly ``filename:line``."""
+        bucket = self._source_at.get((filename, line))
+        if not bucket:
+            return ()
+        return [bp for bp in bucket if bp._enabled]
+
+    def function_bps_for(self, symbol: str) -> Sequence[FunctionBreakpoint]:
+        """Enabled function breakpoints on ``symbol``."""
+        bucket = self._function_at.get(symbol)
+        if not bucket:
+            return ()
+        return [bp for bp in bucket if bp._enabled]
+
+    def watchpoints_for(self, actor: str) -> Sequence[Watchpoint]:
+        """Enabled watchpoints scoped to one actor qualname."""
+        bucket = self._watch_at.get(actor)
+        if not bucket:
+            return ()
+        return [wp for wp in bucket if wp._enabled]
+
+    def finish_bps_for(self, interp: "Interpreter") -> Sequence[FinishBreakpoint]:
+        """Enabled finish breakpoints watching frames of ``interp``."""
+        bucket = self._finish_at.get(id(interp))
+        if not bucket:
+            return ()
+        return [bp for bp in bucket if bp._enabled]
+
+    def catchpoints(self) -> Sequence[BreakpointBase]:
+        """Enabled dataflow catchpoints (the capture layer's per-event scan)."""
+        bucket = self._flat.get("catch")
+        if not bucket:
+            return ()
+        return [cp for cp in bucket if cp._enabled]
+
+    # ------------------------------------------- legacy full-list accessors
 
     def source_bps(self) -> List[SourceBreakpoint]:
         return [bp for bp in self.all.values()

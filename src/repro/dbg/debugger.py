@@ -88,15 +88,42 @@ class Debugger:
         #: callbacks run on every stop (the extension API's event registry)
         self.stop_callbacks: List[Callable[[StopEvent], None]] = []
         scheduler.pre_dispatch_hook = self._pre_dispatch
+        # fast path: keep the kernel's pre-dispatch callback disarmed until
+        # a pause is actually pending — zero per-dispatch cost otherwise
+        scheduler.set_pre_dispatch_armed(False)
+        self.breakpoints.on_change = self._recompute_capabilities
+        self._recompute_capabilities()
 
     # ------------------------------------------------------------ plumbing
 
     def _actor_of(self, interp: Interpreter) -> Optional[ActorInst]:
         return self._actor_by_interp.get(id(interp))
 
+    def _recompute_capabilities(self) -> None:
+        """Re-derive the hook capability mask from what is armed (§V hook
+        elision).  Called on every registry mutation and step-state change;
+        when nothing can fire, interpreters skip instrumentation entirely."""
+        reg = self.breakpoints
+        caps = 0
+        if self._step is not None or reg.armed_count("source") or reg.armed_count("watch"):
+            caps |= DebugHook.CAP_STATEMENTS
+        if reg.armed_count("function"):
+            caps |= DebugHook.CAP_CALLS
+        if reg.armed_count("finish"):
+            caps |= DebugHook.CAP_RETURNS
+        if reg.armed_count("api") or reg.armed_count("catch"):
+            caps |= DebugHook.CAP_DATA
+        if caps != self.hook.capabilities:
+            self.hook.capabilities = caps
+            for actor in self.runtime.all_actors():
+                interp = getattr(actor, "interp", None)
+                if interp is not None:
+                    interp.refresh_hook_caps()
+
     def _pre_dispatch(self, process):
         if self._pause_requested:
             self._pause_requested = False
+            self.scheduler.set_pre_dispatch_armed(False)
             ev = StopEvent(StopKind.PAUSED, "execution interrupted", time=self.scheduler.now)
             self._record_stop(ev, None)
             return Suspend(ev)
@@ -105,6 +132,7 @@ class Debugger:
     def request_pause(self) -> None:
         """Ask the kernel to stop before the next dispatch (Ctrl-C)."""
         self._pause_requested = True
+        self.scheduler.set_pre_dispatch_armed(True)
 
     def _record_stop(self, ev: StopEvent, actor: Optional[ActorInst]) -> None:
         ev.time = self.scheduler.now
@@ -113,7 +141,9 @@ class Debugger:
         if actor is not None:
             self.selected_actor = actor
             self.selected_frame_index = 0
-        self._step = None
+        if self._step is not None:
+            self._step = None
+            self._recompute_capabilities()
 
     def _suspend(self, ev: StopEvent, actor: Optional[ActorInst]) -> Suspend:
         self._record_stop(ev, actor)
@@ -131,23 +161,20 @@ class Debugger:
         cur = (frame.depth, stmt.line)
         self._last_lines[key] = cur
         new_line = prev != cur
+        reg = self.breakpoints
 
-        # 1. source breakpoints (on line entry)
-        if new_line:
-            for bp in self.breakpoints.source_bps():
-                if bp.line != stmt.line or bp.filename != frame.filename:
-                    continue
+        # 1. source breakpoints (on line entry) — O(1) (file, line) lookup
+        if new_line and reg.armed_count("source"):
+            for bp in reg.source_bps_at(frame.filename, stmt.line):
                 if bp.actor and (actor is None or actor.qualname != bp.actor):
                     continue
                 req = self._fire_location_bp(bp, StopKind.BREAKPOINT, interp, actor, frame)
                 if req is not None:
                     return req
 
-        # 2. watchpoints scoped to this actor
-        if actor is not None:
-            for wp in self.breakpoints.watchpoints():
-                if wp.actor != actor.qualname:
-                    continue
+        # 2. watchpoints scoped to this actor — O(1) actor lookup
+        if actor is not None and reg.armed_count("watch"):
+            for wp in reg.watchpoints_for(actor.qualname):
                 req = self._check_watchpoint(wp, interp, actor, frame)
                 if req is not None:
                     return req
@@ -246,9 +273,7 @@ class Debugger:
 
     def _on_call(self, interp: Interpreter, frame: Frame) -> Optional[Suspend]:
         actor = self._actor_of(interp)
-        for bp in self.breakpoints.function_bps():
-            if bp.symbol != frame.func.name:
-                continue
+        for bp in self.breakpoints.function_bps_for(frame.func.name):
             if bp.actor and (actor is None or actor.qualname != bp.actor):
                 continue
             req = self._fire_location_bp(
@@ -260,8 +285,8 @@ class Debugger:
 
     def _on_return(self, interp: Interpreter, frame: Frame, value) -> Optional[Suspend]:
         actor = self._actor_of(interp)
-        for bp in self.breakpoints.finish_bps():
-            if bp.interp is not interp or bp.frame is not frame:
+        for bp in self.breakpoints.finish_bps_for(interp):
+            if bp.frame is not frame:
                 continue
             if not bp.register_hit():
                 continue
@@ -498,6 +523,8 @@ class Debugger:
             raise DebuggerError("no stopped actor frame to step from")
         frame = actor.interp.frame
         self._step = _StepState(mode=mode, actor=actor.qualname, depth=frame.depth, line=frame.line)
+        # stepping needs the statement path armed even with zero breakpoints
+        self._recompute_capabilities()
         return self.cont()
 
     def step(self) -> StopEvent:

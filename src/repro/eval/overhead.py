@@ -10,6 +10,8 @@ The comparison decodes the same macroblock sequence under:
 
 ====================  =======================================================
 ``native``             no debugger attached at all
+``attached-idle``      debugger attached, nothing armed (hook elision: the
+                       interpreters skip instrumentation entirely)
 ``attached``           debugger attached, dataflow session, no data capture
                        ("none" — mitigation 1, fully off)
 ``control-only``       only control-token breakpoints ("control tokens do
@@ -68,6 +70,23 @@ def _run_native(n_mbs: int) -> OverheadRow:
     return OverheadRow("native", wall, len(sink.values), 0, sched.now, _checksum(sink.values))
 
 
+def _run_attached_idle(n_mbs: int) -> OverheadRow:
+    """Debugger attached but *idle*: no dataflow session, no breakpoints.
+
+    With hook elision this should sit within a whisker of ``native`` —
+    the interpreters see a hook whose capability mask is zero and skip
+    every ``on_statement``/``on_call``/``on_return`` call, and the
+    scheduler's pre-dispatch hook stays disarmed."""
+    sched, platform, runtime, source, sink, mbs = build_decoder(n_mbs=n_mbs)
+    dbg = Debugger(sched, runtime)
+    t0 = time.perf_counter()
+    dbg.run()
+    wall = time.perf_counter() - t0
+    return OverheadRow(
+        "attached-idle", wall, len(sink.values), 0, sched.now, _checksum(sink.values)
+    )
+
+
 def _run_with_session(n_mbs: int, config: str, mode, record_iface: Optional[str] = None) -> OverheadRow:
     sched, platform, runtime, source, sink, mbs = build_decoder(n_mbs=n_mbs)
     dbg = Debugger(sched, runtime)
@@ -98,6 +117,7 @@ def run_overhead_comparison(n_mbs: int = 60) -> List[OverheadRow]:
     """
     rows = [
         _run_native(n_mbs),
+        _run_attached_idle(n_mbs),
         _run_with_session(n_mbs, "attached", "none"),
         _run_with_session(n_mbs, "control-only", "control-only"),
         _run_with_session(n_mbs, "actor-specific", ["pipe"]),

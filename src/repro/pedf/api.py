@@ -144,6 +144,23 @@ class FrameworkEventBus:
     def has_listeners(self) -> bool:
         return bool(self._listeners)
 
+    def wants(self, symbol: str, actor: Optional[str] = None) -> bool:
+        """True if any subscription could observe this symbol — the §V
+        arm/disarm test: when capture is narrowed (``none`` /
+        actor-specific), unobserved operations skip event materialisation
+        entirely instead of filtering events after the fact."""
+        listeners = self._listeners
+        if not listeners:
+            return False
+        if symbol in listeners or "*" in listeners:
+            return True
+        return actor is not None and f"{symbol}@{actor}" in listeners
+
+    def count_unobserved(self, symbol: str) -> None:
+        """Keep the traffic counters truthful for an elided emit."""
+        self.emitted += 1
+        self.per_symbol[symbol] = self.per_symbol.get(symbol, 0) + 1
+
     # ----------------------------------------------------------------- emit
 
     def emit(self, event: FrameworkEvent) -> Optional[Suspend]:
@@ -185,17 +202,28 @@ class FrameworkAPI:
         self.scheduler = scheduler
 
     def call(self, symbol: str, args: Dict[str, Any], impl=None, actor: Optional[str] = None):
-        event = FrameworkEvent("entry", symbol, args, actor, time=self.scheduler.now)
-        req = self.bus.emit(event)
-        if req is not None:
-            yield req
+        bus = self.bus
+        if bus.wants(symbol, actor):
+            event = FrameworkEvent("entry", symbol, args, actor, time=self.scheduler.now)
+            req = bus.emit(event)
+            if req is not None:
+                yield req
+        else:
+            # hook elision fast path: no listener can observe this symbol,
+            # so do not materialise the event at all (counters still move)
+            bus.count_unobserved(symbol)
         ret = None
         if impl is not None:
             ret = yield from impl
-        exit_event = FrameworkEvent(
-            "exit", symbol, args, actor, retval=ret, time=self.scheduler.now
-        )
-        req = self.bus.emit(exit_event)
-        if req is not None:
-            yield req
+        # re-check at exit: a listener may have subscribed while the
+        # implementation ran (e.g. the user armed a breakpoint at a stop)
+        if bus.wants(symbol, actor):
+            exit_event = FrameworkEvent(
+                "exit", symbol, args, actor, retval=ret, time=self.scheduler.now
+            )
+            req = bus.emit(exit_event)
+            if req is not None:
+                yield req
+        else:
+            bus.count_unobserved(symbol)
         return ret

@@ -93,6 +93,7 @@ class PedfRuntime:
             interp = getattr(actor, "interp", None)
             if interp is not None:
                 interp.hook = hook
+                interp.refresh_hook_caps()
 
     # ----------------------------------------------------------- elaboration
 

@@ -79,8 +79,25 @@ class Scheduler:
         self._dispatch_count = 0
         # Hook invoked before each process resume; may return a Suspend to
         # force a stop (used by debugger features that must preempt a
-        # process externally, e.g. interrupt).
-        self.pre_dispatch_hook: Optional[Callable[[Process], Optional[Suspend]]] = None
+        # process externally, e.g. interrupt).  The hook only runs while
+        # *armed*: assigning a hook arms it (back-compat), and an attached
+        # debugger disarms it until a stop is actually pending so the
+        # dispatch loop pays nothing for an idle debugger.
+        self._pre_dispatch_hook: Optional[Callable[[Process], Optional[Suspend]]] = None
+        self._pre_dispatch_armed = False
+
+    @property
+    def pre_dispatch_hook(self) -> Optional[Callable[[Process], Optional[Suspend]]]:
+        return self._pre_dispatch_hook
+
+    @pre_dispatch_hook.setter
+    def pre_dispatch_hook(self, hook: Optional[Callable[[Process], Optional[Suspend]]]) -> None:
+        self._pre_dispatch_hook = hook
+        self._pre_dispatch_armed = hook is not None
+
+    def set_pre_dispatch_armed(self, armed: bool) -> None:
+        """Arm/disarm the pre-dispatch hook without detaching it."""
+        self._pre_dispatch_armed = bool(armed) and self._pre_dispatch_hook is not None
 
     # ---------------------------------------------------------------- spawn
 
@@ -207,11 +224,13 @@ class Scheduler:
                 continue
 
             proc = self._ready.popleft()
-            if not proc.alive:  # killed while queued
+            if not proc.alive:  # killed while queued: no hook, no budget
                 continue
 
-            if self.pre_dispatch_hook is not None:
-                forced = self.pre_dispatch_hook(proc)
+            # pinned ordering: alive-check -> hook -> budget -> dispatch
+            # (a hook-forced stop must not consume dispatch budget)
+            if self._pre_dispatch_armed:
+                forced = self._pre_dispatch_hook(proc)
                 if forced is not None:
                     self._make_ready_front(proc)
                     return StopReason(StopKind.SUSPENDED, self.now, proc, forced.reason)
@@ -276,7 +295,9 @@ class Scheduler:
             proc.state = ProcessState.FAILED
             proc.exception = exc
             if self.trace:
-                self.trace.record(self.now, proc.name, "fail", repr(exc))
+                # lazy detail: the repr is only rendered if the recorder
+                # actually stores the record (not when it is full)
+                self.trace.record(self.now, proc.name, "fail", lambda: repr(exc))
             return StopReason(StopKind.PROCESS_ERROR, self.now, proc, exc)
 
         if isinstance(request, Delay):

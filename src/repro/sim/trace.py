@@ -1,9 +1,24 @@
-"""Lightweight kernel trace, mainly for tests and the FIG-3 bench."""
+"""Lightweight kernel trace, mainly for tests and the FIG-3 bench.
+
+Two bounded policies (both O(1) per record, with a per-kind index so
+``of_kind``/``count`` never scan the full record list):
+
+- ``ring=False`` (default): keep the *first* ``limit`` records; once the
+  limit is reached nothing is allocated at all — the hot path does one
+  length test and bumps ``dropped``.
+- ``ring=True``: a classic ring buffer keeping the *last* ``limit``
+  records, evicting the oldest; ``dropped`` counts evictions.
+
+``detail`` may be a zero-argument callable; it is only rendered when the
+record is actually stored, so call sites can trace expensive formatted
+strings (``lambda: repr(exc)``) for free on the fast path.
+"""
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
-from typing import Any, List, Optional
+from typing import Any, Deque, Dict, List, Optional
 
 
 @dataclass(frozen=True)
@@ -17,20 +32,62 @@ class TraceRecord:
 class TraceRecorder:
     """Accumulates kernel events; cheap enough to leave on in tests."""
 
-    def __init__(self, limit: Optional[int] = None):
-        self.records: List[TraceRecord] = []
+    __slots__ = ("limit", "ring", "dropped", "kind_counts", "_records", "_by_kind")
+
+    def __init__(self, limit: Optional[int] = None, ring: bool = False):
         self.limit = limit
+        self.ring = ring
         self.dropped = 0
+        #: lifetime events seen per kind (including dropped/evicted ones)
+        self.kind_counts: Dict[str, int] = {}
+        self._records: Deque[TraceRecord] = deque()
+        self._by_kind: Dict[str, Deque[TraceRecord]] = {}
+
+    @property
+    def records(self) -> List[TraceRecord]:
+        """Stored records, oldest first."""
+        return list(self._records)
 
     def record(self, time: int, process: str, kind: str, detail: Any = None) -> None:
-        if self.limit is not None and len(self.records) >= self.limit:
+        counts = self.kind_counts
+        counts[kind] = counts.get(kind, 0) + 1
+        limit = self.limit
+        if limit is not None and len(self._records) >= limit:
+            if not self.ring:
+                # capped mode: drop the newest without building the record
+                self.dropped += 1
+                return
+            if limit <= 0:
+                self.dropped += 1
+                return
+            evicted = self._records.popleft()
+            self._by_kind[evicted.kind].popleft()
             self.dropped += 1
-            return
-        self.records.append(TraceRecord(time, process, kind, detail))
+        if callable(detail):
+            detail = detail()
+        rec = TraceRecord(time, process, kind, detail)
+        self._records.append(rec)
+        bucket = self._by_kind.get(kind)
+        if bucket is None:
+            bucket = self._by_kind[kind] = deque()
+        bucket.append(rec)
 
     def of_kind(self, kind: str) -> List[TraceRecord]:
-        return [r for r in self.records if r.kind == kind]
+        """Stored records of one kind — O(matches), not O(all records)."""
+        bucket = self._by_kind.get(kind)
+        return list(bucket) if bucket else []
+
+    def count(self, kind: str) -> int:
+        """Currently stored records of one kind, O(1)."""
+        bucket = self._by_kind.get(kind)
+        return len(bucket) if bucket else 0
+
+    def total(self, kind: str) -> int:
+        """Lifetime events of one kind, including dropped/evicted, O(1)."""
+        return self.kind_counts.get(kind, 0)
 
     def clear(self) -> None:
-        self.records.clear()
+        self._records.clear()
+        self._by_kind.clear()
+        self.kind_counts.clear()
         self.dropped = 0

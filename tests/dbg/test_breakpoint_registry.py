@@ -1,0 +1,187 @@
+"""Indexed BreakpointRegistry invariants (the hot-path lookup tables)."""
+
+import pytest
+
+from repro.dbg.breakpoints import (
+    BreakpointRegistry,
+    FinishBreakpoint,
+    FunctionBreakpoint,
+    SourceBreakpoint,
+    Watchpoint,
+)
+from repro.errors import DebuggerError
+
+
+def recount(reg, category):
+    """Brute-force armed count for cross-checking the incremental one."""
+    return sum(
+        1
+        for bp in reg.all.values()
+        if bp.index_category == category and bp.enabled and not bp.deleted
+    )
+
+
+class _FakeFrame:
+    name = "f"
+
+
+class _FakeInterp:
+    pass
+
+
+def test_add_indexes_by_location():
+    reg = BreakpointRegistry()
+    a = reg.add(SourceBreakpoint("x.c", 5))
+    b = reg.add(SourceBreakpoint("x.c", 9))
+    assert [bp.id for bp in reg.source_bps_at("x.c", 5)] == [a.id]
+    assert [bp.id for bp in reg.source_bps_at("x.c", 9)] == [b.id]
+    assert not reg.source_bps_at("x.c", 7)
+    assert not reg.source_bps_at("y.c", 5)
+
+
+def test_duplicate_file_line_coexist():
+    reg = BreakpointRegistry()
+    a = reg.add(SourceBreakpoint("x.c", 5))
+    b = reg.add(SourceBreakpoint("x.c", 5, condition="v == 1"))
+    assert [bp.id for bp in reg.source_bps_at("x.c", 5)] == [a.id, b.id]
+    assert reg.armed_count("source") == 2
+    reg.remove(a.id)
+    assert [bp.id for bp in reg.source_bps_at("x.c", 5)] == [b.id]
+    assert reg.armed_count("source") == 1
+    reg.remove(b.id)
+    assert not reg.source_bps_at("x.c", 5)
+    assert reg.armed_count("source") == 0
+
+
+def test_disable_hides_from_lookup_but_not_from_all():
+    reg = BreakpointRegistry()
+    bp = reg.add(SourceBreakpoint("x.c", 5))
+    bp.enabled = False
+    assert not reg.source_bps_at("x.c", 5)
+    assert bp.id in reg.all
+    assert reg.armed_count("source") == 0
+    bp.enabled = True
+    assert [b.id for b in reg.source_bps_at("x.c", 5)] == [bp.id]
+    assert reg.armed_count("source") == 1
+
+
+def test_double_toggle_does_not_skew_counts():
+    reg = BreakpointRegistry()
+    bp = reg.add(SourceBreakpoint("x.c", 5))
+    bp.enabled = False
+    bp.enabled = False  # idempotent
+    assert reg.armed_count("source") == 0
+    bp.enabled = True
+    bp.enabled = True
+    assert reg.armed_count("source") == 1
+
+
+def test_remove_disabled_breakpoint_keeps_counts_consistent():
+    reg = BreakpointRegistry()
+    bp = reg.add(SourceBreakpoint("x.c", 5))
+    bp.enabled = False
+    reg.remove(bp.id)
+    assert reg.armed_count("source") == recount(reg, "source") == 0
+    # toggling the removed breakpoint must not resurrect it in the index
+    bp.enabled = True
+    assert reg.armed_count("source") == 0
+    assert not reg.source_bps_at("x.c", 5)
+
+
+def test_interleaved_mutations_keep_armed_counts_consistent():
+    reg = BreakpointRegistry()
+    bps = [reg.add(SourceBreakpoint("x.c", 10 + i % 3)) for i in range(6)]
+    bps += [reg.add(FunctionBreakpoint(f"sym{i}")) for i in range(4)]
+    bps[0].enabled = False
+    bps[7].enabled = False
+    reg.remove(bps[1].id)
+    reg.remove(bps[8].id)
+    bps[0].enabled = True
+    bps[2].enabled = False
+    for cat in ("source", "function"):
+        assert reg.armed_count(cat) == recount(reg, cat), cat
+    # lookups agree with the legacy full scans
+    assert sorted(bp.id for line in (10, 11, 12) for bp in reg.source_bps_at("x.c", line)) == sorted(
+        bp.id for bp in reg.source_bps()
+    )
+    assert sorted(
+        bp.id for i in range(4) for bp in reg.function_bps_for(f"sym{i}")
+    ) == sorted(bp.id for bp in reg.function_bps())
+
+
+def test_function_and_watch_indices():
+    reg = BreakpointRegistry()
+    f = reg.add(FunctionBreakpoint("work_fn"))
+    w = reg.add(Watchpoint("x", actor="m.a"))
+    assert [bp.id for bp in reg.function_bps_for("work_fn")] == [f.id]
+    assert not reg.function_bps_for("other")
+    assert [wp.id for wp in reg.watchpoints_for("m.a")] == [w.id]
+    assert not reg.watchpoints_for("m.b")
+    assert reg.armed_count("function") == reg.armed_count("watch") == 1
+
+
+def test_finish_bp_keyed_by_interp():
+    reg = BreakpointRegistry()
+    i1, i2 = _FakeInterp(), _FakeInterp()
+    fb = reg.add(FinishBreakpoint(_FakeFrame(), i1))
+    assert fb.id < 0  # finish bps default to internal numbering
+    assert [bp.id for bp in reg.finish_bps_for(i1)] == [fb.id]
+    assert not reg.finish_bps_for(i2)
+    assert reg.armed_count("finish") == 1
+    reg.remove(fb.id)
+    assert not reg.finish_bps_for(i1)
+    assert reg.armed_count("finish") == 0
+
+
+def test_remove_unknown_id_raises():
+    reg = BreakpointRegistry()
+    with pytest.raises(DebuggerError):
+        reg.remove(42)
+
+
+def test_generation_and_on_change_fire_on_every_mutation():
+    reg = BreakpointRegistry()
+    calls = []
+    reg.on_change = lambda: calls.append(reg.generation)
+    bp = reg.add(SourceBreakpoint("x.c", 5))
+    bp.enabled = False
+    bp.enabled = True
+    reg.remove(bp.id)
+    assert len(calls) == 4
+    assert calls == sorted(calls)  # generation is monotone
+
+
+def test_temporary_auto_removal_updates_index():
+    from .util import LINE_READ_INPUT, make_session
+
+    dbg, *_ = make_session([1, 2])
+    reg = dbg.breakpoints
+    bp = dbg.break_source(f"the_source.c:{LINE_READ_INPUT}", temporary=True)
+    assert reg.armed_count("source") == 1
+    dbg.run()  # hits once, auto-deletes
+    assert bp.id not in reg.all
+    assert reg.armed_count("source") == recount(reg, "source") == 0
+    assert not reg.source_bps_at("the_source.c", LINE_READ_INPUT)
+
+
+def test_finish_auto_removal_updates_index():
+    from .util import LINE_COMPUTE, make_session
+
+    dbg, *_ = make_session([1])
+    dbg.break_source(f"the_source.c:{LINE_COMPUTE}")
+    dbg.run()
+    reg = dbg.breakpoints
+    before = reg.armed_count("finish")
+    ev = dbg.finish()
+    assert reg.armed_count("finish") == before == 0
+    assert reg.armed_count("finish") == recount(reg, "finish")
+
+
+def test_internal_ids_negative_and_hidden():
+    reg = BreakpointRegistry()
+    user = reg.add(SourceBreakpoint("x.c", 5))
+    internal = reg.add(SourceBreakpoint("x.c", 6, internal=True))
+    assert user.id > 0 and internal.id < 0
+    assert [bp.id for bp in reg.visible()] == [user.id]
+    # both still count as armed source breakpoints
+    assert reg.armed_count("source") == 2

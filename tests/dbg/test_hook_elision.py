@@ -1,0 +1,107 @@
+"""Hook elision: an idle debugger must be invisible to the interpreters.
+
+Satellite regression for the §V fast path — with nothing armed the
+interpreter makes *zero* hook calls, and arming one source breakpoint
+re-enables exactly the statement path (not calls/returns).
+"""
+
+from repro.cminus import DebugHook
+from repro.dbg import StopKind
+
+from .util import LINE_READ_INPUT, WORK_F1, make_session
+
+
+def instrument(dbg):
+    """Count actual invocations of the debugger's hook methods."""
+    counts = {"stmt": 0, "call": 0, "ret": 0}
+    hook = dbg.hook
+    orig_stmt, orig_call, orig_ret = hook.on_statement, hook.on_call, hook.on_return
+
+    def on_statement(interp, stmt):
+        counts["stmt"] += 1
+        return orig_stmt(interp, stmt)
+
+    def on_call(interp, frame):
+        counts["call"] += 1
+        return orig_call(interp, frame)
+
+    def on_return(interp, frame, value):
+        counts["ret"] += 1
+        return orig_ret(interp, frame, value)
+
+    hook.on_statement = on_statement
+    hook.on_call = on_call
+    hook.on_return = on_return
+    return counts
+
+
+def test_zero_hook_calls_when_nothing_armed():
+    dbg, _, _, sink = make_session([1, 2, 3])
+    counts = instrument(dbg)
+    assert dbg.hook.capabilities == 0
+    assert not dbg.scheduler._pre_dispatch_armed
+    ev = dbg.run()
+    assert ev.kind == StopKind.EXITED
+    assert len(sink.values) == 3  # the program really ran
+    assert counts == {"stmt": 0, "call": 0, "ret": 0}
+
+
+def test_source_bp_rearms_exactly_the_statement_path():
+    dbg, _, _, sink = make_session([1, 2])
+    counts = instrument(dbg)
+    dbg.break_source(f"the_source.c:{LINE_READ_INPUT}")
+    assert dbg.hook.capabilities == DebugHook.CAP_STATEMENTS
+    ev = dbg.run()
+    assert ev.kind == StopKind.BREAKPOINT
+    assert counts["stmt"] > 0
+    assert counts["call"] == 0 and counts["ret"] == 0
+    while not dbg.finished:
+        dbg.cont()
+    assert len(sink.values) == 2
+
+
+def test_removing_last_bp_disarms_again():
+    dbg, *_ = make_session([1, 2])
+    counts = instrument(dbg)
+    bp = dbg.break_source(f"the_source.c:{LINE_READ_INPUT}")
+    ev = dbg.run()
+    assert ev.kind == StopKind.BREAKPOINT
+    dbg.breakpoints.remove(bp.id)
+    assert dbg.hook.capabilities == 0
+    stmt_at_removal = counts["stmt"]
+    ev = dbg.cont()
+    assert ev.kind == StopKind.EXITED
+    assert counts["stmt"] == stmt_at_removal  # fully elided after removal
+
+
+def test_function_bp_arms_exactly_the_call_path():
+    dbg, *_ = make_session([1])
+    counts = instrument(dbg)
+    dbg.break_function(WORK_F1)
+    assert dbg.hook.capabilities == DebugHook.CAP_CALLS
+    ev = dbg.run()
+    assert ev.kind == StopKind.FUNCTION_BP
+    assert counts["call"] > 0
+    assert counts["stmt"] == 0 and counts["ret"] == 0
+
+
+def test_disable_enable_toggles_capabilities():
+    dbg, *_ = make_session([1])
+    bp = dbg.break_source(f"the_source.c:{LINE_READ_INPUT}")
+    assert dbg.hook.capabilities == DebugHook.CAP_STATEMENTS
+    bp.enabled = False
+    assert dbg.hook.capabilities == 0
+    bp.enabled = True
+    assert dbg.hook.capabilities == DebugHook.CAP_STATEMENTS
+
+
+def test_stepping_arms_statements_then_disarms():
+    dbg, *_ = make_session([1, 2])
+    dbg.break_source(f"the_source.c:{LINE_READ_INPUT}")
+    ev = dbg.run()
+    assert ev.kind == StopKind.BREAKPOINT
+    dbg.breakpoints.remove(ev.bp_id)
+    assert dbg.hook.capabilities == 0
+    ev = dbg.step()  # stepping needs the statement path even with no bps
+    assert ev.kind == StopKind.STEP
+    assert dbg.hook.capabilities == 0  # released once the step lands

@@ -77,8 +77,11 @@ def test_sec5_overhead_shape():
     # generous tolerance — single-run wall clocks are noisy; the bench
     # measures this properly over many rounds)
     assert by["full-capture"].wall_seconds >= 0.5 * by["attached"].wall_seconds
+    # attached-idle: debugger present, nothing armed — hook elision means
+    # it never observes a data event
+    assert by["attached-idle"].data_events == 0
     text = format_rows(rows)
-    assert len(text) == 7
+    assert len(text) == 8
 
 
 @pytest.mark.slow

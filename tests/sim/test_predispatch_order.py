@@ -1,0 +1,107 @@
+"""Dispatch-loop ordering: alive-check -> pre-dispatch hook -> budget ->
+dispatch.  A dead queued process gets no hook call and consumes no budget;
+a hook-forced stop consumes no budget either."""
+
+from repro.sim import Scheduler, Yield
+from repro.sim.kernel import StopKind
+from repro.sim.process import Suspend
+
+
+def test_dead_queued_process_gets_no_hook_and_no_budget():
+    sched = Scheduler()
+    seen = []
+    sched.pre_dispatch_hook = lambda proc: seen.append(proc.name)
+
+    def victim_gen():
+        yield Yield()
+
+    def killer_gen():
+        sched.kill(victim)
+        yield Yield()
+
+    killer = sched.spawn(killer_gen(), "killer")
+    victim = sched.spawn(victim_gen(), "victim")
+
+    # killer needs exactly 2 dispatches; if the dead victim consumed
+    # budget when popped, this would stop at MAX_DISPATCHES instead
+    stop = sched.run(max_dispatches=2)
+    assert stop.kind == StopKind.EXHAUSTED
+    assert seen == ["killer", "killer"]
+    assert "victim" not in seen
+
+
+def test_hook_forced_stop_consumes_no_budget():
+    sched = Scheduler()
+    armed = {"fire": True}
+
+    def hook(proc):
+        if armed["fire"]:
+            armed["fire"] = False
+            return Suspend("preempt")
+        return None
+
+    sched.pre_dispatch_hook = hook
+
+    def p():
+        yield Yield()
+
+    sched.spawn(p(), "p")
+    # hook fires before the budget check: even a zero budget yields the
+    # forced SUSPENDED stop, not MAX_DISPATCHES
+    stop = sched.run(max_dispatches=0)
+    assert stop.kind == StopKind.SUSPENDED
+    assert stop.process.name == "p"
+    # the process was re-queued at the front; 2 dispatches finish it
+    stop = sched.run(max_dispatches=2)
+    assert stop.kind == StopKind.EXHAUSTED
+
+
+def test_disarmed_hook_never_runs():
+    sched = Scheduler()
+    calls = []
+    sched.pre_dispatch_hook = lambda proc: calls.append(proc.name)
+    sched.set_pre_dispatch_armed(False)
+
+    def p():
+        yield Yield()
+
+    sched.spawn(p(), "p")
+    stop = sched.run()
+    assert stop.kind == StopKind.EXHAUSTED
+    assert calls == []
+
+
+def test_rearming_restores_hook_calls():
+    sched = Scheduler()
+    calls = []
+    sched.pre_dispatch_hook = lambda proc: calls.append(proc.name)
+    sched.set_pre_dispatch_armed(False)
+    sched.set_pre_dispatch_armed(True)
+
+    def p():
+        yield Yield()
+
+    sched.spawn(p(), "p")
+    sched.run()
+    assert calls == ["p", "p"]
+
+
+def test_arming_without_hook_is_inert():
+    sched = Scheduler()
+    sched.set_pre_dispatch_armed(True)  # no hook attached: must stay off
+    assert not sched._pre_dispatch_armed
+
+    def p():
+        yield Yield()
+
+    sched.spawn(p(), "p")
+    stop = sched.run()
+    assert stop.kind == StopKind.EXHAUSTED
+
+
+def test_assigning_hook_arms_for_backwards_compatibility():
+    sched = Scheduler()
+    sched.pre_dispatch_hook = lambda proc: None
+    assert sched._pre_dispatch_armed
+    sched.pre_dispatch_hook = None
+    assert not sched._pre_dispatch_armed

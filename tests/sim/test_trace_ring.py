@@ -1,0 +1,100 @@
+"""Ring-buffer TraceRecorder semantics (and the no-allocation cap path)."""
+
+from repro.sim.trace import TraceRecorder
+
+
+def fill(tr, n, kind="tick"):
+    for i in range(n):
+        tr.record(i, "p", kind)
+
+
+def test_unbounded_keeps_everything():
+    tr = TraceRecorder()
+    fill(tr, 100)
+    assert len(tr.records) == 100
+    assert tr.dropped == 0
+
+
+def test_cap_mode_keeps_first_records():
+    tr = TraceRecorder(limit=3)
+    fill(tr, 10)
+    assert [r.time for r in tr.records] == [0, 1, 2]
+    assert tr.dropped == 7
+    assert tr.count("tick") == 3
+    assert tr.total("tick") == 10
+
+
+def test_ring_mode_keeps_last_records():
+    tr = TraceRecorder(limit=3, ring=True)
+    fill(tr, 10)
+    assert [r.time for r in tr.records] == [7, 8, 9]
+    assert tr.dropped == 7
+    assert tr.count("tick") == 3
+    assert tr.total("tick") == 10
+
+
+def test_ring_per_kind_index_survives_eviction():
+    tr = TraceRecorder(limit=4, ring=True)
+    for i in range(10):
+        tr.record(i, "p", "even" if i % 2 == 0 else "odd")
+    # stored: times 6..9 -> evens 6, 8 and odds 7, 9
+    assert [r.time for r in tr.of_kind("even")] == [6, 8]
+    assert [r.time for r in tr.of_kind("odd")] == [7, 9]
+    assert tr.count("even") == 2 and tr.total("even") == 5
+    # the index agrees with a scan of the stored records
+    for kind in ("even", "odd"):
+        assert tr.of_kind(kind) == [r for r in tr.records if r.kind == kind]
+
+
+def test_lazy_detail_only_rendered_when_stored():
+    calls = []
+
+    def make(tag):
+        return lambda: calls.append(tag) or tag
+
+    tr = TraceRecorder(limit=2)
+    tr.record(0, "p", "k", make("a"))
+    tr.record(1, "p", "k", make("b"))
+    tr.record(2, "p", "k", make("c"))  # dropped: never rendered
+    assert calls == ["a", "b"]
+    assert [r.detail for r in tr.records] == ["a", "b"]
+
+
+def test_ring_renders_detail_of_stored_records():
+    calls = []
+    tr = TraceRecorder(limit=1, ring=True)
+    tr.record(0, "p", "k", lambda: calls.append("a") or "a")
+    tr.record(1, "p", "k", lambda: calls.append("b") or "b")
+    # ring stores (then evicts) every record, so both render
+    assert calls == ["a", "b"]
+    assert [r.detail for r in tr.records] == ["b"]
+
+
+def test_zero_limit_stores_nothing():
+    for ring in (False, True):
+        tr = TraceRecorder(limit=0, ring=ring)
+        fill(tr, 5)
+        assert tr.records == []
+        assert tr.dropped == 5
+        assert tr.total("tick") == 5
+
+
+def test_clear_resets_everything():
+    tr = TraceRecorder(limit=2, ring=True)
+    fill(tr, 5)
+    tr.clear()
+    assert tr.records == []
+    assert tr.dropped == 0
+    assert tr.of_kind("tick") == []
+    assert tr.count("tick") == 0
+    assert tr.total("tick") == 0
+    fill(tr, 1)
+    assert len(tr.records) == 1
+
+
+def test_of_kind_on_unknown_kind():
+    tr = TraceRecorder()
+    fill(tr, 3)
+    assert tr.of_kind("nope") == []
+    assert tr.count("nope") == 0
+    assert tr.total("nope") == 0
