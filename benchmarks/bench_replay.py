@@ -1,0 +1,85 @@
+"""REPLAY: journaling overhead and time-travel speed.
+
+Records a 40-macroblock decode with the replay journal on, and measures
+(a) what the always-on event journal costs next to a plain debugged run
+and (b) how fast the driver can re-execute to a recorded position.  Every
+round re-checks the determinism bar: the replayed token-seq stream equals
+the recorded one.
+"""
+
+import pytest
+
+from repro.apps.h264.app import build_decoder
+from repro.core import DataflowSession
+from repro.dbg import Debugger, StopKind
+
+N_MBS = 40
+INTERVAL = 128
+
+
+def _run_to_exit(dbg):
+    ev = dbg.run()
+    while ev.kind not in (StopKind.EXITED, StopKind.DEADLOCK, StopKind.ERROR):
+        ev = dbg.cont()
+    return ev
+
+
+def _decode(record):
+    sched, platform, runtime, source, sink, mbs = build_decoder(n_mbs=N_MBS)
+    dbg = Debugger(sched, runtime)
+    session = DataflowSession(dbg)
+    if record:
+        session.replay.record_on(interval=INTERVAL)
+    _run_to_exit(dbg)
+    assert len(sink.values) == N_MBS
+    return session
+
+
+def test_replay_decode_baseline(benchmark):
+    session = benchmark(_decode, False)
+    assert session.replay.master is None
+
+
+def test_replay_decode_recording(benchmark):
+    session = benchmark(_decode, True)
+    master = session.replay.master
+    assert master.total_events > 0
+    assert len(master.token_stream()) > N_MBS
+
+
+@pytest.fixture(scope="module")
+def recorded():
+    def fresh():
+        sched, platform, runtime, source, sink, mbs = build_decoder(n_mbs=N_MBS)
+        return DataflowSession(Debugger(sched, runtime))
+
+    session = fresh()
+    session.replay.register_builder(fresh)
+    mgr = session.replay
+    mgr.record_on(interval=INTERVAL)
+    _run_to_exit(session.dbg)
+    return mgr
+
+
+def test_replay_to_end_speed(benchmark, recorded):
+    live_stream = recorded.master.token_stream()
+
+    def travel():
+        ev = recorded.replay_to("end")
+        assert ev.kind == StopKind.REPLAY
+        assert recorded.recorder.journal.token_stream() == live_stream
+        return ev
+
+    benchmark(travel)
+
+
+def test_replay_to_midpoint_speed(benchmark, recorded):
+    mid = recorded.master.total_events // 2
+
+    def travel():
+        ev = recorded.replay_to(f"event {mid}")
+        assert ev.kind == StopKind.REPLAY
+        assert recorded.position == mid
+        return ev
+
+    benchmark(travel)

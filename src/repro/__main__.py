@@ -24,53 +24,73 @@ from .errors import ReproError
 
 
 def _build_demo(name: str, bug: Optional[str]):
+    from .core import DataflowSession
+    from .dbg import CommandCli, Debugger
+
     if name == "amodule":
         from .apps.amodule import build_demo
-        from .core import DataflowSession
-        from .dbg import CommandCli, Debugger
 
-        sched, platform, runtime, source, sink = build_demo()
-        dbg = Debugger(sched, runtime)
-        cli = CommandCli(dbg)
-        DataflowSession(dbg, cli=cli, stop_on_init=True)
-        return cli, sink
-    if name == "h264":
+        def fresh():
+            sched, platform, runtime, source, sink = build_demo()
+            dbg = Debugger(sched, runtime)
+            return DataflowSession(dbg, stop_on_init=True), sink
+
+    elif name == "h264":
         from .apps.h264.app import build_decoder
         from .apps.h264.bugs import BUG_VARIANTS
-        from .core import DataflowSession
-        from .dbg import CommandCli, Debugger
 
+        variant = None
         if bug is not None:
             variant = BUG_VARIANTS.get(bug)
             if variant is None:
                 raise ReproError(f"unknown bug variant {bug!r} (choose from {', '.join(BUG_VARIANTS)})")
-            sched, platform, runtime, source, sink, mbs = variant.build()
             print(f"[loaded h264 decoder with injected bug: {variant.symptom}]")
-        else:
-            sched, platform, runtime, source, sink, mbs = build_decoder(n_mbs=8)
-        dbg = Debugger(sched, runtime)
-        cli = CommandCli(dbg)
-        DataflowSession(dbg, cli=cli, stop_on_init=True)
-        return cli, sink
-    raise ReproError(f"unknown demo {name!r} (amodule/h264)")
+
+        def fresh():
+            if variant is not None:
+                sched, platform, runtime, source, sink, mbs = variant.build()
+            else:
+                sched, platform, runtime, source, sink, mbs = build_decoder(n_mbs=8)
+            dbg = Debugger(sched, runtime)
+            return DataflowSession(dbg, stop_on_init=True), sink
+
+    else:
+        raise ReproError(f"unknown demo {name!r} (amodule/h264)")
+
+    session, sink = fresh()
+    cli = CommandCli(session.dbg)
+    from .core import install_dataflow_commands
+
+    install_dataflow_commands(cli, session)
+    session.cli = cli
+    # the demos are self-contained, so time travel works out of the box:
+    # replay rebuilds the whole application from the same factory
+    session.replay.register_builder(lambda: fresh()[0])
+    return cli, sink
 
 
 def _build_from_adl(adl_path: str, src_paths: List[str], values: List[int]):
     adl_text = Path(adl_path).read_text()
     sources = {Path(p).name: Path(p).read_text() for p in src_paths}
-    dbg, cli, session, runtime = build_debug_session(adl_text, sources)
-    if values:
-        # feed the first module input found
-        for module in runtime.decl.modules.values():
-            inputs = [i for i in module.ifaces.values() if i.direction == "input"]
-            if inputs:
-                runtime.add_source("stdin", module.name, inputs[0].name, values)
-                break
-        for module in runtime.decl.modules.values():
-            outputs = [i for i in module.ifaces.values() if i.direction == "output"]
-            if outputs:
-                runtime.add_sink("stdout", module.name, outputs[0].name, expect=None)
-                break
+
+    def fresh():
+        dbg, cli, session, runtime = build_debug_session(adl_text, sources)
+        if values:
+            # feed the first module input found
+            for module in runtime.decl.modules.values():
+                inputs = [i for i in module.ifaces.values() if i.direction == "input"]
+                if inputs:
+                    runtime.add_source("stdin", module.name, inputs[0].name, values)
+                    break
+            for module in runtime.decl.modules.values():
+                outputs = [i for i in module.ifaces.values() if i.direction == "output"]
+                if outputs:
+                    runtime.add_sink("stdout", module.name, outputs[0].name, expect=None)
+                    break
+        return cli, session
+
+    cli, session = fresh()
+    session.replay.register_builder(lambda: fresh()[1])
     return cli, None
 
 

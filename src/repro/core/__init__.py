@@ -53,6 +53,7 @@ from .catchpoints import (
 )
 from .record import RecordBuffer, TokenRecorder
 from .alteration import Alteration, parse_value_literal
+from .replay import ReplayManager, RunRecorder
 from .dot import render_dot
 from .session import BEHAVIORS, DataflowSession
 from .commands import install_dataflow_commands
@@ -74,6 +75,8 @@ __all__ = [
     "TokenRecorder",
     "Alteration",
     "parse_value_literal",
+    "ReplayManager",
+    "RunRecorder",
     "render_dot",
     "BEHAVIORS",
     "DataflowSession",

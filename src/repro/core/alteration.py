@@ -22,12 +22,41 @@ if TYPE_CHECKING:  # pragma: no cover
     from .session import DataflowSession
 
 
+def _split_top_level(body: str) -> list:
+    """Split a struct/array body on commas at nesting depth zero.
+
+    ``{a=[1, 2, 3], b=5}`` has commas *inside* the array literal; a naive
+    ``split(",")`` would shear the nested literal apart.  Track ``{}``/
+    ``[]`` nesting so only top-level commas separate fields/elements.
+    """
+    parts = []
+    depth = 0
+    start = 0
+    for i, ch in enumerate(body):
+        if ch in "{[":
+            depth += 1
+        elif ch in "}]":
+            depth -= 1
+            if depth < 0:
+                raise DataflowDebugError(f"unbalanced brackets in value literal {body!r}")
+        elif ch == "," and depth == 0:
+            parts.append(body[start:i])
+            start = i + 1
+    if depth != 0:
+        raise DataflowDebugError(f"unbalanced brackets in value literal {body!r}")
+    parts.append(body[start:])
+    return parts
+
+
 def parse_value_literal(text: str, ctype: CType) -> Raw:
     """Parse a user-supplied token payload.
 
     Scalars: ``42``, ``0x1F``, ``-3``, ``true``.  Structs:
     ``{Addr=0x145D, Izz=5}`` — unnamed fields default to zero.  Arrays:
-    ``[1, 2, 3]`` — missing trailing elements default to zero.
+    ``[1, 2, 3]`` — missing trailing elements default to zero.  Literals
+    nest arbitrarily (struct-in-struct, array-in-struct, struct-in-array):
+    ``{a=[1, 2, 3], b=5}`` — the splitter is bracket-depth aware, so
+    commas inside a nested literal never shear it apart.
     """
     text = text.strip()
     if isinstance(ctype, StructType):
@@ -38,7 +67,7 @@ def parse_value_literal(text: str, ctype: CType) -> Raw:
         raw = default_value(ctype)
         body = text[1:-1].strip()
         if body:
-            for part in body.split(","):
+            for part in _split_top_level(body):
                 if "=" not in part:
                     raise DataflowDebugError(f"bad struct field assignment {part.strip()!r}")
                 name, _, value_text = part.partition("=")
@@ -57,7 +86,7 @@ def parse_value_literal(text: str, ctype: CType) -> Raw:
         raw = default_value(ctype)
         body = text[1:-1].strip()
         if body:
-            parts = body.split(",")
+            parts = _split_top_level(body)
             if len(parts) > ctype.size:
                 raise DataflowDebugError(
                     f"too many elements for {ctype} (max {ctype.size})"
@@ -98,9 +127,14 @@ class Alteration:
         link = iface.link
         value = parse_value_literal(value_text, link.ctype)
         token = link.inject(value, index=index, seq=self.session.dbg.runtime.next_seq())
-        # mirror in the debugger's model so graph counts stay honest
+        # mirror in the debugger's model so graph counts stay honest — but
+        # only when data capture will also observe the eventual pop of this
+        # token.  Under a narrowed mode (§V: set_data_mode != "all") the
+        # consumer's pop is never captured, so a precise mirror would leave
+        # a phantom "in flight" entry forever; the reconstruction path in
+        # capture rebuilds what it can if observation is widened later.
         dbg_link = self._model_link(link)
-        if dbg_link is not None:
+        if dbg_link is not None and self._pop_observed(dbg_link):
             from .model import DbgToken
 
             dbg_token = DbgToken(
@@ -118,10 +152,17 @@ class Alteration:
             pos = len(dbg_link.in_flight) if index is None else min(index, len(dbg_link.in_flight))
             dbg_link.in_flight.insert(pos, dbg_token)
             dbg_link.total_pushed += 1
+        self.session.notify_alteration("insert", conn_spec, value_text, index)
         return token
 
     def drop(self, conn_spec: str, index: int = 0):
-        """Delete the token at ``index`` from the link's queue."""
+        """Delete the token at ``index`` from the link's queue.
+
+        The debugger-side model is purged too: the token leaves the
+        tracked-token registry and the link's ``in_flight`` list, and the
+        deletion is counted in ``total_dropped`` so ``total_pushed -
+        total_popped - total_dropped == occupancy`` stays true.
+        """
         iface = self._runtime_iface(conn_spec)
         link = iface.link
         if not 0 <= index < link.occupancy:
@@ -129,12 +170,20 @@ class Alteration:
                 f"link {link.name} holds {link.occupancy} token(s); no index {index}"
             )
         token = link.remove(index)
+        dbg_token = self.session.model.tokens.pop(token.seq, None)
+        if dbg_token is not None:
+            # mark consumed-by-the-debugger so any lingering reference
+            # (provenance parents, last_token_out) no longer reads in-flight
+            dbg_token.popped_at = self.session.dbg.scheduler.now
+            dbg_token.consumed_by = "<dropped>"
         dbg_link = self._model_link(link)
         if dbg_link is not None:
             for i, t in enumerate(dbg_link.in_flight):
                 if t.seq == token.seq:
                     del dbg_link.in_flight[i]
+                    dbg_link.total_dropped += 1
                     break
+        self.session.notify_alteration("drop", conn_spec, None, index)
         return token
 
     def poke(self, conn_spec: str, index: int, value_text: str):
@@ -150,7 +199,12 @@ class Alteration:
         dbg_token = self.session.model.tokens.get(old.seq)
         if dbg_token is not None:
             dbg_token.value = value
+        self.session.notify_alteration("poke", conn_spec, value_text, index)
         return old
+
+    def _pop_observed(self, dbg_link) -> bool:
+        """Will the current data-capture mode see this link's pops?"""
+        return self.session.capture.observes_actor(dbg_link.dst.actor.qualname)
 
     def _model_link(self, rt_link):
         if rt_link.src is None or rt_link.dst is None:

@@ -64,6 +64,8 @@ class EventCapture:
         self.model: DataflowModel = session.model
         self.data_mode: DataMode = "all"
         self._data_bps: List = []
+        #: resolved actor qualnames of an explicit-list data mode
+        self._mode_actors: set = set()
         self.events_processed = 0
         self.data_events_processed = 0
 
@@ -108,6 +110,7 @@ class EventCapture:
         # explicit actor list — framework cooperation (§V option 2)
         for name in mode:
             qual = self.dbg.runtime.find_actor(name).qualname
+            self._mode_actors.add(qual)
             self._add_data_bp(actor=qual)
 
     def _add_data_bp(self, actor: Optional[str]) -> None:
@@ -130,8 +133,28 @@ class EventCapture:
             if not bp.deleted:
                 self.dbg.breakpoints.remove(bp.id)
         self._data_bps = []
+        self._mode_actors = set()
         self.data_mode = mode
         self._install_data_bps()
+
+    def observes_actor(self, qualname: str) -> bool:
+        """True when push/pop events of this actor are captured under the
+        current data mode — the §V-narrowing test used by execution
+        alteration to keep the model mirror honest."""
+        mode = self.data_mode
+        if mode == "all":
+            return True
+        if mode == "none":
+            return False
+        if mode == "control-only":
+            actor = self.model.actors.get(qualname)
+            if actor is not None:
+                return actor.kind == "controller"
+            try:
+                return self.dbg.runtime.find_actor(qualname).kind == "controller"
+            except Exception:
+                return False
+        return qualname in self._mode_actors
 
     # ---------------------------------------------------------- catch logic
 

@@ -29,6 +29,9 @@ from .session import BEHAVIORS, DataflowSession
 
 def install_dataflow_commands(cli: CommandCli, session: DataflowSession) -> None:
     handler = _Commands(cli, session)
+    # remembered so a replay adoption can rebind the handler to the rebuilt
+    # session (see repro.core.replay.ReplayManager._adopt)
+    cli.dataflow_handler = handler
     cli.register(Command(
         "filter", handler.cmd_filter,
         "filter NAME catch work|IF=N,...|*in=N|IFACE [if COND] "
@@ -59,6 +62,24 @@ def install_dataflow_commands(cli: CommandCli, session: DataflowSession) -> None
         "sched catch start [FILTER] | sched pred [MODULE NAME true|false]",
         completer=handler.complete_names,
     ))
+    cli.register(Command(
+        "record", handler.cmd_record,
+        "record on [every N] [limit N] | record off — journal the execution "
+        "for deterministic replay (must precede run)",
+        completer=lambda t: [s for s in ("on", "off") if s.startswith(t)],
+    ))
+    cli.register(Command(
+        "replay", handler.cmd_replay,
+        "replay to seq N|time T|event K|end — re-execute the recorded run "
+        "and stop at that position (time travel)",
+        completer=lambda t: [s for s in ("to",) if s.startswith(t)],
+    ))
+    cli.register(Command(
+        "reverse-continue", handler.cmd_reverse_continue,
+        "reverse-continue — replay to the previous recorded dataflow stop",
+        aliases=("rc",),
+    ))
+    cli.info_topics["replay"] = handler.cmd_info_replay
 
 
 class _Commands:
@@ -309,6 +330,49 @@ class _Commands:
                 f"data capture mode: {self.session.capture.data_mode}",
             ]
         raise CommandError(f"dataflow: unknown topic {topic!r}")
+
+    # --------------------------------------------------------- record/replay
+
+    def cmd_record(self, arg: str) -> List[str]:
+        mgr = self.session.replay
+        verb, _, rest = arg.strip().partition(" ")
+        if verb == "on":
+            interval = limit = None
+            words = rest.split()
+            i = 0
+            while i < len(words):
+                if words[i] == "every" and i + 1 < len(words) and words[i + 1].isdigit():
+                    interval = int(words[i + 1])
+                    i += 2
+                elif words[i] == "limit" and i + 1 < len(words) and words[i + 1].isdigit():
+                    limit = int(words[i + 1])
+                    i += 2
+                else:
+                    raise CommandError("usage: record on [every N] [limit N]")
+            return mgr.record_on(interval=interval, limit=limit)
+        if verb == "off":
+            return mgr.record_off()
+        if verb == "":
+            return mgr.info()
+        raise CommandError(f"record: unknown verb {verb!r} (on/off)")
+
+    def cmd_replay(self, arg: str) -> List[str]:
+        verb, _, rest = arg.strip().partition(" ")
+        if verb != "to":
+            raise CommandError("usage: replay to seq N|time T|event K|end")
+        ev = self.session.replay.replay_to(rest)
+        # replay_to may have adopted a rebuilt session: self.session/self.dbg
+        # were rebound through cli.dataflow_handler during adoption
+        return self.cli.render_stop(ev)
+
+    def cmd_reverse_continue(self, arg: str) -> List[str]:
+        if arg.strip():
+            raise CommandError("reverse-continue takes no argument")
+        ev = self.session.replay.reverse_continue()
+        return self.cli.render_stop(ev)
+
+    def cmd_info_replay(self, arg: str) -> List[str]:
+        return self.session.replay.info()
 
     # ----------------------------------------------------------------- sched
 

@@ -115,6 +115,8 @@ class DbgLink:
     in_flight: List[DbgToken] = field(default_factory=list)
     total_pushed: int = 0
     total_popped: int = 0
+    #: tokens deleted from the link by the debugger (``iface ... drop``)
+    total_dropped: int = 0
 
     @property
     def name(self) -> str:

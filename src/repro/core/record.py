@@ -35,6 +35,15 @@ class RecordBuffer:
             self.dropped += 1
         self.entries.append(token)
 
+    def resize(self, capacity: int) -> None:
+        """Change the buffer bound in place, trimming oldest entries into
+        ``dropped`` when shrinking — recorded history is never silently
+        discarded."""
+        self.capacity = capacity
+        while self.capacity and len(self.entries) > self.capacity:
+            self.entries.popleft()
+            self.dropped += 1
+
     def format_lines(self) -> List[str]:
         """The paper's display::
 
@@ -54,8 +63,19 @@ class TokenRecorder:
         self.buffers: Dict[str, RecordBuffer] = {}
 
     def enable(self, conn_qual: str, capacity: Optional[int] = None) -> RecordBuffer:
-        buf = RecordBuffer(conn_qual, capacity if capacity is not None else DEFAULT_CAPACITY)
-        self.buffers[conn_qual] = buf
+        """Start (or keep) recording an interface.
+
+        Re-enabling is idempotent: an existing buffer keeps its entries and
+        its ``recorded``/``dropped`` counters.  Passing a new capacity
+        resizes the existing buffer (shrinking trims oldest entries into
+        ``dropped``) instead of silently discarding everything recorded.
+        """
+        buf = self.buffers.get(conn_qual)
+        if buf is None:
+            buf = RecordBuffer(conn_qual, capacity if capacity is not None else DEFAULT_CAPACITY)
+            self.buffers[conn_qual] = buf
+        elif capacity is not None and capacity != buf.capacity:
+            buf.resize(capacity)
         return buf
 
     def disable(self, conn_qual: str) -> None:

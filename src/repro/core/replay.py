@@ -1,0 +1,465 @@
+"""Record/replay driver: time-travel stops for dataflow debugging.
+
+The recording side (:class:`RunRecorder`) taps three existing mechanisms:
+
+- a ``"*"`` subscription on the framework event bus journals every
+  framework event (and, via ``wants()``, forces event materialisation
+  regardless of the §V capture narrowing — journals are always complete);
+- the kernel's post-dispatch hook takes a checkpoint digest every N
+  completed dispatches;
+- the debugger's stop callbacks position each stop on the event log.
+
+The replay side cannot restore a checkpoint (actors are live coroutines),
+so *replay is re-execution*: a registered zero-argument **builder**
+produces a fresh, unloaded session of the same program, and the driver
+runs it forward to the target event index.  A second :class:`RunRecorder`
+in replay mode rides along, comparing every event fingerprint and every
+checkpoint digest against the reference journal — the built-in
+determinism self-check — and re-applying journaled alterations at their
+recorded positions (so a deadlock the user untied by inserting a token
+unties itself again).  On arrival the debugging session *adopts* the
+replayed machine: the CLI rebinds to the new debugger and the
+:class:`ReplayManager` transplants itself into the new session, keeping
+the master journal so the user can hop forward and backward repeatedly.
+
+A new alteration made in a replayed past **forks the timeline**: the
+master journal switches to the current (replayed) journal and recording
+continues live from there — the abandoned future is discarded, exactly
+like editing history in an interactive rebase.
+
+Known limitation: ``freeze``/``thaw`` are not journaled; a recorded run
+that used them replays without them and the divergence self-check will
+report the first mismatch instead of silently rebuilding a different run.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Callable, List, Optional, Sequence
+
+from ..dbg.stop import StopEvent, StopKind
+from ..errors import ReplayDivergenceError, ReplayError
+from ..pedf.api import SYM_POP, SYM_PUSH, FrameworkEvent
+from ..sim.process import Suspend
+from ..sim.replay import (
+    DEFAULT_CHECKPOINT_INTERVAL,
+    AlterationRecord,
+    Checkpoint,
+    ReplayJournal,
+    StopRecord,
+)
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .session import DataflowSession
+
+#: Safety bound on continue-iterations while driving a replay forward.
+_MAX_DRIVE_STOPS = 100_000
+
+
+class RunRecorder:
+    """Journals one execution; in replay mode also verifies and steers it."""
+
+    def __init__(
+        self,
+        session: "DataflowSession",
+        journal: ReplayJournal,
+        interval: int = DEFAULT_CHECKPOINT_INTERVAL,
+        reference: Optional[ReplayJournal] = None,
+        alterations: Sequence[AlterationRecord] = (),
+    ):
+        self.session = session
+        self.dbg = session.dbg
+        self.journal = journal
+        self.interval = max(1, interval)
+        #: reference journal to verify against (replay mode), or None (live)
+        self.reference = reference
+        #: event position to suspend at (replay mode), or None
+        self.target_index: Optional[int] = None
+        #: REPLAY StopEvent built when the target was reached
+        self.landed: Optional[StopEvent] = None
+        self.divergence: Optional[str] = None
+        self.events_compared = 0
+        self.checkpoints_verified = 0
+        self.detached = False
+        self._applying = False
+        #: called when a user alteration forks a replayed timeline
+        self.fork_hook: Optional[Callable[[], None]] = None
+        self._pending = deque(sorted(alterations, key=lambda a: a.index))
+        self._sub = self.dbg.runtime.bus.subscribe("*", self._on_event)
+        self.dbg.scheduler.post_dispatch_hook = self._on_dispatch
+        self.dbg.stop_callbacks.append(self._on_stop)
+
+    # ------------------------------------------------------------ recording
+
+    def _on_event(self, event: FrameworkEvent) -> Optional[Suspend]:
+        seq = None
+        if event.phase == "exit" and event.symbol in (SYM_PUSH, SYM_POP):
+            seq = getattr(event.retval, "seq", None)
+        index = self.journal.add_event(event.time, event.phase, event.symbol, event.actor, seq)
+
+        ref = self.reference
+        if ref is not None and self.divergence is None and index <= ref.total_events:
+            expected = ref.record_at(index)
+            got = self.journal.record_at(index)
+            if expected is not None and got is not None:
+                if got != expected:
+                    self.divergence = (
+                        f"replay diverged at event #{index}: recorded "
+                        f"{ReplayJournal.describe_record(expected)}, replayed "
+                        f"{ReplayJournal.describe_record(got)}"
+                    )
+                    ev = StopEvent(StopKind.REPLAY, message=self.divergence, time=event.time)
+                    return self.dbg.external_suspend(ev)
+                self.events_compared += 1
+
+        # re-apply journaled alterations at their recorded positions, before
+        # execution proceeds past this event (a deadlock-untying insert must
+        # land before the consumer blocks for good)
+        while self._pending and self._pending[0].index <= index:
+            alt = self._pending.popleft()
+            self._apply(alt)
+
+        if self.target_index is not None and index >= self.target_index:
+            self.target_index = None
+            ev = StopEvent(
+                StopKind.REPLAY,
+                message=f"[Replayed to event #{index}, t={event.time}]",
+                actor=event.actor,
+                time=event.time,
+            )
+            self.landed = ev
+            return self.dbg.external_suspend(ev)
+        return None
+
+    def _on_dispatch(self, count: int) -> None:
+        if count % self.interval:
+            return
+        cp = self._take_checkpoint(count)
+        self.journal.add_checkpoint(cp)
+        ref = self.reference
+        if ref is not None and self.divergence is None:
+            expected = ref.checkpoint_at_dispatch(count)
+            if expected is not None:
+                if expected != cp:
+                    self.divergence = (
+                        f"replay diverged at dispatch {count}: recorded "
+                        f"{expected.describe()}, replayed {cp.describe()}"
+                    )
+                else:
+                    self.checkpoints_verified += 1
+
+    def _take_checkpoint(self, dispatch: int) -> Checkpoint:
+        runtime = self.dbg.runtime
+        occupancy = tuple(
+            (link.name, tuple(t.seq for t in link.tokens())) for link in runtime.links
+        )
+        return Checkpoint(
+            index=self.journal.total_events,
+            dispatch=dispatch,
+            time=self.dbg.scheduler.now,
+            next_seq=runtime.seq_state(),
+            occupancy=occupancy,
+        )
+
+    def _on_stop(self, ev: StopEvent) -> None:
+        if ev.kind == StopKind.REPLAY:
+            return
+        self.journal.add_stop(
+            StopRecord(
+                index=self.journal.total_events,
+                kind=ev.kind.value,
+                message=ev.message,
+                bp_id=ev.bp_id,
+                time=ev.time,
+            )
+        )
+
+    # ---------------------------------------------------------- alterations
+
+    def note_alteration(
+        self, kind: str, conn_spec: str, value_text: Optional[str], arg_index: Optional[int]
+    ) -> None:
+        """Journal one alteration at the current event position."""
+        self.journal.add_alteration(
+            AlterationRecord(
+                index=self.journal.total_events,
+                kind=kind,
+                conn_spec=conn_spec,
+                value_text=value_text,
+                arg_index=arg_index,
+            )
+        )
+        if not self._applying and (self.reference is not None or self._pending):
+            # a fresh user alteration inside a replayed past: the recorded
+            # future no longer applies — fork the timeline
+            self.reference = None
+            self._pending.clear()
+            if self.fork_hook is not None:
+                self.fork_hook()
+
+    def _apply(self, alt: AlterationRecord) -> None:
+        self._applying = True
+        try:
+            if alt.kind == "insert":
+                self.session.alter.insert(alt.conn_spec, alt.value_text or "", alt.arg_index)
+            elif alt.kind == "drop":
+                self.session.alter.drop(alt.conn_spec, alt.arg_index or 0)
+            elif alt.kind == "poke":
+                self.session.alter.poke(alt.conn_spec, alt.arg_index or 0, alt.value_text or "")
+            elif alt.kind == "set_pred":
+                module, _, name = alt.conn_spec.rpartition(".")
+                self.session.set_predicate(module, name, alt.value_text == "true")
+            else:  # pragma: no cover - future-proofing
+                raise ReplayError(f"journal holds unknown alteration kind {alt.kind!r}")
+        finally:
+            self._applying = False
+
+    # ------------------------------------------------------------- teardown
+
+    def detach(self) -> None:
+        if self.detached:
+            return
+        self.detached = True
+        self._sub.unsubscribe()
+        self.dbg.scheduler.post_dispatch_hook = None
+        try:
+            self.dbg.stop_callbacks.remove(self._on_stop)
+        except ValueError:
+            pass
+        if getattr(self.session, "_run_recorder", None) is self:
+            self.session._run_recorder = None
+
+
+class ReplayManager:
+    """Per-session facade: ``record on/off``, ``replay to``,
+    ``reverse-continue``, ``info replay``."""
+
+    def __init__(self, session: "DataflowSession"):
+        self.session = session
+        self.builder: Optional[Callable[[], "DataflowSession"]] = None
+        self.recorder: Optional[RunRecorder] = None
+        #: the reference journal time-travel navigates over
+        self.master: Optional[ReplayJournal] = None
+        self.mode = "off"  # "off" | "record" | "replay"
+        self.interval = DEFAULT_CHECKPOINT_INTERVAL
+        #: current event position when sitting in a replayed machine
+        self.position: Optional[int] = None
+
+    # ------------------------------------------------------------- plumbing
+
+    def register_builder(self, builder: Callable[[], "DataflowSession"]) -> None:
+        """Register the zero-argument factory replay rebuilds sessions
+        with.  It must return a fresh, *unloaded* ``DataflowSession`` of
+        the same program with the same sources/sinks attached."""
+        self.builder = builder
+
+    @property
+    def recording(self) -> bool:
+        return self.recorder is not None and not self.recorder.detached
+
+    def notify_alteration(
+        self, kind: str, conn_spec: str, value_text: Optional[str], arg_index: Optional[int]
+    ) -> None:
+        rec = getattr(self.session, "_run_recorder", None)
+        if rec is not None and not rec.detached:
+            rec.note_alteration(kind, conn_spec, value_text, arg_index)
+
+    # ------------------------------------------------------------ recording
+
+    def record_on(self, interval: Optional[int] = None, limit: Optional[int] = None) -> List[str]:
+        if self.recording:
+            return ["Recording is already on."]
+        if self.session.dbg.runtime.loaded:
+            raise ReplayError(
+                "record on must precede the first run: replay re-executes "
+                "from the beginning, so the journal has to cover the whole run"
+            )
+        if interval is not None:
+            self.interval = max(1, interval)
+        journal = ReplayJournal(limit=limit)
+        self.recorder = RunRecorder(self.session, journal, self.interval)
+        self.session._run_recorder = self.recorder
+        self.master = journal
+        self.mode = "record"
+        bound = f", event log capped at {limit}" if limit else ""
+        return [f"Recording on (checkpoint every {self.interval} dispatches{bound})."]
+
+    def record_off(self) -> List[str]:
+        if not self.recording:
+            return ["Recording is not on."]
+        self.recorder.detach()
+        self.recorder = None
+        if self.mode == "record":
+            self.mode = "off"
+        return ["Recording off (journal kept for replay)."]
+
+    # --------------------------------------------------------------- replay
+
+    def _require_master(self) -> ReplayJournal:
+        if self.master is None or self.master.total_events == 0:
+            raise ReplayError("nothing recorded yet (use 'record on' before running)")
+        return self.master
+
+    def _resolve_position(self, text: str) -> int:
+        master = self._require_master()
+        text = text.strip()
+        if not text:
+            raise ReplayError("replay to: missing position (seq N | time T | event K | end)")
+        if text == "end":
+            return master.total_events
+        kind, _, value = text.partition(" ")
+        value = value.strip()
+        if kind == "seq" and value.isdigit():
+            index = master.index_for_seq(int(value))
+            if index is None:
+                raise ReplayError(f"no recorded token with sequence number {value}")
+            return index
+        if kind == "time" and value.lstrip("-").isdigit():
+            index = master.index_for_time(int(value))
+            if index is None:
+                raise ReplayError(f"no recorded event at or after t={value}")
+            return index
+        if kind == "event" and value.isdigit():
+            index = int(value)
+        elif text.isdigit():
+            index = int(text)
+        else:
+            raise ReplayError(f"bad replay position {text!r} (seq N | time T | event K | end)")
+        if not 1 <= index <= master.total_events:
+            raise ReplayError(
+                f"event position {index} out of range (journal holds 1..{master.total_events})"
+            )
+        return index
+
+    def replay_to(self, position_text: str) -> StopEvent:
+        """Time-travel to a recorded position (``seq N`` / ``time T`` /
+        ``event K`` / ``end``)."""
+        target = self._resolve_position(position_text)
+        if (
+            self.mode == "replay"
+            and self.position is not None
+            and target > self.position
+            and self.recorder is not None
+            and not self.recorder.detached
+        ):
+            # forward within the current replayed machine: keep driving it
+            self.recorder.target_index = target
+            ev = self._drive(self.session, self.recorder)
+            self.position = self.recorder.journal.total_events
+            return ev
+        return self._time_travel(target)
+
+    def reverse_continue(self) -> StopEvent:
+        """Stop at the previous recorded dataflow catchpoint hit."""
+        master = self._require_master()
+        current = self.position if self.mode == "replay" else master.total_events
+        earlier = [
+            s
+            for s in master.stops
+            if s.kind == StopKind.DATAFLOW.value and s.index < (current or 0)
+        ]
+        if not earlier:
+            raise ReplayError("no earlier dataflow stop in the journal")
+        return self._time_travel(earlier[-1].index)
+
+    def _time_travel(self, target: int) -> StopEvent:
+        master = self._require_master()
+        if self.builder is None:
+            raise ReplayError(
+                "no replay builder registered — call "
+                "session.replay.register_builder(fn) with a factory that "
+                "rebuilds this program"
+            )
+        new_session = self.builder()
+        if new_session.dbg.runtime.loaded:
+            raise ReplayError("replay builder returned an already-running session")
+        recorder = RunRecorder(
+            new_session,
+            ReplayJournal(),
+            self.interval,
+            reference=master,
+            alterations=master.alterations,
+        )
+        recorder.target_index = target
+        new_session._run_recorder = recorder
+        ev = self._drive(new_session, recorder)
+        self._adopt(new_session, recorder)
+        self.position = recorder.journal.total_events
+        self.mode = "replay"
+        return ev
+
+    def _drive(self, session: "DataflowSession", recorder: RunRecorder) -> StopEvent:
+        dbg = session.dbg
+        for _ in range(_MAX_DRIVE_STOPS):
+            ev = dbg.run() if not dbg.runtime.loaded else dbg.cont()
+            if recorder.divergence is not None:
+                raise ReplayDivergenceError(recorder.divergence)
+            if recorder.landed is not None:
+                ev, recorder.landed = recorder.landed, None
+                return ev
+            if ev.kind == StopKind.REPLAY:
+                return ev
+            if ev.kind in (StopKind.EXITED, StopKind.DEADLOCK, StopKind.ERROR):
+                raise ReplayError(
+                    f"replay ended ({ev.kind.value}: {ev.message}) before "
+                    f"reaching the target position"
+                )
+        raise ReplayError("replay exceeded the stop budget without reaching the target")
+
+    def _adopt(self, new_session: "DataflowSession", recorder: RunRecorder) -> None:
+        """Switch the debugging session over to the replayed machine."""
+        old = self.session
+        old_rec = getattr(old, "_run_recorder", None)
+        if old_rec is not None and old_rec is not recorder:
+            old_rec.detach()
+        cli = getattr(old, "cli", None)
+        if cli is not None:
+            cli.rebind_debugger(new_session.dbg)
+            handler = getattr(cli, "dataflow_handler", None)
+            if handler is not None:
+                handler.session = new_session
+                handler.dbg = new_session.dbg
+            new_session.cli = cli
+        self.session = new_session
+        new_session.replay = self
+        self.recorder = recorder
+        recorder.fork_hook = self._on_fork
+
+    def _on_fork(self) -> None:
+        """A new alteration in a replayed past: the current journal becomes
+        the master timeline and recording continues live."""
+        if self.recorder is not None:
+            self.master = self.recorder.journal
+        self.mode = "record"
+        self.position = None
+
+    # ---------------------------------------------------------------- info
+
+    def info(self) -> List[str]:
+        lines = [f"record/replay: {self.mode}"]
+        lines.append(f"  builder: {'registered' if self.builder else 'not registered'}")
+        lines.append(f"  checkpoint interval: {self.interval} dispatches")
+        master = self.master
+        if master is None:
+            lines.append("  journal: (none)")
+            return lines
+        df_stops = sum(1 for s in master.stops if s.kind == StopKind.DATAFLOW.value)
+        lines.append(
+            f"  journal: {master.total_events} event(s), "
+            f"{len(master.checkpoints)} checkpoint(s), "
+            f"{len(master.stops)} stop(s) ({df_stops} dataflow), "
+            f"{len(master.alterations)} alteration(s)"
+        )
+        lines.append(f"  tokens recorded: {len(master.token_stream())}")
+        if self.position is not None:
+            lines.append(f"  position: event #{self.position} of {master.total_events}")
+            cp = master.nearest_checkpoint(self.position)
+            if cp is not None:
+                lines.append(f"  nearest {cp.describe()}")
+        rec = self.recorder
+        if rec is not None and not rec.detached and rec.reference is not None:
+            lines.append(
+                f"  self-check: {rec.events_compared} event(s) and "
+                f"{rec.checkpoints_verified} checkpoint(s) verified identical"
+            )
+        return lines

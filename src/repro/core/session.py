@@ -39,6 +39,7 @@ from .catchpoints import (
 from .dot import render_dot
 from .model import DataflowModel, DbgActor, DbgConnection
 from .record import TokenRecorder
+from .replay import ReplayManager
 
 BEHAVIORS = ("default", "splitter", "joiner", "map")
 
@@ -53,9 +54,13 @@ class DataflowSession:
         cli=None,
     ):
         self.dbg = debugger
+        self.cli = cli
         self.model = DataflowModel()
         self.records = TokenRecorder()
         self.alter = Alteration(self)
+        self.replay = ReplayManager(self)
+        #: the active RunRecorder journaling this session, if any
+        self._run_recorder = None
         #: filters whose data/attribute state is snapshotted into every
         #: token they push (enabled via ``filter X record state``)
         self.state_recorded: set = set()
@@ -135,6 +140,19 @@ class DataflowSession:
     def set_data_capture(self, mode: DataMode) -> None:
         """§V overhead mitigation: 'all' | 'none' | 'control-only' | [actors]."""
         self.capture.set_data_mode(mode)
+
+    # ------------------------------------------------------- record/replay
+
+    def notify_alteration(
+        self,
+        kind: str,
+        conn_spec: str,
+        value_text: Optional[str] = None,
+        index: Optional[int] = None,
+    ) -> None:
+        """Journal an execution alteration so replay re-applies it at the
+        same event position (no-op unless recording is on)."""
+        self.replay.notify_alteration(kind, conn_spec, value_text, index)
 
     # --------------------------------------------------------- catchpoints
 
@@ -418,6 +436,7 @@ class DataflowSession:
             raise DataflowDebugError(f"no module {module!r}")
         mod.predicates[name] = bool(value)
         self.model.predicates.setdefault(module, {})[name] = bool(value)
+        self.notify_alteration("set_pred", f"{module}.{name}", "true" if value else "false")
 
     def links_report(self) -> List[str]:
         lines = []
@@ -428,9 +447,10 @@ class DataflowSession:
             if link.dma:
                 flags.append("dma")
             flag_text = f" [{','.join(flags)}]" if flags else ""
+            dropped = f", dropped {link.total_dropped}" if link.total_dropped else ""
             lines.append(
                 f"{link.name}{flag_text}: {link.occupancy} token(s) queued "
-                f"(pushed {link.total_pushed}, popped {link.total_popped})"
+                f"(pushed {link.total_pushed}, popped {link.total_popped}{dropped})"
             )
         return lines or ["(no links reconstructed yet)"]
 

@@ -38,6 +38,8 @@ class CommandCli:
     def __init__(self, debugger: Debugger):
         self.dbg = debugger
         self.commands: Dict[str, Command] = {}
+        # extension-supplied ``info TOPIC`` handlers (topic -> handler(rest))
+        self.info_topics: Dict[str, Handler] = {}
         # auto-display expressions: id -> expression text
         self._displays: Dict[int, str] = {}
         self._next_display = 1
@@ -49,6 +51,12 @@ class CommandCli:
         if command.name in self.commands:
             raise DebuggerError(f"command {command.name!r} already registered")
         self.commands[command.name] = command
+
+    def rebind_debugger(self, debugger: Debugger) -> None:
+        """Point every command at a different debugger instance — used when
+        a replay adopts a rebuilt machine: the CLI (command table, display
+        expressions, history of the *session*) survives the swap."""
+        self.dbg = debugger
 
     def _resolve(self, name: str) -> Command:
         cmd = self.commands.get(name)
@@ -160,10 +168,7 @@ class CommandCli:
         reg(Command("list", self._cmd_list, "list [LINE] — show source around the stop", aliases=("l",)))
         reg(Command("info", self._cmd_info,
                     "info breakpoints|actors|threads|locals|args|functions [SUBSTR]|platform",
-                    completer=lambda t: [s for s in
-                                         ("breakpoints", "actors", "threads", "locals",
-                                          "args", "functions", "platform")
-                                         if s.startswith(t)]))
+                    completer=self._complete_info))
         reg(Command("actor", self._cmd_actor, "actor NAME — select an actor (thread)",
                     aliases=("thread",), completer=self._complete_actor))
         reg(Command("freeze", self._cmd_freeze,
@@ -414,6 +419,9 @@ class CommandCli:
         if topic == "functions":
             matches = self.dbg.debug_info.match_functions(rest.strip())
             return [str(f) for f in matches] or ["No matching functions."]
+        handler = self.info_topics.get(topic)
+        if handler is not None:
+            return handler(rest.strip())
         raise CommandError(f"info: unknown topic {topic!r}")
 
     def _cmd_help(self, arg: str) -> List[str]:
@@ -423,6 +431,11 @@ class CommandCli:
         return [c.help for _, c in sorted(self.commands.items())]
 
     # -- completers -------------------------------------------------------------
+
+    def _complete_info(self, text: str) -> List[str]:
+        topics = ["breakpoints", "actors", "threads", "locals", "args",
+                  "functions", "platform"] + sorted(self.info_topics)
+        return [s for s in topics if s.startswith(text)]
 
     def _complete_actor(self, text: str) -> List[str]:
         names = []

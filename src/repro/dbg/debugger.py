@@ -149,6 +149,12 @@ class Debugger:
         self._record_stop(ev, actor)
         return Suspend(ev)
 
+    def external_suspend(self, ev: StopEvent, actor: Optional[ActorInst] = None) -> Suspend:
+        """Record a stop and build its kernel ``Suspend`` on behalf of an
+        extension (the record/replay driver stops the platform exactly at a
+        journal position this way)."""
+        return self._suspend(ev, actor)
+
     # --------------------------------------------------------- hook: stmts
 
     def _on_statement(self, interp: Interpreter, stmt) -> Optional[Suspend]:

@@ -20,6 +20,7 @@ class StopKind(enum.Enum):
     EXITED = "exited"
     ERROR = "error"
     PAUSED = "paused"  # external interrupt
+    REPLAY = "replay"  # a time-travel target position was reached
 
 
 @dataclass
@@ -58,6 +59,8 @@ class StopEvent:
             lines.append(f"Program trap(){who}{loc}")
         elif self.kind == StopKind.DATAFLOW:
             lines.append(self.message)
+        elif self.kind == StopKind.REPLAY:
+            lines.append(f"Replay stop{who}: {self.message}")
         elif self.kind == StopKind.DEADLOCK:
             lines.append(f"Deadlock detected: {self.message}")
         elif self.kind == StopKind.EXITED:

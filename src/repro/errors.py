@@ -82,3 +82,17 @@ class CommandError(DebuggerError):
 
 class DataflowDebugError(DebuggerError):
     """Error raised by the dataflow-aware debugger extension (``repro.core``)."""
+
+
+class ReplayError(DataflowDebugError):
+    """Error raised by the record/replay subsystem (``repro.core.replay``)."""
+
+
+class ReplayDivergenceError(ReplayError):
+    """A replayed execution did not reproduce the recorded one.
+
+    Raised by the built-in determinism self-check: every replayed framework
+    event and periodic checkpoint digest is compared against the journal;
+    the first mismatch aborts the replay with the position and the
+    expected/observed fingerprints.
+    """

@@ -10,7 +10,6 @@ paper's debugger dynamically reconstructs the dataflow graph
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -64,7 +63,7 @@ class PedfRuntime:
         self.bus = FrameworkEventBus()
         self.api = FrameworkAPI(self.bus, scheduler)
         self.console: List[str] = []
-        self._seq = itertools.count(1)
+        self._next_seq = 1
         self.loaded = False
 
         compile_program(program)
@@ -84,7 +83,21 @@ class PedfRuntime:
     # ------------------------------------------------------------- plumbing
 
     def next_seq(self) -> int:
-        return next(self._seq)
+        seq = self._next_seq
+        self._next_seq += 1
+        return seq
+
+    def seq_state(self) -> int:
+        """The next token seq number that :meth:`next_seq` would hand out.
+
+        Part of the record/replay checkpoint digest: two runs that agree on
+        ``seq_state`` at the same dispatch count have produced exactly the
+        same number of tokens.
+        """
+        return self._next_seq
+
+    def restore_seq(self, next_seq: int) -> None:
+        self._next_seq = next_seq
 
     def set_hook(self, hook: Optional[DebugHook]) -> None:
         """Attach a debugger hook to every actor interpreter."""

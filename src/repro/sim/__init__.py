@@ -24,6 +24,7 @@ from .process import Process, ProcessState, Delay, WaitEvent, Suspend, Yield
 from .events import Event
 from .channels import Fifo
 from .trace import TraceRecorder, TraceRecord
+from .replay import AlterationRecord, Checkpoint, ReplayJournal, StopRecord
 
 __all__ = [
     "Scheduler",
@@ -39,4 +40,8 @@ __all__ = [
     "Fifo",
     "TraceRecorder",
     "TraceRecord",
+    "ReplayJournal",
+    "Checkpoint",
+    "StopRecord",
+    "AlterationRecord",
 ]

@@ -85,6 +85,11 @@ class Scheduler:
         # dispatch loop pays nothing for an idle debugger.
         self._pre_dispatch_hook: Optional[Callable[[Process], Optional[Suspend]]] = None
         self._pre_dispatch_armed = False
+        # Hook invoked after each *completed* dispatch with the dispatch
+        # count — the record/replay checkpoint tap.  Same arm/disarm
+        # pattern: nothing is paid per dispatch while no journal is open.
+        self._post_dispatch_hook: Optional[Callable[[int], None]] = None
+        self._post_dispatch_armed = False
 
     @property
     def pre_dispatch_hook(self) -> Optional[Callable[[Process], Optional[Suspend]]]:
@@ -98,6 +103,28 @@ class Scheduler:
     def set_pre_dispatch_armed(self, armed: bool) -> None:
         """Arm/disarm the pre-dispatch hook without detaching it."""
         self._pre_dispatch_armed = bool(armed) and self._pre_dispatch_hook is not None
+
+    @property
+    def post_dispatch_hook(self) -> Optional[Callable[[int], None]]:
+        return self._post_dispatch_hook
+
+    @post_dispatch_hook.setter
+    def post_dispatch_hook(self, hook: Optional[Callable[[int], None]]) -> None:
+        self._post_dispatch_hook = hook
+        self._post_dispatch_armed = hook is not None
+
+    @property
+    def dispatch_count(self) -> int:
+        """Completed logical dispatches so far.
+
+        Debugger suspensions do not inflate this count: a process stretch
+        that a mid-dispatch ``Suspend`` splits into several resumes counts
+        as ONE dispatch (the one that finally reaches a real kernel
+        request).  That makes the count identical between a debugged run
+        full of interactive stops and a free run of the same program —
+        the invariant record/replay checkpoints are keyed on.
+        """
+        return self._dispatch_count
 
     # ---------------------------------------------------------------- spawn
 
@@ -290,6 +317,8 @@ class Scheduler:
             proc.result = stop.value
             if self.trace:
                 self.trace.record(self.now, proc.name, "terminate")
+            if self._post_dispatch_armed:
+                self._post_dispatch_hook(self._dispatch_count)
             return None
         except Exception as exc:  # noqa: BLE001 - surfaced to the caller
             proc.state = ProcessState.FAILED
@@ -312,6 +341,10 @@ class Scheduler:
             proc.waiting_on = request.event
             request.event.add_waiter(proc)
         elif isinstance(request, Suspend):
+            # A mid-dispatch debugger stop splits one logical dispatch into
+            # several generator resumes; undo the increment so the count
+            # stays invariant under interactive stops (see dispatch_count).
+            self._dispatch_count -= 1
             self._make_ready_front(proc)
             if self.trace:
                 self.trace.record(self.now, proc.name, "suspend", request.reason)
@@ -321,4 +354,6 @@ class Scheduler:
             err = SimulationError(f"process {proc.name} yielded invalid request {request!r}")
             proc.exception = err
             return StopReason(StopKind.PROCESS_ERROR, self.now, proc, err)
+        if self._post_dispatch_armed:
+            self._post_dispatch_hook(self._dispatch_count)
         return None

@@ -1,0 +1,188 @@
+"""Deterministic record/replay journal.
+
+Dataflow programs have deterministic communication semantics, and the
+kernel dispatches deterministically (FIFO ready queue, monotone tie-break
+in the timed heap) — so a run is fully reproduced by re-executing it from
+the start, *provided nothing external perturbs it*.  The journal records
+everything needed to (a) navigate a finished or stopped execution by
+position and (b) prove the re-execution really is identical:
+
+- a compact **event log** — one entry per framework event (entry/exit of
+  ``pedf_rt_*``), carrying the simulated time, the acting actor and, for
+  data-exchange exits, the token's global sequence number.  The log
+  doubles as a fingerprint stream: replaying compares each event against
+  the recorded one (the determinism self-check).
+- periodic **checkpoints** — lightweight digests (not restorable state:
+  actor coroutines cannot be snapshotted) taken every N completed
+  dispatches: simulated time, next token seq, per-link occupancy as
+  token-seq tuples.  A replay that matches every digest en route has
+  provably rebuilt the same machine.
+- the **stop log** — where the user stopped, as event-log positions, so
+  ``reverse-continue`` can land on the previous dataflow stop.
+- the **alteration log** — debugger-side mutations (token insert / drop /
+  poke, predicate overrides) with the event position they were applied
+  at, re-applied at the same positions during replay.
+
+Positions are *event indices* (1-based count of emitted framework
+events), not dispatch counts or timestamps: the event stream is invariant
+under interactive stops, and an index names an exact mid-dispatch machine
+state (the moment just after that event's listeners ran).
+
+Storage reuses :class:`~repro.sim.trace.TraceRecorder` (same dual
+cap/ring policies, same O(1) per-kind indexing).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from .trace import TraceRecord, TraceRecorder
+
+#: event-log kind of a completed token production — the determinism
+#: fingerprint stream ("symbol:phase", see ReplayJournal.add_event)
+TOKEN_EVENT_KIND = "pedf_rt_push:exit"
+
+DEFAULT_CHECKPOINT_INTERVAL = 64
+
+
+@dataclass(frozen=True)
+class Checkpoint:
+    """Digest of the machine at a dispatch boundary (not restorable)."""
+
+    index: int  # event-log position when taken
+    dispatch: int  # kernel dispatch count when taken
+    time: int  # simulated time
+    next_seq: int  # runtime token-seq counter state
+    #: (link name, (queued token seqs, oldest first)) for every link
+    occupancy: Tuple[Tuple[str, Tuple[int, ...]], ...]
+
+    def describe(self) -> str:
+        held = sum(len(seqs) for _, seqs in self.occupancy)
+        return (
+            f"checkpoint @event {self.index} (dispatch {self.dispatch}, t={self.time}, "
+            f"next seq {self.next_seq}, {held} token(s) in flight)"
+        )
+
+
+@dataclass(frozen=True)
+class StopRecord:
+    """One debugger stop, positioned on the event log."""
+
+    index: int  # event-log position when the stop was recorded
+    kind: str  # StopKind.value ("dataflow", "breakpoint", ...)
+    message: str
+    bp_id: Optional[int]
+    time: int
+
+
+@dataclass(frozen=True)
+class AlterationRecord:
+    """One execution alteration, positioned on the event log."""
+
+    index: int  # event-log position when the alteration was applied
+    kind: str  # "insert" | "drop" | "poke" | "set_pred"
+    conn_spec: str  # "actor::iface" (or "module.pred" for set_pred)
+    value_text: Optional[str]
+    arg_index: Optional[int]
+
+
+class ReplayJournal:
+    """The recorded run: event log + checkpoints + stop/alteration logs."""
+
+    def __init__(self, limit: Optional[int] = None, ring: bool = False):
+        self.events = TraceRecorder(limit=limit, ring=ring)
+        self.checkpoints: List[Checkpoint] = []
+        self.stops: List[StopRecord] = []
+        self.alterations: List[AlterationRecord] = []
+        self._total = 0
+        self._cp_by_dispatch: Dict[int, Checkpoint] = {}
+
+    # ------------------------------------------------------------ recording
+
+    @property
+    def total_events(self) -> int:
+        """Lifetime event count (positions run 1..total_events)."""
+        return self._total
+
+    def add_event(
+        self, time: int, phase: str, symbol: str, actor: Optional[str], seq: Optional[int]
+    ) -> int:
+        """Append one framework event; returns its 1-based position."""
+        self._total += 1
+        self.events.record(time, actor or "", f"{symbol}:{phase}", seq)
+        return self._total
+
+    def add_checkpoint(self, cp: Checkpoint) -> None:
+        self.checkpoints.append(cp)
+        self._cp_by_dispatch[cp.dispatch] = cp
+
+    def add_stop(self, record: StopRecord) -> None:
+        self.stops.append(record)
+
+    def add_alteration(self, record: AlterationRecord) -> None:
+        self.alterations.append(record)
+
+    # -------------------------------------------------------------- queries
+
+    def record_at(self, index: int) -> Optional[TraceRecord]:
+        """The stored event at 1-based ``index``; None if out of range or
+        evicted by the bound (cap mode keeps the first ``limit`` events,
+        ring mode the last)."""
+        if not 1 <= index <= self._total:
+            return None
+        records = self.events._records
+        if self.events.ring:
+            first = self._total - len(records) + 1  # oldest stored position
+            if index < first:
+                return None
+            return records[index - first]
+        if index > len(records):
+            return None
+        return records[index - 1]
+
+    def checkpoint_at_dispatch(self, dispatch: int) -> Optional[Checkpoint]:
+        return self._cp_by_dispatch.get(dispatch)
+
+    def nearest_checkpoint(self, index: int) -> Optional[Checkpoint]:
+        """The last checkpoint taken at or before event position ``index``."""
+        best: Optional[Checkpoint] = None
+        for cp in self.checkpoints:
+            if cp.index <= index:
+                best = cp
+            else:
+                break
+        return best
+
+    def token_stream(self, kind: str = TOKEN_EVENT_KIND) -> List[int]:
+        """Global seq numbers of every recorded token production, in
+        order — the run's determinism fingerprint."""
+        return [rec.detail for rec in self.events.of_kind(kind) if rec.detail is not None]
+
+    def index_for_seq(self, seq: int, kind: str = TOKEN_EVENT_KIND) -> Optional[int]:
+        """Event position at which token ``seq`` was produced."""
+        if self.events.ring:
+            base = self._total - len(self.events._records)
+        else:
+            base = 0
+        for i, rec in enumerate(self.events._records, start=base + 1):
+            if rec.kind == kind and rec.detail == seq:
+                return i
+        return None
+
+    def index_for_time(self, time: int) -> Optional[int]:
+        """First stored event position at simulated time >= ``time``."""
+        if self.events.ring:
+            base = self._total - len(self.events._records)
+        else:
+            base = 0
+        for i, rec in enumerate(self.events._records, start=base + 1):
+            if rec.time >= time:
+                return i
+        return None
+
+    @staticmethod
+    def describe_record(rec: TraceRecord) -> str:
+        seq = f" seq={rec.detail}" if rec.detail is not None else ""
+        who = f" [{rec.process}]" if rec.process else ""
+        return f"{rec.kind}{who} t={rec.time}{seq}"

@@ -5,9 +5,16 @@ from repro.core import DataflowSession, install_dataflow_commands
 from repro.dbg import CommandCli, Debugger
 
 
-def make_session(values=(1, 2, 3, 4), attribute=1, **session_kwargs):
+def make_session(values=(1, 2, 3, 4), attribute=1, register_builder=False,
+                 **session_kwargs):
     sched, platform, runtime, source, sink = build_demo(values, attribute)
     dbg = Debugger(sched, runtime)
     cli = CommandCli(dbg)
     session = DataflowSession(dbg, cli=cli, **session_kwargs)
+    if register_builder:
+        def fresh():
+            s2, p2, r2, src2, snk2 = build_demo(values, attribute)
+            return DataflowSession(Debugger(s2, r2), **session_kwargs)
+
+        session.replay.register_builder(fresh)
     return session, cli, dbg, runtime, sink

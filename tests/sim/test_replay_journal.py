@@ -1,0 +1,79 @@
+"""Unit tests of the replay journal substrate (event log, checkpoints,
+position queries) independent of the debugger driver."""
+
+from repro.sim.replay import TOKEN_EVENT_KIND, Checkpoint, ReplayJournal
+
+
+def fill(journal, n=10, t0=0):
+    """n alternating push-exit / step-entry events; pushes carry seqs 1.."""
+    seq = 0
+    for i in range(n):
+        if i % 2 == 0:
+            seq += 1
+            journal.add_event(t0 + i, "exit", "pedf_rt_push", f"actor{i % 3}", seq)
+        else:
+            journal.add_event(t0 + i, "entry", "pedf_rt_step", "ctl", None)
+    return seq
+
+
+def test_positions_are_one_based_and_counted():
+    j = ReplayJournal()
+    assert j.total_events == 0
+    assert j.add_event(0, "exit", "pedf_rt_push", "a", 1) == 1
+    assert j.add_event(5, "entry", "pedf_rt_step", "c", None) == 2
+    assert j.total_events == 2
+    assert j.record_at(1).detail == 1
+    assert j.record_at(1).kind == TOKEN_EVENT_KIND
+    assert j.record_at(2).detail is None
+    assert j.record_at(0) is None and j.record_at(3) is None
+
+
+def test_token_stream_and_seq_lookup():
+    j = ReplayJournal()
+    fill(j, 10)
+    assert j.token_stream() == [1, 2, 3, 4, 5]
+    assert j.index_for_seq(1) == 1
+    assert j.index_for_seq(3) == 5  # pushes sit at odd positions 1,3,5,...
+    assert j.index_for_seq(99) is None
+
+
+def test_index_for_time_finds_first_event_at_or_after():
+    j = ReplayJournal()
+    fill(j, 6, t0=100)  # events at t=100..105
+    assert j.index_for_time(100) == 1
+    assert j.index_for_time(103) == 4
+    assert j.index_for_time(999) is None
+
+
+def test_cap_mode_keeps_first_events():
+    j = ReplayJournal(limit=4)
+    fill(j, 10)
+    assert j.total_events == 10
+    assert j.record_at(4) is not None
+    assert j.record_at(5) is None  # beyond the cap: dropped at record time
+
+
+def test_ring_mode_keeps_last_events():
+    j = ReplayJournal(limit=4, ring=True)
+    fill(j, 10)
+    assert j.total_events == 10
+    assert j.record_at(6) is None  # evicted
+    assert j.record_at(7) is not None
+    assert j.record_at(10) is not None
+    # position arithmetic survives eviction: seq 5 was pushed at position 9
+    assert j.index_for_seq(5) == 9
+
+
+def test_nearest_checkpoint_and_dispatch_lookup():
+    j = ReplayJournal()
+    cp1 = Checkpoint(index=10, dispatch=64, time=5, next_seq=3, occupancy=())
+    cp2 = Checkpoint(index=30, dispatch=128, time=9, next_seq=7, occupancy=())
+    j.add_checkpoint(cp1)
+    j.add_checkpoint(cp2)
+    assert j.nearest_checkpoint(9) is None
+    assert j.nearest_checkpoint(10) is cp1
+    assert j.nearest_checkpoint(29) is cp1
+    assert j.nearest_checkpoint(31) is cp2
+    assert j.checkpoint_at_dispatch(128) is cp2
+    assert j.checkpoint_at_dispatch(100) is None
+    assert "dispatch 64" in cp1.describe()
