@@ -6,11 +6,38 @@ emission) so overhead numbers elsewhere can be put in context, and so
 regressions in the hot paths show up.
 """
 
+import threading
+
 import pytest
 
 from repro.cminus import Interpreter, NullEnvironment, analyze, parse_program, run_sync
 from repro.pedf.api import FrameworkEvent, FrameworkEventBus
 from repro.sim import Delay, Fifo, Scheduler
+
+
+def _fresh_stack(fn):
+    """Run ``fn`` on a fresh thread and return its result.
+
+    CPython ≥3.11 allocates Python frames in fixed-size data-stack
+    chunks; recursion that oscillates across a chunk boundary pays an
+    allocation per call, so recursive workloads (fib15 on the compiled
+    closure tier) can swing ~2x depending on how deep the *harness*
+    stack happens to be when the measurement starts (pytest sits right
+    in the pathological band).  A fresh thread starts with fresh chunks,
+    making the measurement independent of harness stack depth — for
+    every tier alike, so comparisons stay apples-to-apples.
+    """
+    box = []
+
+    def trampoline():
+        box.append(fn())
+
+    t = threading.Thread(target=trampoline)
+    t.start()
+    t.join()
+    if not box:
+        raise RuntimeError("benchmark workload died on its thread")
+    return box[0]
 
 
 def test_kernel_dispatch_throughput(benchmark):
@@ -73,22 +100,66 @@ U32 main() {
 """
 
 
+#: the CI bar: with no debugger attached, the compiled closure tier must
+#: beat the per-statement resumable interpreter by at least this factor
+#: (measured ~4x on fib15 / ~5x on loop5k; recorded conservatively)
+RECORDED_SPEEDUP_MARGIN = 2.0
+
+
+@pytest.mark.parametrize("tier", ["compiled", "slow"])
 @pytest.mark.parametrize("name,src,expected", [
     ("fib15", FIB_SRC, 610),
     ("loop5k", LOOP_SRC, None),
 ])
-def test_interpreter_throughput(benchmark, name, src, expected):
+def test_interpreter_throughput(benchmark, name, src, expected, tier):
     prog = parse_program(src)
     info = analyze(prog, None, src)
 
-    def run():
+    def work():
         interp = Interpreter(prog, info, env=NullEnvironment(), timed=False)
+        if tier == "slow":
+            interp.tier = "slow"
         return run_sync(interp.run_function("main")), interp.state.statements_executed
 
-    (value, stmts) = benchmark(run)
+    (value, stmts) = benchmark(lambda: _fresh_stack(work))
     if expected is not None:
         assert value == expected
     assert stmts > 1000
+
+
+def _best_of(fn, rounds=3, iterations=5):
+    import time
+
+    fn()  # warm-up (compiles the unit on the fast tier)
+    best = float("inf")
+    for _ in range(rounds):
+        t0 = time.perf_counter()
+        for _ in range(iterations):
+            fn()
+        best = min(best, (time.perf_counter() - t0) / iterations)
+    return best
+
+
+def test_compiled_tier_margin():
+    """The bench-smoke acceptance bar, independent of pytest-benchmark
+    (also runs under ``--benchmark-disable``): the no-debugger compiled
+    tier beats the interpreted tier by the recorded margin."""
+    prog = parse_program(FIB_SRC)
+    info = analyze(prog, None, FIB_SRC)
+
+    def run(tier):
+        interp = Interpreter(prog, info, env=NullEnvironment(), timed=False)
+        interp.tier = tier
+        value = run_sync(interp.run_function("main"))
+        assert value == 610
+        return value
+
+    fast = _fresh_stack(lambda: _best_of(lambda: run("auto")))
+    slow = _fresh_stack(lambda: _best_of(lambda: run("slow")))
+    assert slow >= RECORDED_SPEEDUP_MARGIN * fast, (
+        f"compiled tier speedup {slow / fast:.2f}x below the recorded "
+        f"{RECORDED_SPEEDUP_MARGIN}x margin (fast {fast:.4f}s, slow {slow:.4f}s)"
+    )
 
 
 def test_event_bus_emission(benchmark):

@@ -3,6 +3,54 @@
 Every benchmark is also an assertion: each bench re-checks the structural
 property of the paper artefact it regenerates, so `pytest benchmarks/
 --benchmark-only` doubles as an end-to-end reproduction run.
+
+On top of pytest-benchmark's own reporting, the session hook below emits
+one machine-readable ``BENCH_<name>.json`` per bench module (e.g.
+``BENCH_substrate.json``, ``BENCH_sec5_overhead.json``) into the repo
+root with mean / p50 wall time per row, so CI jobs and the experiment
+scripts can compare runs without scraping terminal tables.
 """
 
+import json
+from pathlib import Path
+
 import pytest
+
+
+def _bench_rows(benchmarks):
+    """Group benchmark stats by their bench module."""
+    by_file = {}
+    for bench in benchmarks:
+        stats = getattr(bench, "stats", None)
+        stats = getattr(stats, "stats", stats)  # Metadata -> Stats
+        mean = getattr(stats, "mean", None)
+        if mean is None:  # skipped / --benchmark-disable
+            continue
+        fullname = getattr(bench, "fullname", "") or ""
+        modpath = fullname.split("::", 1)[0]
+        stem = Path(modpath).stem  # bench_substrate
+        row = {
+            "test": fullname.split("::", 1)[-1],
+            "group": getattr(bench, "group", None),
+            "mean": mean,
+            "p50": getattr(stats, "median", None),
+            "stddev": getattr(stats, "stddev", None),
+            "rounds": getattr(stats, "rounds", None),
+        }
+        by_file.setdefault(stem, []).append(row)
+    return by_file
+
+
+@pytest.hookimpl(trylast=True)
+def pytest_sessionfinish(session, exitstatus):
+    bs = getattr(session.config, "_benchmarksession", None)
+    if bs is None:
+        return
+    root = Path(str(session.config.rootpath))
+    for stem, rows in _bench_rows(getattr(bs, "benchmarks", [])).items():
+        name = stem[len("bench_"):] if stem.startswith("bench_") else stem
+        out = root / f"BENCH_{name}.json"
+        out.write_text(json.dumps({"bench": stem, "rows": rows}, indent=2) + "\n")
+        tr = session.config.pluginmanager.get_plugin("terminalreporter")
+        if tr is not None:
+            tr.write_line(f"bench results written to {out}")

@@ -23,7 +23,19 @@ from . import build_debug_session
 from .errors import ReproError
 
 
-def _build_demo(name: str, bug: Optional[str]):
+def _apply_tier(session, tier: str) -> None:
+    """Force every live interpreter onto ``tier`` ("auto" is the default:
+    compiled closures with debugger-triggered deoptimization; "slow" is
+    the per-statement resumable tier, useful as a differential oracle)."""
+    runtime = session.dbg.runtime
+    runtime.config.interp_tier = tier
+    for actor in runtime.all_actors():
+        interp = getattr(actor, "interp", None)
+        if interp is not None:
+            interp.tier = tier
+
+
+def _build_demo(name: str, bug: Optional[str], tier: str = "auto"):
     from .core import DataflowSession
     from .dbg import CommandCli, Debugger
 
@@ -33,7 +45,9 @@ def _build_demo(name: str, bug: Optional[str]):
         def fresh():
             sched, platform, runtime, source, sink = build_demo()
             dbg = Debugger(sched, runtime)
-            return DataflowSession(dbg, stop_on_init=True), sink
+            session = DataflowSession(dbg, stop_on_init=True)
+            _apply_tier(session, tier)
+            return session, sink
 
     elif name == "h264":
         from .apps.h264.app import build_decoder
@@ -52,7 +66,9 @@ def _build_demo(name: str, bug: Optional[str]):
             else:
                 sched, platform, runtime, source, sink, mbs = build_decoder(n_mbs=8)
             dbg = Debugger(sched, runtime)
-            return DataflowSession(dbg, stop_on_init=True), sink
+            session = DataflowSession(dbg, stop_on_init=True)
+            _apply_tier(session, tier)
+            return session, sink
 
     else:
         raise ReproError(f"unknown demo {name!r} (amodule/h264)")
@@ -69,12 +85,13 @@ def _build_demo(name: str, bug: Optional[str]):
     return cli, sink
 
 
-def _build_from_adl(adl_path: str, src_paths: List[str], values: List[int]):
+def _build_from_adl(adl_path: str, src_paths: List[str], values: List[int], tier: str = "auto"):
     adl_text = Path(adl_path).read_text()
     sources = {Path(p).name: Path(p).read_text() for p in src_paths}
 
     def fresh():
         dbg, cli, session, runtime = build_debug_session(adl_text, sources)
+        _apply_tier(session, tier)
         if values:
             # feed the first module input found
             for module in runtime.decl.modules.values():
@@ -119,14 +136,18 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--source-values", default="",
                         help="comma-separated integers fed to the first module input")
     parser.add_argument("--script", help="run commands from this file instead of a REPL")
+    parser.add_argument("--interp-tier", choices=["auto", "slow"], default="auto",
+                        help="Filter-C execution tier: 'auto' runs compiled closures "
+                             "with debugger-triggered deoptimization, 'slow' forces "
+                             "the per-statement resumable interpreter")
     args = parser.parse_args(argv)
 
     try:
         if args.demo:
-            cli, _ = _build_demo(args.demo, args.bug)
+            cli, _ = _build_demo(args.demo, args.bug, args.interp_tier)
         elif args.adl:
             values = [int(v, 0) for v in args.source_values.split(",") if v.strip()]
-            cli, _ = _build_from_adl(args.adl, args.src, values)
+            cli, _ = _build_from_adl(args.adl, args.src, values, args.interp_tier)
         else:
             parser.error("give --demo or --adl")
             return 2

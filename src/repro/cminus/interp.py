@@ -152,10 +152,19 @@ class DebugHook:
 
 @dataclass
 class CostModel:
-    """Simulated cycles charged per executed statement."""
+    """Simulated cycles charged per executed statement.
+
+    ``batch_cycles`` is the Delay-coalescing threshold: statement costs
+    accumulate in :attr:`Interpreter._pending` and are flushed to the
+    kernel as one batched ``Delay`` once at least this many cycles are
+    pending (and always before dataflow I/O, intrinsics and function
+    exit, so observable ordering and sim-time totals are unchanged).
+    ``batch_cycles=1`` restores one kernel request per statement.
+    """
 
     default_stmt: int = 1
     call_overhead: int = 2
+    batch_cycles: int = 64
 
     def stmt_cost(self, stmt: ast.Stmt) -> int:
         return self.default_stmt
@@ -235,20 +244,55 @@ class Interpreter:
         self.globals: Dict[str, Value] = {}
         self.state = CallState()
         self._globals_ready = False
+        #: tier override: "auto" picks the compiled tier whenever no
+        #: statement/call/return hook could fire; "slow" always tree-walks
+        self.tier = "auto"
+        # batched-Delay accumulator (cycles charged but not yet yielded)
+        self._pending = 0
+        self._batch_limit = max(1, self.cost.batch_cycles)
+        # constant per-statement cost when the cost model is not refined;
+        # None forces a stmt_cost() call per boundary
+        self._stmt_cost_const: Optional[int] = (
+            self.cost.default_stmt
+            if type(self.cost).stmt_cost is CostModel.stmt_cost
+            else None
+        )
+        self._compiled = None  # lazily built CompiledUnit (fast tier)
+        self._compile_failed = False
         # hook-elision fast-path flags, cached from hook.capabilities so the
         # per-statement checkpoint is one attribute test when disarmed
         self._want_stmt = True
         self._want_call = True
         self._want_ret = True
+        self._fast_ok = False
+        self._pure_fast = False
         self.refresh_hook_caps()
 
     def refresh_hook_caps(self) -> None:
         """Re-cache the hook's capability mask (call after changing either
-        ``self.hook`` or ``hook.capabilities``)."""
+        ``self.hook`` or ``hook.capabilities``).
+
+        Also recomputes the tier-selection flags: ``_fast_ok`` is the
+        compiled tier's green light and doubles as its **deoptimization
+        flag** — arming a statement/call/return capability while compiled
+        activations are live drops it to False, and every compiled block
+        driver checks it at each statement boundary, falling back into
+        this tree-walking interpreter mid-function.
+        """
         caps = DebugHook.CAP_ALL if self.hook is None else self.hook.capabilities
         self._want_stmt = bool(caps & DebugHook.CAP_STATEMENTS)
         self._want_call = bool(caps & DebugHook.CAP_CALLS)
         self._want_ret = bool(caps & DebugHook.CAP_RETURNS)
+        if self.hook is None:
+            self._fast_ok = True
+        else:
+            self._fast_ok = not (
+                caps
+                & (DebugHook.CAP_STATEMENTS | DebugHook.CAP_CALLS | DebugHook.CAP_RETURNS)
+            )
+        # fully-synchronous execution is only safe when nothing can observe
+        # or suspend mid-region: no hook at all and untimed simulation
+        self._pure_fast = self.hook is None and not self.timed
 
     # ------------------------------------------------------------- queries
 
@@ -273,7 +317,34 @@ class Interpreter:
             raise CMinusRuntimeError(f"no function {name!r} in {self.program.filename}")
         if not self._globals_ready:
             yield from self._init_globals()
-        return (yield from self._call_user(func, list(args), call_line=0))
+        self._pure_fast = self.hook is None and not self.timed
+        if self._use_fast(func.name):
+            from .compile import call_compiled
+
+            ret = yield from call_compiled(self, func.name, list(args))
+        else:
+            ret = yield from self._call_user(func, list(args), call_line=0)
+        if self._pending:
+            yield from self._flush_cost()
+        return ret
+
+    def _use_fast(self, name: str) -> bool:
+        """Tier selection: compiled unless a statement/call/return hook is
+        armed, the tier is forced slow, or the function failed to compile."""
+        if not self._fast_ok or self.tier == "slow":
+            return False
+        cu = self._compiled
+        if cu is None:
+            if self._compile_failed:
+                return False
+            try:
+                from .compile import compiled_unit
+
+                cu = self._compiled = compiled_unit(self.program)
+            except Exception:  # compiler trouble must never break execution
+                self._compile_failed = True
+                return False
+        return cu.supports(name)
 
     def _init_globals(self):
         self._globals_ready = True
@@ -307,7 +378,7 @@ class Interpreter:
             if req is not None:
                 yield req
         if self.timed and self.cost.call_overhead:
-            yield Delay(self.cost.call_overhead)
+            self._pending += self.cost.call_overhead
         ret: Raw = 0 if not isinstance(func.ret, VoidType) else 0
         try:
             yield from self._exec_block(func.body, new_scope=True)
@@ -339,19 +410,62 @@ class Interpreter:
                 frame.scopes.pop()
 
     def _checkpoint(self, stmt: ast.Stmt):
-        """Per-statement debugger + cost hook (the pause point)."""
+        """Per-statement debugger + cost hook (the pause point).
+
+        Statement costs are *charged* here but only *flushed* to the
+        kernel (as one batched ``Delay``) once ``batch_cycles`` have
+        accumulated; genuine blocking points flush eagerly via
+        :meth:`_io_read` / :meth:`_io_write` / :meth:`_intrinsic`, and
+        :meth:`run_function` flushes the remainder on exit.  The flush
+        points are purely structural (never hook- or stop-dependent) so
+        both execution tiers issue byte-identical kernel-request streams
+        and dispatch counting stays stop-invariant for the replay
+        journal.
+        """
         frame = self.frames[-1]
         frame.line = stmt.line
         self.state.statements_executed += 1
+        timed = self.timed
+        if timed and self._pending >= self._batch_limit:
+            p = self._pending
+            self._pending = 0
+            yield Delay(p)
         hook = self.hook
         if hook is not None and self._want_stmt:
             req = hook.on_statement(self, stmt)
             if req is not None:
                 yield req
-        if self.timed:
-            c = self.cost.stmt_cost(stmt)
-            if c:
-                yield Delay(c)
+        if timed:
+            c = self._stmt_cost_const
+            if c is None:
+                c = self.cost.stmt_cost(stmt)
+            self._pending += c
+
+    def _flush_cost(self):
+        """Yield the accumulated statement cost as one kernel request."""
+        p = self._pending
+        if p:
+            self._pending = 0
+            yield Delay(p)
+
+    # Environment access points shared by both tiers: every genuine
+    # blocking point flushes pending cost first, so the kernel observes
+    # time in the same order as token traffic regardless of batching.
+
+    def _io_read(self, iface: str, index: int, ctype: Optional[CType]):
+        if self._pending:
+            yield from self._flush_cost()
+        return (yield from self.env.io_read(iface, index, ctype))
+
+    def _io_write(self, iface: str, index: int, value: Raw, ctype: Optional[CType]):
+        if self._pending:
+            yield from self._flush_cost()
+        return (yield from self.env.io_write(iface, index, value, ctype))
+
+    def _intrinsic(self, name: str, args: Sequence[Raw]):
+        if self._pending:
+            yield from self._flush_cost()
+        return (yield from self.env.intrinsic(name, args))
 
     def _exec_stmt(self, stmt: ast.Stmt):
         if isinstance(stmt, ast.Block):
@@ -366,17 +480,8 @@ class Interpreter:
                 yield from self._exec_stmt(stmt.other)
             return
         if isinstance(stmt, ast.While):
-            while True:
-                yield from self._checkpoint(stmt)
-                cond = yield from self._eval(stmt.cond)
-                if not cond:
-                    return
-                try:
-                    yield from self._exec_stmt(stmt.body)
-                except _Break:
-                    return
-                except _Continue:
-                    continue
+            yield from self._while_from_header(stmt)
+            return
         if isinstance(stmt, ast.DoWhile):
             while True:
                 try:
@@ -385,9 +490,8 @@ class Interpreter:
                     return
                 except _Continue:
                     pass
-                yield from self._checkpoint(stmt)
-                cond = yield from self._eval(stmt.cond)
-                if not cond:
+                cont = yield from self._dowhile_cond(stmt)
+                if not cont:
                     return
         if isinstance(stmt, ast.For):
             frame = self.frames[-1]
@@ -395,22 +499,10 @@ class Interpreter:
             try:
                 if stmt.init is not None:
                     yield from self._exec_stmt(stmt.init)
-                while True:
-                    yield from self._checkpoint(stmt)
-                    if stmt.cond is not None:
-                        cond = yield from self._eval(stmt.cond)
-                        if not cond:
-                            return
-                    try:
-                        yield from self._exec_stmt(stmt.body)
-                    except _Break:
-                        return
-                    except _Continue:
-                        pass
-                    if stmt.step is not None:
-                        yield from self._exec_stmt(stmt.step)
+                yield from self._for_from_header(stmt)
             finally:
                 frame.scopes.pop()
+            return
         if isinstance(stmt, ast.Decl):
             yield from self._checkpoint(stmt)
             raw = default_value(stmt.ctype)
@@ -448,6 +540,60 @@ class Interpreter:
             raise _Continue()
         raise CMinusRuntimeError(f"unknown statement {type(stmt).__name__}")  # pragma: no cover
 
+    # Loop bodies from their per-iteration boundary.  These are both the
+    # slow tier's implementation and the compiled tier's deoptimization
+    # continuations: a compiled loop driver that finds hooks armed at an
+    # iteration header delegates the rest of the loop here, mid-function.
+
+    def _while_from_header(self, stmt: ast.While):
+        while True:
+            yield from self._checkpoint(stmt)
+            cond = yield from self._eval(stmt.cond)
+            if not cond:
+                return
+            try:
+                yield from self._exec_stmt(stmt.body)
+            except _Break:
+                return
+            except _Continue:
+                continue
+
+    def _dowhile_cond(self, stmt: ast.DoWhile):
+        """One do/while condition boundary; returns whether to loop again."""
+        yield from self._checkpoint(stmt)
+        return (yield from self._eval(stmt.cond))
+
+    def _dowhile_from_cond(self, stmt: ast.DoWhile):
+        """Deopt continuation: resume a do/while at its condition check."""
+        while True:
+            cont = yield from self._dowhile_cond(stmt)
+            if not cont:
+                return
+            try:
+                yield from self._exec_stmt(stmt.body)
+            except _Break:
+                return
+            except _Continue:
+                pass
+
+    def _for_from_header(self, stmt: ast.For):
+        """The for loop from its header boundary (scope and init already
+        in place — the caller owns the loop scope)."""
+        while True:
+            yield from self._checkpoint(stmt)
+            if stmt.cond is not None:
+                cond = yield from self._eval(stmt.cond)
+                if not cond:
+                    return
+            try:
+                yield from self._exec_stmt(stmt.body)
+            except _Break:
+                return
+            except _Continue:
+                pass
+            if stmt.step is not None:
+                yield from self._exec_stmt(stmt.step)
+
     def _exec_assign(self, stmt: ast.Assign):
         value = yield from self._eval(stmt.value)
         target = stmt.target
@@ -455,7 +601,7 @@ class Interpreter:
         if isinstance(target, ast.PedfIo):
             index = yield from self._eval(target.index)
             raw = coerce(value, target.ctype)
-            yield from self.env.io_write(target.iface, index, raw, target.ctype)
+            yield from self._io_write(target.iface, index, raw, target.ctype)
             return
         ref = yield from self._resolve_ref(target)
         if stmt.op != "=":
@@ -588,7 +734,7 @@ class Interpreter:
             return (yield from self._eval_call(expr))
         if isinstance(expr, ast.PedfIo):
             index = yield from self._eval(expr.index)
-            return (yield from self.env.io_read(expr.iface, index, expr.ctype))
+            return (yield from self._io_read(expr.iface, index, expr.ctype))
         if isinstance(expr, ast.PedfData):
             return self.env.data_get(expr.name)
         if isinstance(expr, ast.PedfAttr):
@@ -628,7 +774,7 @@ class Interpreter:
                         yield req
                 return 0
             # controller intrinsic
-            return (yield from self.env.intrinsic(name, args))
+            return (yield from self._intrinsic(name, args))
         func = self.program.function(name)
         if func is None:
             raise CMinusRuntimeError(f"call to undefined function {name!r}")
@@ -769,11 +915,14 @@ class PureEvaluator:
         self.interp = interp
 
     def eval(self, expr: ast.Expr) -> Raw:
-        saved_env, saved_hook, saved_timed = self.interp.env, self.interp.hook, self.interp.timed
-        self.interp.env = self._PureEnv(saved_env)
-        self.interp.hook = None
-        self.interp.timed = False
+        interp = self.interp
+        saved_env, saved_hook, saved_timed = interp.env, interp.hook, interp.timed
+        saved_pending = interp._pending  # a pure eval must not flush the
+        interp.env = self._PureEnv(saved_env)  # stopped run's batched cost
+        interp.hook = None
+        interp.timed = False
         try:
-            return run_sync(self.interp._eval(expr))
+            return run_sync(interp._eval(expr))
         finally:
-            self.interp.env, self.interp.hook, self.interp.timed = saved_env, saved_hook, saved_timed
+            interp.env, interp.hook, interp.timed = saved_env, saved_hook, saved_timed
+            interp._pending = saved_pending

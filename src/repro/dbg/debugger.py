@@ -113,12 +113,17 @@ class Debugger:
             caps |= DebugHook.CAP_RETURNS
         if reg.armed_count("api") or reg.armed_count("catch"):
             caps |= DebugHook.CAP_DATA
-        if caps != self.hook.capabilities:
-            self.hook.capabilities = caps
-            for actor in self.runtime.all_actors():
-                interp = getattr(actor, "interp", None)
-                if interp is not None:
-                    interp.refresh_hook_caps()
+        # Push unconditionally: interpreters cache tier-selection flags
+        # locally (``_fast_ok``/``_want_*``), and an interpreter built or
+        # adopted after the last mask *change* would otherwise keep stale
+        # flags until the next transition.  Registry mutations are rare;
+        # the refresh is O(actors) and keeps every live fast path honest
+        # the moment a breakpoint is armed or disarmed.
+        self.hook.capabilities = caps
+        for actor in self.runtime.all_actors():
+            interp = getattr(actor, "interp", None)
+            if interp is not None:
+                interp.refresh_hook_caps()
 
     def _pre_dispatch(self, process):
         if self._pause_requested:

@@ -12,6 +12,7 @@ from __future__ import annotations
 from typing import Dict, Optional, Set
 
 from ..cminus import ast as cast
+from ..cminus.frontend import frontend_cache, type_signature
 from ..cminus.parser import parse_program
 from ..cminus.sema import ActorContext, IfaceSig, analyze
 from ..errors import PedfError
@@ -123,9 +124,6 @@ def compile_actor(decl: ActorDeclBase, module: ModuleDecl, structs=None) -> None
         return
     filename = decl.source_name or f"{module.name}/{decl.name}.c"
     decl.source_name = filename
-    program = parse_program(decl.source, filename, structs)
-    if program.function("work") is None:
-        raise PedfError(f"actor {module.name}.{decl.name}: source defines no work() method")
 
     if isinstance(decl, ControllerDecl):
         work_symbol = mangle_controller_symbol(module.name)
@@ -134,16 +132,49 @@ def compile_actor(decl: ActorDeclBase, module: ModuleDecl, structs=None) -> None
         work_symbol = mangle_filter_symbol(decl.name)
         prefix = mangle_filter_prefix(decl.name)
 
+    ctx = _actor_context(decl, module, structs)
+    key = frontend_cache.digest(decl.source, filename, *_context_salt(ctx, work_symbol, prefix))
+    cached = frontend_cache.get(key)
+    if cached is not None:
+        decl.cprogram, decl.debug_info, decl.work_symbol = cached
+        return
+
+    program = parse_program(decl.source, filename, structs)
+    if program.function("work") is None:
+        raise PedfError(f"actor {module.name}.{decl.name}: source defines no work() method")
+
     mapping = {
         f.name: (work_symbol if f.name == "work" else prefix + f.name)
         for f in program.functions
     }
     _rename_functions(program, mapping)
 
-    ctx = _actor_context(decl, module, structs)
     decl.debug_info = analyze(program, ctx, decl.source)
     decl.cprogram = program
     decl.work_symbol = work_symbol
+    frontend_cache.put(key, (program, decl.debug_info, work_symbol))
+
+
+def _context_salt(ctx: ActorContext, work_symbol: str, prefix: str) -> list:
+    """Everything beyond the source text that can change the front end's
+    output: the mangling plan and the full compilation context."""
+    salt = [ctx.kind, work_symbol, prefix]
+    salt.extend(
+        f"iface:{s.name}:{s.direction}:{type_signature(s.ctype)}"
+        for s in sorted(ctx.ifaces.values(), key=lambda s: s.name)
+    )
+    salt.extend(f"data:{nm}:{type_signature(ct)}" for nm, ct in sorted(ctx.data.items()))
+    salt.extend(f"attr:{nm}:{type_signature(ct)}" for nm, ct in sorted(ctx.attributes.items()))
+    salt.extend(f"struct:{type_signature(ct)}" for _nm, ct in sorted(ctx.structs.items()))
+    if ctx.actor_names is not None:
+        salt.append("actors:" + ",".join(sorted(ctx.actor_names)))
+    for nm, (ret, params, names) in sorted(ctx.extra_intrinsics.items()):
+        salt.append(
+            f"intr:{nm}:{type_signature(ret)}"
+            f"({','.join(type_signature(p) for p in params)})"
+            f":{','.join(sorted(names)) if names else '-'}"
+        )
+    return salt
 
 
 def _actor_context(decl: ActorDeclBase, module: ModuleDecl, structs=None) -> ActorContext:

@@ -44,6 +44,10 @@ class RuntimeConfig:
     control_capacity: int = 8
     #: overrides every controller's own max_steps when set (safety bound)
     max_steps: Optional[int] = None
+    #: Filter-C execution tier: "auto" runs the compiled closure tier
+    #: whenever the hook-capability mask allows (deoptimizing on demand),
+    #: "slow" forces the per-statement resumable interpreter everywhere
+    interp_tier: str = "auto"
 
 
 class PedfRuntime:
@@ -143,6 +147,7 @@ class PedfRuntime:
                 cost=CostModel(default_stmt=actor.resource.cycles_per_stmt),
                 name=actor.qualname,
             )
+            actor.interp.tier = self.config.interp_tier
 
     def _resolve_bindings(self) -> None:
         # pass 1: record module-external aliases

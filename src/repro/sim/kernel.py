@@ -24,6 +24,19 @@ ties in the timed heap break on a monotone sequence number.  This mirrors
 the deterministic communication property of dataflow programs the paper
 relies on ("the execution semantic is not altered by the slowdown"
 debuggers introduce).
+
+Batched delays
+--------------
+
+Both Filter-C execution tiers *batch* per-statement costs: instead of one
+``Delay(stmt_cost)`` per statement, an interpreter accumulates cost and
+yields a single aggregated ``Delay`` at structural flush points (batch
+threshold, blocking io/intrinsics, function exit).  Flush points depend
+only on program structure — never on whether a debugger, breakpoint, or
+stop interleaved — so the kernel-request stream, and therefore
+``dispatch_count``, is *stop-invariant*: the replay journal can address a
+moment as "dispatch N" and reach the very same machine state whether or
+not the original run paused there, and whichever tier executed it.
 """
 
 from __future__ import annotations
