@@ -11,6 +11,7 @@ import threading
 import pytest
 
 from repro.cminus import Interpreter, NullEnvironment, analyze, parse_program, run_sync
+from repro.cminus.interp import DebugHook
 from repro.pedf.api import FrameworkEvent, FrameworkEventBus
 from repro.sim import Delay, Fifo, Scheduler
 
@@ -159,6 +160,63 @@ def test_compiled_tier_margin():
     assert slow >= RECORDED_SPEEDUP_MARGIN * fast, (
         f"compiled tier speedup {slow / fast:.2f}x below the recorded "
         f"{RECORDED_SPEEDUP_MARGIN}x margin (fast {fast:.4f}s, slow {slow:.4f}s)"
+    )
+
+
+class _CapHook(DebugHook):
+    """A hook with a fixed capability mask and no-op callbacks — models a
+    debugger with nothing armed (caps=0) or only telemetry armed."""
+
+    def __init__(self, caps: int):
+        self.capabilities = caps
+
+
+#: telemetry-off must stay within noise of the no-debugger row: the only
+#: added hot-path work is one predicted branch per cost flush (one per
+#: ~batch_cycles statements), far below timer noise; 1.5x absorbs CI jitter
+TELEMETRY_OFF_NOISE_MARGIN = 1.5
+
+
+def _timed_loop_runner(caps):
+    """Build a closure running loop5k on a timed compiled interpreter,
+    with ``caps`` as the hook mask (None = no hook at all)."""
+    prog = parse_program(LOOP_SRC)
+    info = analyze(prog, None, LOOP_SRC)
+
+    def run():
+        hook = _CapHook(caps) if caps is not None else None
+        interp = Interpreter(prog, info, env=NullEnvironment(), hook=hook, timed=True)
+        run_sync(interp.run_function("main"))
+        return interp
+
+    return run
+
+
+def test_telemetry_on_cycle_counting_row(benchmark):
+    """The telemetry-on row: timed compiled tier with CAP_TELEMETRY armed
+    (the span builder's cost-attribution counter active)."""
+    run = _timed_loop_runner(DebugHook.CAP_TELEMETRY)
+    interp = benchmark(lambda: _fresh_stack(run))
+    # the bit must not deoptimize, and the counter must actually count
+    assert interp._fast_ok
+    assert interp.cycles_flushed > 0
+
+
+def test_telemetry_off_overhead_within_noise():
+    """The acceptance gate (runs under ``--benchmark-disable`` too):
+    with telemetry off, the timed compiled tier costs the same as before
+    the telemetry subsystem existed — within noise of the no-debugger
+    row.  Sanity-checks that caps=0 really counts nothing."""
+    baseline_run = _timed_loop_runner(None)  # no debugger at all
+    off_run = _timed_loop_runner(0)  # debugger attached, nothing armed
+
+    assert off_run().cycles_flushed == 0
+    baseline = _fresh_stack(lambda: _best_of(baseline_run))
+    off = _fresh_stack(lambda: _best_of(off_run))
+    assert off <= TELEMETRY_OFF_NOISE_MARGIN * baseline, (
+        f"telemetry-off overhead {off / baseline:.2f}x exceeds the "
+        f"{TELEMETRY_OFF_NOISE_MARGIN}x noise margin "
+        f"(no-debugger {baseline:.4f}s, telemetry-off {off:.4f}s)"
     )
 
 

@@ -49,6 +49,16 @@ def _build_demo(name: str, bug: Optional[str], tier: str = "auto"):
             _apply_tier(session, tier)
             return session, sink
 
+    elif name == "rle":
+        from .apps.rle.app import build_rle_pipeline
+
+        def fresh():
+            sched, runtime, sink = build_rle_pipeline([5, 5, 5, 2, 7, 7])
+            dbg = Debugger(sched, runtime)
+            session = DataflowSession(dbg, stop_on_init=True)
+            _apply_tier(session, tier)
+            return session, sink
+
     elif name == "h264":
         from .apps.h264.app import build_decoder
         from .apps.h264.bugs import BUG_VARIANTS
@@ -71,7 +81,7 @@ def _build_demo(name: str, bug: Optional[str], tier: str = "auto"):
             return session, sink
 
     else:
-        raise ReproError(f"unknown demo {name!r} (amodule/h264)")
+        raise ReproError(f"unknown demo {name!r} (amodule/rle/h264)")
 
     session, sink = fresh()
     cli = CommandCli(session.dbg)
@@ -127,7 +137,8 @@ def repl(cli) -> None:
 
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(prog="python -m repro", description=__doc__)
-    parser.add_argument("--demo", choices=["amodule", "h264"], help="load a built-in demo")
+    parser.add_argument("--demo", choices=["amodule", "rle", "h264"],
+                        help="load a built-in demo")
     parser.add_argument("--bug", help="inject a bug variant (h264 demo): "
                                       "rate-mismatch / corrupted-token / dropped-token")
     parser.add_argument("--adl", help="architecture description file")
@@ -140,6 +151,9 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="Filter-C execution tier: 'auto' runs compiled closures "
                              "with debugger-triggered deoptimization, 'slow' forces "
                              "the per-statement resumable interpreter")
+    parser.add_argument("--trace-out", metavar="FILE",
+                        help="enable telemetry from the start and write a "
+                             "Perfetto-loadable Chrome trace-event JSON on exit")
     args = parser.parse_args(argv)
 
     try:
@@ -155,12 +169,21 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 1
 
+    if args.trace_out:
+        cli.dataflow_handler.session.telemetry.enable()
+
     if args.script:
         lines = Path(args.script).read_text().splitlines()
         for out in cli.execute_script(lines):
             print(out)
-        return 0
-    repl(cli)
+    else:
+        repl(cli)
+
+    if args.trace_out:
+        # session may have been rebuilt by a replay adoption mid-script;
+        # the handler always points at the live one
+        for out in cli.execute(f"trace export {args.trace_out}"):
+            print(out)
     return 0
 
 

@@ -156,6 +156,8 @@ def _flush_and_run(interp, frame, s: _S):
     the boundary (the flush dispatch may have armed a breakpoint)."""
     p = interp._pending
     interp._pending = 0
+    if interp._count_cycles:
+        interp.cycles_flushed += p
     yield Delay(p)
     if not interp._fast_ok:
         yield from interp._exec_stmt(s.node)
@@ -1079,6 +1081,8 @@ def _compile_while(stmt: ast.While, ctx: _Ctx) -> _S:
             if i.timed and i._pending >= i._batch_limit:
                 p = i._pending
                 i._pending = 0
+                if i._count_cycles:
+                    i.cycles_flushed += p
                 yield Delay(p)
             if not i._fast_ok:
                 yield from i._while_from_header(node)
@@ -1143,6 +1147,8 @@ def _compile_dowhile(stmt: ast.DoWhile, ctx: _Ctx) -> _S:
             if i.timed and i._pending >= i._batch_limit:
                 p = i._pending
                 i._pending = 0
+                if i._count_cycles:
+                    i.cycles_flushed += p
                 yield Delay(p)
             if not i._fast_ok:
                 yield from i._dowhile_from_cond(node)
@@ -1207,6 +1213,8 @@ def _compile_for(stmt: ast.For, ctx: _Ctx) -> _S:
                 if i.timed and i._pending >= i._batch_limit:
                     p = i._pending
                     i._pending = 0
+                    if i._count_cycles:
+                        i.cycles_flushed += p
                     yield Delay(p)
                 if not i._fast_ok:
                     yield from i._for_from_header(node)

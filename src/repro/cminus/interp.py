@@ -134,6 +134,11 @@ class DebugHook:
     CAP_RETURNS = 0x4
     CAP_DATA = 0x8
     CAP_ALL = 0xF
+    #: telemetry rides the same mask but is NOT part of CAP_ALL and is
+    #: ignored by tier selection: it only asks the interpreter to count
+    #: the simulated cycles it flushes (span cost attribution), which the
+    #: compiled tier can honour without deoptimizing
+    CAP_TELEMETRY = 0x10
 
     capabilities: int = CAP_ALL
 
@@ -250,6 +255,11 @@ class Interpreter:
         # batched-Delay accumulator (cycles charged but not yet yielded)
         self._pending = 0
         self._batch_limit = max(1, self.cost.batch_cycles)
+        #: lifetime simulated cycles this interpreter has flushed to the
+        #: kernel, counted only while CAP_TELEMETRY is armed — the span
+        #: builder's busy-time cross-check
+        self.cycles_flushed = 0
+        self._count_cycles = False
         # constant per-statement cost when the cost model is not refined;
         # None forces a stmt_cost() call per boundary
         self._stmt_cost_const: Optional[int] = (
@@ -290,6 +300,9 @@ class Interpreter:
                 caps
                 & (DebugHook.CAP_STATEMENTS | DebugHook.CAP_CALLS | DebugHook.CAP_RETURNS)
             )
+        # cycle counting is off when hook is None (caps defaults to
+        # CAP_ALL, which does not include the telemetry bit)
+        self._count_cycles = bool(caps & DebugHook.CAP_TELEMETRY)
         # fully-synchronous execution is only safe when nothing can observe
         # or suspend mid-region: no hook at all and untimed simulation
         self._pure_fast = self.hook is None and not self.timed
@@ -429,6 +442,8 @@ class Interpreter:
         if timed and self._pending >= self._batch_limit:
             p = self._pending
             self._pending = 0
+            if self._count_cycles:
+                self.cycles_flushed += p
             yield Delay(p)
         hook = self.hook
         if hook is not None and self._want_stmt:
@@ -446,6 +461,8 @@ class Interpreter:
         p = self._pending
         if p:
             self._pending = 0
+            if self._count_cycles:
+                self.cycles_flushed += p
             yield Delay(p)
 
     # Environment access points shared by both tiers: every genuine

@@ -79,7 +79,17 @@ def install_dataflow_commands(cli: CommandCli, session: DataflowSession) -> None
         "reverse-continue — replay to the previous recorded dataflow stop",
         aliases=("rc",),
     ))
+    cli.register(Command(
+        "trace", handler.cmd_trace,
+        "trace on [limit N] [ring] | off | clear | status | export FILE — "
+        "continuous span telemetry with Perfetto/Chrome trace-event export",
+        completer=lambda t: [s for s in ("on", "off", "clear", "status", "export")
+                             if s.startswith(t)],
+    ))
     cli.info_topics["replay"] = handler.cmd_info_replay
+    cli.info_topics["metrics"] = handler.cmd_info_metrics
+    cli.info_topics["spans"] = handler.cmd_info_spans
+    cli.info_topics["trace"] = handler.cmd_info_trace
 
 
 class _Commands:
@@ -373,6 +383,114 @@ class _Commands:
 
     def cmd_info_replay(self, arg: str) -> List[str]:
         return self.session.replay.info()
+
+    # ------------------------------------------------------------- telemetry
+
+    def cmd_trace(self, arg: str) -> List[str]:
+        tel = self.session.telemetry
+        verb, _, rest = arg.strip().partition(" ")
+        rest = rest.strip()
+        if verb == "on":
+            limit = None
+            ring = False
+            words = rest.split()
+            i = 0
+            while i < len(words):
+                if words[i] == "limit" and i + 1 < len(words) and words[i + 1].isdigit():
+                    limit = int(words[i + 1])
+                    i += 2
+                elif words[i] == "ring":
+                    ring = True
+                    i += 1
+                else:
+                    raise CommandError("usage: trace on [limit N] [ring]")
+            tel.enable(limit=limit, ring=ring)
+            return ["telemetry enabled (spans + metrics collecting)"]
+        if verb == "off":
+            tel.disable()
+            return ["telemetry disabled (collected data retained)"]
+        if verb == "clear":
+            was_on = tel.enabled
+            tel.disable()
+            tel.clear()
+            if was_on:
+                tel.enable()
+            return ["telemetry data cleared"]
+        if verb in ("status", ""):
+            return tel.status_lines()
+        if verb == "export":
+            if not rest:
+                raise CommandError("usage: trace export FILE")
+            name = self.session.model.program_name or "repro"
+            count = tel.export_file(rest, process_name=name)
+            return [f"wrote {count} span(s) to {rest} (Chrome trace-event JSON)"]
+        raise CommandError(f"trace: unknown verb {verb!r} (on/off/clear/status/export)")
+
+    def cmd_info_metrics(self, arg: str) -> List[str]:
+        tel = self.session.telemetry
+        if tel.metrics is None:
+            return ["no telemetry collected (use `trace on`)"]
+        lines: List[str] = []
+        warn = tel.drop_warning()
+        if warn:
+            lines.append(warn)
+        lines.extend(tel.metrics.render())
+        return lines
+
+    def cmd_info_spans(self, arg: str) -> List[str]:
+        tel = self.session.telemetry
+        if tel.sink is None:
+            return ["no telemetry collected (use `trace on`)"]
+        snap = tel.sink.snapshot()
+        lines = []
+        warn = tel.drop_warning()
+        if warn:
+            lines.append(warn)
+        by_name = ", ".join(f"{k}={v}" for k, v in sorted(snap.name_counts.items())) or "-"
+        lines.append(f"{len(snap.spans)} span(s) stored; lifetime by name: {by_name}")
+        count = int(arg) if arg.strip().isdigit() else 20
+        shown = snap.spans[-count:] if count else snap.spans
+        if len(shown) < len(snap.spans):
+            lines.append(f"  ... ({len(snap.spans) - len(shown)} earlier span(s) not shown)")
+        lines.extend("  " + span.describe() for span in shown)
+        return lines
+
+    def cmd_info_trace(self, arg: str) -> List[str]:
+        lines: List[str] = []
+        trace = getattr(self.dbg.scheduler, "trace", None)
+        if trace is not None:
+            snap = trace.snapshot()
+            lifetime = sum(snap.kind_counts.values())
+            lines.append(
+                f"kernel trace: {len(snap.records)} record(s) stored, {lifetime} lifetime"
+            )
+            if snap.dropped:
+                lines.append(
+                    f"warning: kernel trace dropped {snap.dropped} record(s) "
+                    "— data is incomplete"
+                )
+        else:
+            lines.append("kernel trace: off (pass trace= to Scheduler to enable)")
+        journal = None
+        if self.session._run_recorder is not None:
+            journal = self.session._run_recorder.journal
+        else:
+            journal = getattr(self.session.replay, "master", None)
+        if journal is not None:
+            snap = journal.events.snapshot()
+            lines.append(
+                f"replay journal: {len(snap.records)} event(s) stored "
+                f"of {journal.total_events} recorded"
+            )
+            if snap.dropped:
+                lines.append(
+                    f"warning: replay journal dropped {snap.dropped} event(s) "
+                    "— replay-derived telemetry will be incomplete"
+                )
+        else:
+            lines.append("replay journal: none (use `record on` before run)")
+        lines.extend(self.session.telemetry.status_lines())
+        return lines
 
     # ----------------------------------------------------------------- sched
 

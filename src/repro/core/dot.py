@@ -14,7 +14,7 @@ it can be asserted against in tests and benches.
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from .model import DataflowModel, DbgActor
 
@@ -23,19 +23,44 @@ def _node_id(actor: DbgActor) -> str:
     return actor.qualname.replace(".", "_").replace("-", "_")
 
 
-def _node_decl(actor: DbgActor) -> str:
+def _actor_label(actor: DbgActor, metrics) -> str:
+    """Node label, with a telemetry annotation line when metrics exist."""
+    if metrics is None:
+        return actor.name
+    m = metrics.actors.get(actor.qualname)
+    if m is None:
+        return actor.name
+    parts = []
+    if m.firings:
+        parts.append(f"{m.firings} firings")
+    if m.steps:
+        parts.append(f"{m.steps} steps")
+    if m.busy or m.blocked:
+        parts.append(f"busy {m.busy}/blk {m.blocked}")
+    if not parts:
+        return actor.name
+    return f"{actor.name}\\n{', '.join(parts)}"
+
+
+def _node_decl(actor: DbgActor, metrics=None) -> str:
     nid = _node_id(actor)
+    label = _actor_label(actor, metrics)
     if actor.kind == "controller":
         return (
-            f'{nid} [label="{actor.name}" shape=box style="filled" '
+            f'{nid} [label="{label}" shape=box style="filled" '
             f'fillcolor="palegreen"]'
         )
     if actor.kind in ("source", "sink"):
-        return f'{nid} [label="{actor.name}" shape=diamond style="dashed"]'
-    return f'{nid} [label="{actor.name}" shape=ellipse]'
+        return f'{nid} [label="{label}" shape=diamond style="dashed"]'
+    return f'{nid} [label="{label}" shape=ellipse]'
 
 
-def render_dot(model: DataflowModel, include_counts: bool = True, title: str = "") -> str:
+def render_dot(
+    model: DataflowModel,
+    include_counts: bool = True,
+    title: str = "",
+    metrics=None,
+) -> str:
     lines: List[str] = []
     name = title or model.program_name or "dataflow"
     lines.append(f'digraph "{name}" {{')
@@ -49,12 +74,12 @@ def render_dot(model: DataflowModel, include_counts: bool = True, title: str = "
         actors = sorted(by_module[module], key=lambda a: a.qualname)
         if module == "host":
             for actor in actors:
-                lines.append(f"  {_node_decl(actor)};")
+                lines.append(f"  {_node_decl(actor, metrics)};")
             continue
         lines.append(f'  subgraph "cluster_{module}" {{')
         lines.append(f'    label="{module}";')
         for actor in actors:
-            lines.append(f"    {_node_decl(actor)};")
+            lines.append(f"    {_node_decl(actor, metrics)};")
         lines.append("  }")
 
     for link in sorted(model.links, key=lambda l: l.name):
@@ -63,8 +88,16 @@ def render_dot(model: DataflowModel, include_counts: bool = True, title: str = "
             attrs.append("style=dashed")
         elif link.kind == "control":
             attrs.append("style=dotted")
+        label_parts: List[str] = []
         if include_counts and link.occupancy > 0:
-            attrs.append(f'label="{link.occupancy}"')
+            label_parts.append(str(link.occupancy))
+        lm = metrics.links.get(link.name) if metrics is not None else None
+        if lm is not None and (lm.pushes or lm.pops):
+            label_parts.append(
+                f"peak {lm.high_water}, avg {lm.mean_occupancy(metrics.last_time):.2f}"
+            )
+        if label_parts:
+            attrs.append('label="' + "\\n".join(label_parts) + '"')
         attr_text = f" [{' '.join(attrs)}]" if attrs else ""
         lines.append(
             f"  {_node_id(link.src.actor)} -> {_node_id(link.dst.actor)}{attr_text};"

@@ -95,6 +95,7 @@ class RunRecorder:
         seq = None
         if event.phase == "exit" and event.symbol in (SYM_PUSH, SYM_POP):
             seq = getattr(event.retval, "seq", None)
+            self.journal.note_token_link(seq, event.args.get("link"))
         index = self.journal.add_event(event.time, event.phase, event.symbol, event.actor, seq)
 
         ref = self.reference

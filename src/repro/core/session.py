@@ -59,6 +59,11 @@ class DataflowSession:
         self.records = TokenRecorder()
         self.alter = Alteration(self)
         self.replay = ReplayManager(self)
+        from ..obs.telemetry import Telemetry
+
+        #: continuous observability (spans/metrics/trace export) — off
+        #: until ``telemetry.enable()`` / the ``trace on`` command
+        self.telemetry = Telemetry(self)
         #: the active RunRecorder journaling this session, if any
         self._run_recorder = None
         #: filters whose data/attribute state is snapshotted into every
@@ -91,8 +96,15 @@ class DataflowSession:
         return self.last_graph
 
     def graph_dot(self, include_counts: bool = True) -> str:
-        """Render the reconstructed graph (Fig. 2 / Fig. 4 artefact)."""
-        return render_dot(self.model, include_counts=include_counts)
+        """Render the reconstructed graph (Fig. 2 / Fig. 4 artefact).
+
+        When telemetry has collected anything, nodes and edges carry
+        metric annotations (firings, busy/blocked, peak/avg occupancy)."""
+        return render_dot(
+            self.model,
+            include_counts=include_counts,
+            metrics=self.telemetry.metrics,
+        )
 
     def set_graph_update(self, mode: str) -> None:
         if mode not in ("realtime", "on-stop"):

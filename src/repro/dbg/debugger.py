@@ -87,6 +87,9 @@ class Debugger:
         self._finished = False
         #: callbacks run on every stop (the extension API's event registry)
         self.stop_callbacks: List[Callable[[StopEvent], None]] = []
+        #: armed by the telemetry facade: adds CAP_TELEMETRY to the hook
+        #: mask so interpreters count flushed cycles (span cost attribution)
+        self.telemetry_armed = False
         scheduler.pre_dispatch_hook = self._pre_dispatch
         # fast path: keep the kernel's pre-dispatch callback disarmed until
         # a pause is actually pending — zero per-dispatch cost otherwise
@@ -113,6 +116,10 @@ class Debugger:
             caps |= DebugHook.CAP_RETURNS
         if reg.armed_count("api") or reg.armed_count("catch"):
             caps |= DebugHook.CAP_DATA
+        if self.telemetry_armed:
+            # telemetry rides the same mask but NOT the tier-selection bits:
+            # the compiled fast tier stays compiled, it just counts cycles
+            caps |= DebugHook.CAP_TELEMETRY
         # Push unconditionally: interpreters cache tier-selection flags
         # locally (``_fast_ok``/``_want_*``), and an interpreter built or
         # adopted after the last mask *change* would otherwise keep stale

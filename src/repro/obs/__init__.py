@@ -1,0 +1,37 @@
+"""Always-on observability for dataflow executions.
+
+The interactive debugger (the paper's contribution) requires stopping
+the machine to learn anything; this package adds the complementary
+*continuous* channel — hierarchical spans, per-actor/per-link metrics
+and a Perfetto-loadable trace export — built on the same hook
+machinery (event-bus elision + the capability bitmask), so the cost
+when disarmed stays ~zero.  Any recorded run can also be profiled
+after the fact: :func:`derive_telemetry` rebuilds identical telemetry
+from a ReplayJournal.
+"""
+
+from .builder import TelemetryBuilder, TelemetryEvent, from_framework_event, INIT_TRACK
+from .derive import DerivedTelemetry, derive_telemetry
+from .export import to_chrome_trace, validate_chrome_trace
+from .metrics import ActorMetrics, Histogram, LinkMetrics, MetricsRegistry
+from .spans import Span, SpanSink, SpanSnapshot
+from .telemetry import Telemetry
+
+__all__ = [
+    "ActorMetrics",
+    "DerivedTelemetry",
+    "Histogram",
+    "INIT_TRACK",
+    "LinkMetrics",
+    "MetricsRegistry",
+    "Span",
+    "SpanSink",
+    "SpanSnapshot",
+    "Telemetry",
+    "TelemetryBuilder",
+    "TelemetryEvent",
+    "derive_telemetry",
+    "from_framework_event",
+    "to_chrome_trace",
+    "validate_chrome_trace",
+]

@@ -1,0 +1,48 @@
+"""Replay-side telemetry derivation: profile a recorded run post-hoc.
+
+The ReplayJournal's event log stores ``(time, actor, "symbol:phase",
+seq)`` per framework event — exactly the fields the span builder
+consumes.  Feeding the journal through a fresh builder therefore
+reconstructs the *same* spans and metrics a live run would have
+collected, byte-for-byte (the builder never looks at live-only data by
+design; see :mod:`repro.obs.builder`).  Link attribution for token
+events comes from the journal's ``token_links`` side table.
+
+A journal recorded with a bound (cap/ring) may have evicted events; the
+derivation is then a partial profile and says so via ``complete``.
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple, Optional
+
+from ..sim.replay import ReplayJournal
+from .builder import TelemetryBuilder, TelemetryEvent
+from .metrics import MetricsRegistry
+from .spans import SpanSink
+
+
+class DerivedTelemetry(NamedTuple):
+    sink: SpanSink
+    metrics: MetricsRegistry
+    events_fed: int
+    complete: bool  # False when the journal's event log dropped records
+
+
+def derive_telemetry(
+    journal: ReplayJournal,
+    limit: Optional[int] = None,
+    ring: bool = False,
+) -> DerivedTelemetry:
+    """Reconstruct spans + metrics from a recorded run's journal."""
+    sink = SpanSink(limit=limit, ring=ring)
+    metrics = MetricsRegistry()
+    builder = TelemetryBuilder(sink, metrics)
+    snap = journal.events.snapshot()
+    token_links = journal.token_links
+    for rec in snap.records:
+        symbol, _, phase = rec.kind.rpartition(":")
+        seq = rec.detail
+        link = token_links.get(seq) if seq is not None else None
+        builder.feed(TelemetryEvent(rec.time, phase, symbol, rec.process, seq, link))
+    return DerivedTelemetry(sink, metrics, builder.events_fed, snap.dropped == 0)

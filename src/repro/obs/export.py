@@ -1,0 +1,114 @@
+"""Chrome trace-event JSON export (Perfetto-loadable) and its validator.
+
+The exporter maps each span track (actor) to a thread of one synthetic
+process and each span to a *complete* event (``ph: "X"``) with
+simulated-time ``ts``/``dur``.  Output is fully deterministic — sorted
+tids, sorted event order, ``sort_keys`` + compact separators — so two
+exports of the same telemetry are byte-identical (the equivalence tests
+rely on this).
+
+``validate_chrome_trace`` is the shared schema-shape check used by both
+the test suite and the CI smoke job; it returns a list of problems
+(empty = valid) rather than raising, so CI can print all of them.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterable, List
+
+from .spans import Span
+
+TRACE_PID = 1
+
+
+def to_chrome_trace(spans: Iterable[Span], process_name: str = "repro") -> str:
+    """Serialise spans as a Chrome trace-event JSON object string."""
+    spans = list(spans)
+    tracks = sorted({s.track for s in spans})
+    tids = {track: i + 1 for i, track in enumerate(tracks)}
+    events: List[Dict[str, Any]] = [
+        {
+            "ph": "M",
+            "name": "process_name",
+            "pid": TRACE_PID,
+            "tid": 0,
+            "args": {"name": process_name},
+        }
+    ]
+    for track in tracks:
+        events.append(
+            {
+                "ph": "M",
+                "name": "thread_name",
+                "pid": TRACE_PID,
+                "tid": tids[track],
+                "args": {"name": track},
+            }
+        )
+    # parents begin no later and last no shorter than their children, so
+    # (ts, tid, -dur, name) places every parent before its children —
+    # the order Perfetto prefers and a deterministic total order
+    body = sorted(
+        (
+            {
+                "ph": "X",
+                "name": s.name,
+                "cat": s.cat,
+                "ts": s.begin,
+                "dur": s.duration,
+                "pid": TRACE_PID,
+                "tid": tids[s.track],
+                "args": dict(s.args),
+            }
+            for s in spans
+        ),
+        key=lambda e: (e["ts"], e["tid"], -e["dur"], e["name"]),
+    )
+    doc = {"traceEvents": events + body, "displayTimeUnit": "ns"}
+    return json.dumps(doc, sort_keys=True, separators=(",", ":"))
+
+
+def validate_chrome_trace(text: str) -> List[str]:
+    """Shape-check a Chrome trace-event JSON document.
+
+    Returns a list of human-readable problems; an empty list means the
+    document is loadable by Perfetto / chrome://tracing.
+    """
+    problems: List[str] = []
+    try:
+        doc = json.loads(text)
+    except ValueError as exc:
+        return [f"not valid JSON: {exc}"]
+    if not isinstance(doc, dict) or "traceEvents" not in doc:
+        return ["top level must be an object with a 'traceEvents' key"]
+    events = doc["traceEvents"]
+    if not isinstance(events, list):
+        return ["'traceEvents' must be a list"]
+    for i, ev in enumerate(events):
+        where = f"traceEvents[{i}]"
+        if not isinstance(ev, dict):
+            problems.append(f"{where}: not an object")
+            continue
+        ph = ev.get("ph")
+        if not isinstance(ph, str) or not ph:
+            problems.append(f"{where}: missing 'ph'")
+            continue
+        if not isinstance(ev.get("name"), str):
+            problems.append(f"{where}: missing 'name'")
+        for key in ("pid", "tid"):
+            if not isinstance(ev.get(key), int):
+                problems.append(f"{where}: missing integer {key!r}")
+        if ph == "X":
+            for key in ("ts", "dur"):
+                value = ev.get(key)
+                if not isinstance(value, int) or isinstance(value, bool):
+                    problems.append(f"{where}: complete event needs integer {key!r}")
+                elif key == "dur" and value < 0:
+                    problems.append(f"{where}: negative duration")
+        elif ph == "M":
+            if not isinstance(ev.get("args"), dict):
+                problems.append(f"{where}: metadata event needs an 'args' object")
+        else:
+            problems.append(f"{where}: unexpected phase {ph!r} (exporter emits X/M only)")
+    return problems

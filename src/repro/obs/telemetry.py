@@ -1,0 +1,135 @@
+"""The session-facing telemetry facade: arm, collect, query, export.
+
+Arming does two things, both reversible:
+
+- subscribes a single ``"*"`` listener on the framework event bus (so
+  :meth:`FrameworkAPI.call` materialises events again — when telemetry
+  is off and nothing else listens, the §V elision fast path keeps
+  framework calls event-free);
+- raises ``CAP_TELEMETRY`` in the debugger's hook-capability mask so
+  interpreters count the cycles they flush.  The bit is ignored by tier
+  selection, so the compiled fast tier keeps running compiled — the
+  only new work on the hot path is one predicted branch per cost flush
+  (one per ~batch_cycles statements).
+
+Collection itself is live-only sugar: the same spans/metrics are
+reproducible after the fact from a ReplayJournal via
+:func:`repro.obs.derive.derive_telemetry`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from .builder import TelemetryBuilder, from_framework_event
+from .export import to_chrome_trace
+from .metrics import MetricsRegistry
+from .spans import SpanSink
+
+
+class Telemetry:
+    """Per-session telemetry state (off until :meth:`enable`)."""
+
+    def __init__(self, session) -> None:
+        self.session = session
+        self.enabled = False
+        self.sink: Optional[SpanSink] = None
+        self.metrics: Optional[MetricsRegistry] = None
+        self.builder: Optional[TelemetryBuilder] = None
+        self._sub = None
+
+    # ------------------------------------------------------------- arming
+
+    def enable(self, limit: Optional[int] = None, ring: bool = False) -> None:
+        """Start collecting (idempotent).  ``limit``/``ring`` bound the
+        span sink with TraceRecorder's cap/ring policies."""
+        if self.enabled:
+            return
+        if self.builder is None:
+            self.sink = SpanSink(limit=limit, ring=ring)
+            self.metrics = MetricsRegistry()
+            self.builder = TelemetryBuilder(self.sink, self.metrics)
+        dbg = self.session.dbg
+        self._sub = dbg.runtime.bus.subscribe("*", self._on_event)
+        dbg.telemetry_armed = True
+        dbg._recompute_capabilities()
+        self.enabled = True
+
+    def disable(self) -> None:
+        """Stop collecting; the data gathered so far stays queryable."""
+        if not self.enabled:
+            return
+        if self._sub is not None:
+            self._sub.unsubscribe()
+            self._sub = None
+        dbg = self.session.dbg
+        dbg.telemetry_armed = False
+        dbg._recompute_capabilities()
+        self.enabled = False
+
+    def clear(self) -> None:
+        """Drop collected data (a fresh builder arms on next enable)."""
+        self.sink = None
+        self.metrics = None
+        self.builder = None
+
+    def _on_event(self, event):
+        self.builder.feed(from_framework_event(event))
+        return None
+
+    # ------------------------------------------------------------ queries
+
+    def drop_warning(self) -> Optional[str]:
+        """One-line data-loss warning, or None when nothing was dropped."""
+        sink = self.sink
+        if sink is not None and sink.dropped > 0:
+            kept = len(sink)
+            policy = "ring evicted oldest" if sink.ring else "cap dropped newest"
+            return (
+                f"warning: span sink dropped {sink.dropped} span(s) "
+                f"({policy}; {kept} kept) — data below is incomplete"
+            )
+        return None
+
+    def status_lines(self) -> List[str]:
+        lines = [f"telemetry: {'on' if self.enabled else 'off'}"]
+        sink = self.sink
+        if sink is None:
+            lines.append("  (nothing collected; use `trace on`)")
+            return lines
+        bound = "unbounded" if sink.limit is None else (
+            f"{'ring' if sink.ring else 'cap'} limit={sink.limit}"
+        )
+        lines.append(f"  spans: {len(sink)} stored ({bound}), {sink.dropped} dropped")
+        if self.builder is not None:
+            lines.append(f"  events fed: {self.builder.events_fed}")
+        warn = self.drop_warning()
+        if warn:
+            lines.append(f"  {warn}")
+        return lines
+
+    def interp_cycles(self) -> Dict[str, int]:
+        """Per-actor ``cycles_flushed`` from the live interpreters — the
+        ground truth the span builder's busy times are checked against."""
+        cycles: Dict[str, int] = {}
+        for actor in self.session.dbg.runtime.all_actors():
+            interp = getattr(actor, "interp", None)
+            if interp is not None:
+                cycles[actor.qualname] = interp.cycles_flushed
+        return cycles
+
+    # ------------------------------------------------------------- export
+
+    def export_json(self, process_name: str = "repro") -> str:
+        if self.sink is None:
+            from ..errors import DataflowDebugError
+
+            raise DataflowDebugError("no telemetry collected (use `trace on` first)")
+        return to_chrome_trace(self.sink.snapshot().spans, process_name)
+
+    def export_file(self, path: str, process_name: str = "repro") -> int:
+        """Write the Chrome trace JSON to ``path``; returns span count."""
+        text = self.export_json(process_name)
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(text)
+        return len(self.sink)

@@ -23,7 +23,7 @@ from .kernel import Scheduler, StopReason, StopKind
 from .process import Process, ProcessState, Delay, WaitEvent, Suspend, Yield
 from .events import Event
 from .channels import Fifo
-from .trace import TraceRecorder, TraceRecord
+from .trace import TraceRecorder, TraceRecord, TraceSnapshot
 from .replay import AlterationRecord, Checkpoint, ReplayJournal, StopRecord
 
 __all__ = [
@@ -40,6 +40,7 @@ __all__ = [
     "Fifo",
     "TraceRecorder",
     "TraceRecord",
+    "TraceSnapshot",
     "ReplayJournal",
     "Checkpoint",
     "StopRecord",

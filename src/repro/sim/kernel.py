@@ -148,7 +148,7 @@ class Scheduler:
         self._next_pid += 1
         self.processes.append(proc)
         self._make_ready(proc)
-        if self.trace:
+        if self.trace is not None:
             self.trace.record(self.now, proc.name, "spawn")
         return proc
 
@@ -171,7 +171,7 @@ class Scheduler:
             except ValueError:
                 pass
             proc.state = ProcessState.FROZEN
-        if self.trace:
+        if self.trace is not None:
             self.trace.record(self.now, proc.name, "freeze")
 
     def thaw(self, proc: Process) -> None:
@@ -181,7 +181,7 @@ class Scheduler:
         proc.frozen = False
         if proc.state == ProcessState.FROZEN:
             self._make_ready(proc)
-        if self.trace:
+        if self.trace is not None:
             self.trace.record(self.now, proc.name, "thaw")
 
     def kill(self, proc: Process) -> None:
@@ -192,7 +192,7 @@ class Scheduler:
             proc.waiting_on.remove_waiter(proc)
         proc.state = ProcessState.TERMINATED
         proc.gen.close()
-        if self.trace:
+        if self.trace is not None:
             self.trace.record(self.now, proc.name, "kill")
 
     # -------------------------------------------------------------- queries
@@ -233,7 +233,7 @@ class Scheduler:
         if proc.state != ProcessState.WAITING:
             raise SimulationError(f"cannot wake {proc}: not waiting")
         self._make_ready(proc)
-        if self.trace:
+        if self.trace is not None:
             self.trace.record(self.now, proc.name, "wake")
 
     def _schedule_at(self, time: int, proc: Process) -> None:
@@ -328,7 +328,7 @@ class Scheduler:
         except StopIteration as stop:
             proc.state = ProcessState.TERMINATED
             proc.result = stop.value
-            if self.trace:
+            if self.trace is not None:
                 self.trace.record(self.now, proc.name, "terminate")
             if self._post_dispatch_armed:
                 self._post_dispatch_hook(self._dispatch_count)
@@ -336,7 +336,7 @@ class Scheduler:
         except Exception as exc:  # noqa: BLE001 - surfaced to the caller
             proc.state = ProcessState.FAILED
             proc.exception = exc
-            if self.trace:
+            if self.trace is not None:
                 # lazy detail: the repr is only rendered if the recorder
                 # actually stores the record (not when it is full)
                 self.trace.record(self.now, proc.name, "fail", lambda: repr(exc))
@@ -359,7 +359,7 @@ class Scheduler:
             # stays invariant under interactive stops (see dispatch_count).
             self._dispatch_count -= 1
             self._make_ready_front(proc)
-            if self.trace:
+            if self.trace is not None:
                 self.trace.record(self.now, proc.name, "suspend", request.reason)
             return StopReason(StopKind.SUSPENDED, self.now, proc, request.reason)
         else:

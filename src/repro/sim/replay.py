@@ -95,6 +95,11 @@ class ReplayJournal:
         self.checkpoints: List[Checkpoint] = []
         self.stops: List[StopRecord] = []
         self.alterations: List[AlterationRecord] = []
+        #: token seq -> link name, noted at push/pop exits.  Not part of
+        #: the fingerprint stream; it lets a post-hoc consumer (the
+        #: telemetry deriver) attribute recorded token events to links,
+        #: which the event log alone cannot (it stores only the seq).
+        self.token_links: Dict[int, str] = {}
         self._total = 0
         self._cp_by_dispatch: Dict[int, Checkpoint] = {}
 
@@ -112,6 +117,11 @@ class ReplayJournal:
         self._total += 1
         self.events.record(time, actor or "", f"{symbol}:{phase}", seq)
         return self._total
+
+    def note_token_link(self, seq: Optional[int], link: Optional[str]) -> None:
+        """Remember which link carried token ``seq`` (first note wins)."""
+        if seq is not None and link:
+            self.token_links.setdefault(seq, link)
 
     def add_checkpoint(self, cp: Checkpoint) -> None:
         self.checkpoints.append(cp)
@@ -131,15 +141,16 @@ class ReplayJournal:
         ring mode the last)."""
         if not 1 <= index <= self._total:
             return None
-        records = self.events._records
-        if self.events.ring:
-            first = self._total - len(records) + 1  # oldest stored position
+        events = self.events
+        stored = len(events)
+        if events.ring:
+            first = self._total - stored + 1  # oldest stored position
             if index < first:
                 return None
-            return records[index - first]
-        if index > len(records):
+            return events.at(index - first)
+        if index > stored:
             return None
-        return records[index - 1]
+        return events.at(index - 1)
 
     def checkpoint_at_dispatch(self, dispatch: int) -> Optional[Checkpoint]:
         return self._cp_by_dispatch.get(dispatch)
@@ -159,24 +170,20 @@ class ReplayJournal:
         order — the run's determinism fingerprint."""
         return [rec.detail for rec in self.events.of_kind(kind) if rec.detail is not None]
 
+    def _stored_base(self) -> int:
+        """Position of the oldest stored event, minus one."""
+        return self._total - len(self.events) if self.events.ring else 0
+
     def index_for_seq(self, seq: int, kind: str = TOKEN_EVENT_KIND) -> Optional[int]:
         """Event position at which token ``seq`` was produced."""
-        if self.events.ring:
-            base = self._total - len(self.events._records)
-        else:
-            base = 0
-        for i, rec in enumerate(self.events._records, start=base + 1):
+        for i, rec in enumerate(self.events, start=self._stored_base() + 1):
             if rec.kind == kind and rec.detail == seq:
                 return i
         return None
 
     def index_for_time(self, time: int) -> Optional[int]:
         """First stored event position at simulated time >= ``time``."""
-        if self.events.ring:
-            base = self._total - len(self.events._records)
-        else:
-            base = 0
-        for i, rec in enumerate(self.events._records, start=base + 1):
+        for i, rec in enumerate(self.events, start=self._stored_base() + 1):
             if rec.time >= time:
                 return i
         return None

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import Any, Deque, Dict, List, Optional
+from typing import Any, Deque, Dict, Iterator, List, NamedTuple, Optional
 
 
 @dataclass(frozen=True)
@@ -27,6 +27,20 @@ class TraceRecord:
     process: str
     kind: str
     detail: Any = None
+
+
+class TraceSnapshot(NamedTuple):
+    """A consistent point-in-time copy of a recorder's state.
+
+    ``records`` are the stored records (oldest first), ``kind_counts``
+    the lifetime per-kind totals and ``dropped`` the number of records
+    the bound discarded — all taken together, so a caller never observes
+    a records list from one moment paired with counters from another.
+    """
+
+    records: List[TraceRecord]
+    kind_counts: Dict[str, int]
+    dropped: int
 
 
 class TraceRecorder:
@@ -47,6 +61,23 @@ class TraceRecorder:
     def records(self) -> List[TraceRecord]:
         """Stored records, oldest first."""
         return list(self._records)
+
+    def __len__(self) -> int:
+        """Stored record count (lifetime totals live in ``kind_counts``)."""
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        """Iterate the stored records, oldest first, without copying."""
+        return iter(self._records)
+
+    def at(self, index: int) -> TraceRecord:
+        """The stored record at ``index`` (0-based, oldest first)."""
+        return self._records[index]
+
+    def snapshot(self) -> TraceSnapshot:
+        """Atomically copy (records, kind_counts, dropped) — the public
+        way to read a recorder's full state without poking internals."""
+        return TraceSnapshot(list(self._records), dict(self.kind_counts), self.dropped)
 
     def record(self, time: int, process: str, kind: str, detail: Any = None) -> None:
         counts = self.kind_counts

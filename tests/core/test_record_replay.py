@@ -140,8 +140,10 @@ def test_divergence_self_check_trips_on_tampered_journal():
     mgr = session.replay
     mgr.record_on()
     run_to_exit(session.dbg)
-    records = mgr.master.events._records
-    records[10] = dataclasses.replace(records[10], time=records[10].time + 977)
+    events = mgr.master.events
+    tampered = dataclasses.replace(events.at(10), time=events.at(10).time + 977)
+    # deliberate corruption: there is no public mutator, by design
+    events._records[10] = tampered
     with pytest.raises(ReplayDivergenceError, match="diverged at event #11"):
         mgr.replay_to("end")
 

@@ -1,0 +1,103 @@
+"""Chrome trace-event export: schema shape, determinism, CLI/flag paths."""
+
+import json
+
+from repro.__main__ import main
+from repro.apps.rle import build_rle_pipeline
+from repro.core import DataflowSession
+from repro.dbg import Debugger, StopKind
+from repro.obs import Span, to_chrome_trace, validate_chrome_trace
+
+
+def run_to_exit(dbg):
+    ev = dbg.run()
+    while ev.kind not in (StopKind.EXITED, StopKind.DEADLOCK, StopKind.ERROR):
+        ev = dbg.cont()
+    return ev
+
+
+def collected_session():
+    sched, runtime, sink = build_rle_pipeline([5, 5, 5, 2, 7, 7])
+    session = DataflowSession(Debugger(sched, runtime))
+    session.telemetry.enable()
+    run_to_exit(session.dbg)
+    return session
+
+
+# ------------------------------------------------------------- exporter
+
+
+def test_export_shape_and_tracks():
+    session = collected_session()
+    text = session.telemetry.export_json("rle")
+    assert validate_chrome_trace(text) == []
+    doc = json.loads(text)
+    events = doc["traceEvents"]
+    meta = [e for e in events if e["ph"] == "M"]
+    body = [e for e in events if e["ph"] == "X"]
+    assert body, "no spans exported"
+    # one process_name + one thread_name per track
+    assert [e for e in meta if e["name"] == "process_name"][0]["args"]["name"] == "rle"
+    threads = {e["args"]["name"]: e["tid"] for e in meta if e["name"] == "thread_name"}
+    assert "codec.pack" in threads and "codec.controller" in threads
+    # every complete event maps to a declared thread
+    assert {e["tid"] for e in body} <= set(threads.values())
+    # sorted: ts non-decreasing
+    ts = [e["ts"] for e in body]
+    assert ts == sorted(ts)
+
+
+def test_export_is_deterministic():
+    session = collected_session()
+    assert session.telemetry.export_json("rle") == session.telemetry.export_json("rle")
+
+
+def test_parent_sorts_before_child():
+    spans = [
+        Span("a.f", "work", "filterc", 10, 30),
+        Span("a.f", "firing", "firing", 10, 40),
+        Span("a.f", "push", "io", 12, 14),
+    ]
+    doc = json.loads(to_chrome_trace(spans))
+    names = [e["name"] for e in doc["traceEvents"] if e["ph"] == "X"]
+    assert names == ["firing", "work", "push"]
+
+
+# ------------------------------------------------------------ validator
+
+
+def test_validator_rejects_malformed_documents():
+    assert validate_chrome_trace("not json")
+    assert validate_chrome_trace("[]")
+    assert validate_chrome_trace('{"no": "traceEvents"}')
+    assert validate_chrome_trace('{"traceEvents": 5}')
+    bad_event = json.dumps({"traceEvents": [{"ph": "X", "name": "x", "pid": 1, "tid": 1}]})
+    assert any("ts" in p for p in validate_chrome_trace(bad_event))
+    bad_phase = json.dumps(
+        {"traceEvents": [{"ph": "B", "name": "x", "pid": 1, "tid": 1, "ts": 0}]}
+    )
+    assert any("phase" in p for p in validate_chrome_trace(bad_phase))
+    negative = json.dumps(
+        {"traceEvents": [{"ph": "X", "name": "x", "pid": 1, "tid": 1, "ts": 0, "dur": -1}]}
+    )
+    assert any("negative" in p for p in validate_chrome_trace(negative))
+
+
+def test_validator_accepts_empty_trace():
+    assert validate_chrome_trace(to_chrome_trace([])) == []
+
+
+# ------------------------------------------------------- CLI integration
+
+
+def test_main_trace_out_flag(tmp_path, capsys):
+    script = tmp_path / "session.gdb"
+    script.write_text("run\ncontinue\n")
+    out_file = tmp_path / "trace.json"
+    rc = main(["--demo", "rle", "--script", str(script), "--trace-out", str(out_file)])
+    assert rc == 0
+    text = out_file.read_text()
+    assert validate_chrome_trace(text) == []
+    doc = json.loads(text)
+    assert any(e["ph"] == "X" for e in doc["traceEvents"])
+    assert "wrote" in capsys.readouterr().out

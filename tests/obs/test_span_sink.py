@@ -1,0 +1,90 @@
+"""SpanSink bounded-storage semantics (cap vs ring), Span basics."""
+
+from repro.obs import Span, SpanSink
+
+
+def span(i, name="s", track="a.f"):
+    return Span(track, name, "io", begin=i, end=i + 2)
+
+
+def fill(sink, n, name="s"):
+    for i in range(n):
+        sink.add(span(i, name))
+
+
+def test_span_fields_and_duration():
+    s = Span("a.f", "push", "io", 10, 14, (("link", "x->y"), ("seq", 3)))
+    assert s.duration == 4
+    text = s.describe()
+    assert "[10..14]" in text and "a.f" in text and "link=x->y" in text and "seq=3" in text
+
+
+def test_unbounded_keeps_everything():
+    sink = SpanSink()
+    fill(sink, 50)
+    assert len(sink) == 50
+    assert sink.dropped == 0
+    assert sink.total("s") == 50
+
+
+def test_cap_mode_keeps_first_spans():
+    sink = SpanSink(limit=3)
+    fill(sink, 10)
+    assert [s.begin for s in sink.spans] == [0, 1, 2]
+    assert sink.dropped == 7
+    assert sink.total("s") == 10
+
+
+def test_ring_mode_keeps_last_spans():
+    sink = SpanSink(limit=3, ring=True)
+    fill(sink, 10)
+    assert [s.begin for s in sink.spans] == [7, 8, 9]
+    assert sink.dropped == 7
+    assert sink.total("s") == 10
+
+
+def test_ring_limit_one():
+    sink = SpanSink(limit=1, ring=True)
+    for i in range(4):
+        sink.add(span(i, name=f"n{i}"))
+    assert [s.name for s in sink.spans] == ["n3"]
+    assert sink.dropped == 3
+    assert all(sink.total(f"n{i}") == 1 for i in range(4))
+
+
+def test_zero_limit_stores_nothing():
+    for ring in (False, True):
+        sink = SpanSink(limit=0, ring=ring)
+        fill(sink, 5)
+        assert sink.spans == []
+        assert sink.dropped == 5
+        assert sink.total("s") == 5
+
+
+def test_snapshot_is_atomic_copy():
+    sink = SpanSink(limit=2, ring=True)
+    fill(sink, 5)
+    snap = sink.snapshot()
+    assert [s.begin for s in snap.spans] == [3, 4]
+    assert snap.name_counts == {"s": 5}
+    assert snap.dropped == 3
+    sink.add(span(9, "t"))
+    sink.clear()
+    assert [s.begin for s in snap.spans] == [3, 4]
+    assert snap.name_counts == {"s": 5}
+
+
+def test_clear_resets_everything():
+    sink = SpanSink(limit=2, ring=True)
+    fill(sink, 5)
+    sink.clear()
+    assert sink.spans == [] and sink.dropped == 0 and sink.name_counts == {}
+    fill(sink, 1)
+    assert len(sink) == 1
+
+
+def test_iteration_order_is_close_order():
+    sink = SpanSink()
+    for i in (3, 1, 2):
+        sink.add(span(i))
+    assert [s.begin for s in sink] == [3, 1, 2]

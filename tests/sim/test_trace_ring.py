@@ -98,3 +98,52 @@ def test_of_kind_on_unknown_kind():
     assert tr.of_kind("nope") == []
     assert tr.count("nope") == 0
     assert tr.total("nope") == 0
+
+
+def test_ring_limit_one_keeps_only_newest():
+    tr = TraceRecorder(limit=1, ring=True)
+    for i in range(4):
+        tr.record(i, "p", f"k{i}")
+    assert [r.time for r in tr.records] == [3]
+    assert tr.dropped == 3
+    # the per-kind index evicted along with the records
+    for i in range(3):
+        assert tr.of_kind(f"k{i}") == []
+        assert tr.count(f"k{i}") == 0
+        assert tr.total(f"k{i}") == 1
+    assert tr.count("k3") == 1
+
+
+def test_sequence_protocol():
+    tr = TraceRecorder(limit=3, ring=True)
+    fill(tr, 5)
+    assert len(tr) == 3
+    assert [r.time for r in tr] == [2, 3, 4]
+    assert tr.at(0).time == 2
+    assert tr.at(-1).time == 4
+
+
+def test_snapshot_is_atomic_copy():
+    tr = TraceRecorder(limit=2, ring=True)
+    fill(tr, 5)
+    snap = tr.snapshot()
+    assert [r.time for r in snap.records] == [3, 4]
+    assert snap.kind_counts == {"tick": 5}
+    assert snap.dropped == 3
+    # mutating the recorder does not alias into the snapshot...
+    tr.record(9, "p", "tock")
+    tr.clear()
+    assert [r.time for r in snap.records] == [3, 4]
+    assert snap.kind_counts == {"tick": 5}
+    # ...and mutating the snapshot does not touch the recorder
+    snap.kind_counts["tick"] = 0
+    fill(tr, 1)
+    assert tr.total("tick") == 1
+
+
+def test_snapshot_after_clear_is_empty():
+    tr = TraceRecorder(limit=2)
+    fill(tr, 5)
+    tr.clear()
+    snap = tr.snapshot()
+    assert snap.records == [] and snap.kind_counts == {} and snap.dropped == 0
