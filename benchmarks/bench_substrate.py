@@ -220,6 +220,83 @@ def test_telemetry_off_overhead_within_noise():
     )
 
 
+#: monitors-off must stay within noise of a check-free run: with no
+#: checks armed there is no "*" bus listener (framework calls stay
+#: event-free via §V elision) and CAP_RV is clear, so the only residual
+#: is a predicted branch; 1.5x absorbs CI jitter
+RV_OFF_NOISE_MARGIN = 1.5
+
+
+def _rle_session_runner(check=None, lifecycle=False):
+    """Build a closure running the RLE app end to end, optionally with
+    one armed check (``check``) or an armed-then-removed check
+    (``lifecycle=True`` — exercises the subsystem, ends monitors-off)."""
+    from repro.apps.rle import build_rle_pipeline
+    from repro.core import DataflowSession
+    from repro.dbg import Debugger, StopKind
+
+    def run():
+        sched, runtime, sink = build_rle_pipeline([5, 5, 5, 2, 7, 7])
+        session = DataflowSession(Debugger(sched, runtime), stop_on_init=True)
+        session.dbg.run()  # stop post-init so checks can resolve the graph
+        if lifecycle:
+            session.checks.remove(session.checks.add(
+                "occupancy pack::o->expand::i <= 999999", action="log").id)
+        if check is not None:
+            session.checks.add(check, action="log")
+        ev = session.dbg.cont()
+        while ev.kind not in (StopKind.EXITED, StopKind.DEADLOCK, StopKind.ERROR):
+            ev = session.dbg.cont()
+        assert ev.kind == StopKind.EXITED
+        return session
+
+    return run
+
+
+def test_rv_cap_bit_keeps_compiled_tier(benchmark):
+    """The RV capability bit at the interpreter level: arming CAP_RV must
+    not deoptimize the compiled tier, and (unlike CAP_TELEMETRY) counts
+    nothing — its statement-path cost is one predicted branch."""
+    run = _timed_loop_runner(DebugHook.CAP_RV)
+    interp = benchmark(lambda: _fresh_stack(run))
+    assert interp._fast_ok
+    assert interp._rv_armed
+    assert interp.cycles_flushed == 0
+
+
+def test_rv_monitors_on_link_occupancy_row(benchmark):
+    """The monitors-on row: a full RLE run with one link-occupancy
+    property armed (non-tripping bound — measures steady-state judging,
+    not verdict construction)."""
+    run = _rle_session_runner(check="occupancy pack::o->expand::i <= 999999")
+    session = benchmark(lambda: _fresh_stack(run))
+    assert session.checks.armed and not session.checks.verdicts
+    # the compiled tier stayed selected under the armed monitor
+    for actor in session.dbg.runtime.all_actors():
+        interp = getattr(actor, "interp", None)
+        if interp is not None:
+            assert interp._fast_ok
+
+
+def test_rv_monitors_off_overhead_within_noise():
+    """The acceptance gate (runs under ``--benchmark-disable`` too):
+    a run that armed and removed a check — ending monitors-off — costs
+    the same as a run that never touched the RV subsystem."""
+    baseline_run = _rle_session_runner()
+    off_run = _rle_session_runner(lifecycle=True)
+
+    session = off_run()
+    assert not session.checks.armed
+    assert not session.dbg.hook.capabilities & DebugHook.CAP_RV  # fully retracted
+    baseline = _fresh_stack(lambda: _best_of(baseline_run))
+    off = _fresh_stack(lambda: _best_of(off_run))
+    assert off <= RV_OFF_NOISE_MARGIN * baseline, (
+        f"monitors-off overhead {off / baseline:.2f}x exceeds the "
+        f"{RV_OFF_NOISE_MARGIN}x noise margin "
+        f"(check-free {baseline:.4f}s, monitors-off {off:.4f}s)"
+    )
+
+
 def test_event_bus_emission(benchmark):
     """Cost of one event with and without listeners (the §V overhead's
     inner loop)."""

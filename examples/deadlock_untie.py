@@ -4,10 +4,12 @@ Normal Execution").
 
 The dropped-token decoder variant: ``hwcfg`` silently drops the last
 macroblock's configuration token, so ``ipred`` blocks forever reading its
-``Hwcfg_in`` interface.  The debugger diagnoses the starvation with the
-scheduling monitor and the link inspector, then injects the missing token
-and lets the program finish — with output verified against the golden
-model.
+``Hwcfg_in`` interface.  A runtime-verification ``deadlock-free`` check
+runs the wait-for-cycle analysis the moment the platform stalls and names
+the starving actor and the dry link directly — no manual walk over
+``sched status`` / ``filter info state`` / ``dataflow links`` needed.
+The debugger then injects the missing token and lets the program finish —
+with output verified against the golden model.
 
 Run:  python examples/deadlock_untie.py
 """
@@ -23,22 +25,24 @@ def main() -> None:
     sched, platform, runtime, source, sink, mbs = build_dropped_token(n_mbs=n_mbs)
     dbg = Debugger(sched, runtime)
     cli = CommandCli(dbg)
-    DataflowSession(dbg, cli=cli)
+    DataflowSession(dbg, stop_on_init=True, cli=cli)
 
-    print("=== run to the hang =====================================================")
-    for line in cli.execute_script(["run"]):
+    print("=== arm the deadlock check and run to the hang ==========================")
+    for line in cli.execute_script([
+        "run",  # stops right after init, with the graph reconstructed
+        "check add log deadlock-free",
+        "continue",
+    ]):
         print(line)
     assert dbg.last_stop.kind == StopKind.DEADLOCK
 
     print()
-    print("=== diagnose ============================================================")
-    for line in cli.execute_script([
-        "sched status",
-        "filter ipred info state",
-        "iface ipred::Hwcfg_in info",
-        "dataflow links",
-    ]):
+    print("=== diagnose: the check's verdict names the culprit =====================")
+    for line in cli.execute_script(["info verdict"]):
         print(line)
+    verdict = cli.dataflow_handler.session.checks.verdicts[0]
+    assert "pred.ipred" in verdict.actors and "front.hwcfg" in verdict.actors
+    assert "hwcfg::HwCfg_out->ipred::Hwcfg_in" in verdict.links
 
     print()
     print("=== untie: inject the missing configuration token =======================")

@@ -154,6 +154,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--trace-out", metavar="FILE",
                         help="enable telemetry from the start and write a "
                              "Perfetto-loadable Chrome trace-event JSON on exit")
+    parser.add_argument("--check", action="append", default=[], metavar="[ACTION:]PROPERTY",
+                        help="arm a runtime-verification check once the graph is "
+                             "reconstructed (repeatable); ACTION is stop (default), "
+                             "log or mark — e.g. --check 'occupancy a::o->b::i <= 4' "
+                             "or --check log:deadlock-free")
     args = parser.parse_args(argv)
 
     try:
@@ -171,6 +176,19 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     if args.trace_out:
         cli.dataflow_handler.session.telemetry.enable()
+
+    for spec in args.check:
+        # property compilation needs the reconstructed graph, so the
+        # checks facade defers arming to the first post-init stop (the
+        # demos stop right after init, before any token moves)
+        action, sep, prop_text = spec.partition(":")
+        if not sep or action not in ("stop", "log", "mark"):
+            action, prop_text = "stop", spec
+        try:
+            cli.dataflow_handler.session.checks.add_deferred(prop_text.strip(), action)
+        except ReproError as exc:
+            print(f"error: --check {spec!r}: {exc}", file=sys.stderr)
+            return 1
 
     if args.script:
         lines = Path(args.script).read_text().splitlines()

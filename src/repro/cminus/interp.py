@@ -139,6 +139,12 @@ class DebugHook:
     #: the simulated cycles it flushes (span cost attribution), which the
     #: compiled tier can honour without deoptimizing
     CAP_TELEMETRY = 0x10
+    #: runtime-verification monitors armed (``repro.rv``).  Like
+    #: CAP_TELEMETRY, outside CAP_ALL and ignored by tier selection: the
+    #: monitors consume framework events, not statement callbacks, so the
+    #: compiled tier keeps running compiled and the monitors-off cost on
+    #: the statement path stays a single predicted branch
+    CAP_RV = 0x20
 
     capabilities: int = CAP_ALL
 
@@ -260,6 +266,7 @@ class Interpreter:
         #: builder's busy-time cross-check
         self.cycles_flushed = 0
         self._count_cycles = False
+        self._rv_armed = False
         # constant per-statement cost when the cost model is not refined;
         # None forces a stmt_cost() call per boundary
         self._stmt_cost_const: Optional[int] = (
@@ -303,6 +310,10 @@ class Interpreter:
         # cycle counting is off when hook is None (caps defaults to
         # CAP_ALL, which does not include the telemetry bit)
         self._count_cycles = bool(caps & DebugHook.CAP_TELEMETRY)
+        # RV monitors observe framework events, never statements; the bit
+        # is cached only so tooling can see it rode the same mask without
+        # perturbing tier selection (CAP_RV must never flip _fast_ok)
+        self._rv_armed = bool(caps & DebugHook.CAP_RV)
         # fully-synchronous execution is only safe when nothing can observe
         # or suspend mid-region: no hook at all and untimed simulation
         self._pure_fast = self.hook is None and not self.timed

@@ -86,10 +86,20 @@ def install_dataflow_commands(cli: CommandCli, session: DataflowSession) -> None
         completer=lambda t: [s for s in ("on", "off", "clear", "status", "export")
                              if s.startswith(t)],
     ))
+    cli.register(Command(
+        "check", handler.cmd_check,
+        "check add [stop|log|mark] PROPERTY | remove ID | enable ID | "
+        "disable ID | list | derive — runtime-verification checks "
+        "(occupancy LINK <=|>= N, rate OUT == K * IN [tol T], "
+        "order IF before IF, progress ACTOR every N, deadlock-free)",
+        completer=handler.complete_check,
+    ))
     cli.info_topics["replay"] = handler.cmd_info_replay
     cli.info_topics["metrics"] = handler.cmd_info_metrics
     cli.info_topics["spans"] = handler.cmd_info_spans
     cli.info_topics["trace"] = handler.cmd_info_trace
+    cli.info_topics["checks"] = handler.cmd_info_checks
+    cli.info_topics["verdict"] = handler.cmd_info_verdict
 
 
 class _Commands:
@@ -491,6 +501,73 @@ class _Commands:
             lines.append("replay journal: none (use `record on` before run)")
         lines.extend(self.session.telemetry.status_lines())
         return lines
+
+    # ---------------------------------------------------------------- checks
+
+    _CHECK_VERBS = ("add", "remove", "enable", "disable", "list", "derive")
+    _CHECK_KEYWORDS = (
+        "stop", "log", "mark",
+        "occupancy", "rate", "order", "progress", "deadlock-free",
+        "before", "every", "tol",
+    )
+
+    def complete_check(self, text: str) -> List[str]:
+        """Verbs/actions/property keywords, then names from the
+        reconstructed graph (Contribution #1 autocompletion)."""
+        words = text.split()
+        last = "" if (not words or text.endswith(" ")) else words[-1]
+        completing_verb = not words or (len(words) == 1 and not text.endswith(" "))
+        if completing_verb:
+            return [v for v in self._CHECK_VERBS if v.startswith(last)]
+        pool = list(self._CHECK_KEYWORDS) + self.session.completion_names()
+        return [n for n in pool if n.startswith(last)]
+
+    def cmd_check(self, arg: str) -> List[str]:
+        checks = self.session.checks
+        verb, _, rest = arg.strip().partition(" ")
+        rest = rest.strip()
+        if verb == "add":
+            action = "stop"
+            first, _, more = rest.partition(" ")
+            if first in ("stop", "log", "mark"):
+                action, rest = first, more.strip()
+            if not rest:
+                raise CommandError(
+                    "usage: check add [stop|log|mark] PROPERTY — e.g. "
+                    "`check add occupancy a::o->b::i <= 4` or `check add log deadlock-free`"
+                )
+            check = checks.add(rest, action=action)
+            return [f"armed {check.status()}"]
+        if verb == "remove":
+            if not rest.isdigit():
+                raise CommandError("usage: check remove ID")
+            check = checks.remove(int(rest))
+            return [f"removed check {check.id}: {check.text}"]
+        if verb in ("enable", "disable"):
+            if not rest.isdigit():
+                raise CommandError(f"usage: check {verb} ID")
+            check = checks.set_enabled(int(rest), verb == "enable")
+            return [f"{verb}d check {check.id}: {check.text}"]
+        if verb in ("list", ""):
+            return checks.status_lines()
+        if verb == "derive":
+            verdicts = checks.derive()
+            if not verdicts:
+                return ["replay-derived verdicts: none (all checks hold over the journal)"]
+            lines = [f"replay-derived verdicts: {len(verdicts)}"]
+            for verdict in verdicts:
+                lines.extend(verdict.render())
+            return lines
+        raise CommandError(
+            f"check: unknown verb {verb!r} (add/remove/enable/disable/list/derive)"
+        )
+
+    def cmd_info_checks(self, arg: str) -> List[str]:
+        return self.session.checks.status_lines()
+
+    def cmd_info_verdict(self, arg: str) -> List[str]:
+        which = int(arg) if arg.strip().isdigit() else None
+        return self.session.checks.verdict_lines(which)
 
     # ----------------------------------------------------------------- sched
 

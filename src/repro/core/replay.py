@@ -39,7 +39,7 @@ from typing import TYPE_CHECKING, Callable, List, Optional, Sequence
 
 from ..dbg.stop import StopEvent, StopKind
 from ..errors import ReplayDivergenceError, ReplayError
-from ..pedf.api import SYM_POP, SYM_PUSH, FrameworkEvent
+from ..pedf.api import SYM_ACTOR_START, SYM_ACTOR_SYNC, SYM_POP, SYM_PUSH, FrameworkEvent
 from ..sim.process import Suspend
 from ..sim.replay import (
     DEFAULT_CHECKPOINT_INTERVAL,
@@ -97,6 +97,11 @@ class RunRecorder:
             seq = getattr(event.retval, "seq", None)
             self.journal.note_token_link(seq, event.args.get("link"))
         index = self.journal.add_event(event.time, event.phase, event.symbol, event.actor, seq)
+        # per-event side tables for the runtime-verification deriver
+        if event.symbol in (SYM_PUSH, SYM_POP):
+            self.journal.note_event_link(index, event.args.get("link"))
+        elif event.symbol in (SYM_ACTOR_START, SYM_ACTOR_SYNC):
+            self.journal.note_event_target(index, event.args.get("actor"))
 
         ref = self.reference
         if ref is not None and self.divergence is None and index <= ref.total_events:

@@ -64,6 +64,11 @@ class DataflowSession:
         #: continuous observability (spans/metrics/trace export) — off
         #: until ``telemetry.enable()`` / the ``trace on`` command
         self.telemetry = Telemetry(self)
+        from ..rv.checks import Checks
+
+        #: runtime-verification checks (declarative dataflow properties
+        #: with online monitors) — off until the first ``check add``
+        self.checks = Checks(self)
         #: the active RunRecorder journaling this session, if any
         self._run_recorder = None
         #: filters whose data/attribute state is snapshotted into every

@@ -24,6 +24,7 @@ Two-level debugging (paper §VI-E) falls out of the design: all of these
 commands remain available while the dataflow extension is loaded.
 """
 
+from ..cminus.interp import DebugHook
 from .stop import StopEvent, StopKind
 from .breakpoints import (
     ApiBreakpoint,
@@ -38,7 +39,29 @@ from .eval import EvalError, Evaluator, format_typed
 from .cli import CommandCli
 from .api import ExtensionAPI
 
+#: The capability constants are defined in exactly one place —
+#: :class:`repro.cminus.interp.DebugHook` — and re-exported here so
+#: debugger-side code has a single import path for the whole mask
+#: vocabulary.  CAP_ALL covers only the tier-selection/observation bits;
+#: CAP_TELEMETRY and CAP_RV ride the same mask but stay outside it so
+#: arming them never deoptimizes the compiled Filter-C tier.
+CAP_STATEMENTS = DebugHook.CAP_STATEMENTS
+CAP_CALLS = DebugHook.CAP_CALLS
+CAP_RETURNS = DebugHook.CAP_RETURNS
+CAP_DATA = DebugHook.CAP_DATA
+CAP_ALL = DebugHook.CAP_ALL
+CAP_TELEMETRY = DebugHook.CAP_TELEMETRY
+CAP_RV = DebugHook.CAP_RV
+
 __all__ = [
+    "CAP_ALL",
+    "CAP_CALLS",
+    "CAP_DATA",
+    "CAP_RETURNS",
+    "CAP_RV",
+    "CAP_STATEMENTS",
+    "CAP_TELEMETRY",
+    "DebugHook",
     "StopEvent",
     "StopKind",
     "ApiBreakpoint",

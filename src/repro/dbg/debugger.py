@@ -90,6 +90,10 @@ class Debugger:
         #: armed by the telemetry facade: adds CAP_TELEMETRY to the hook
         #: mask so interpreters count flushed cycles (span cost attribution)
         self.telemetry_armed = False
+        #: armed by the runtime-verification facade: adds CAP_RV to the
+        #: hook mask (monitors ride the framework event bus; the bit never
+        #: deoptimizes the compiled tier)
+        self.rv_armed = False
         scheduler.pre_dispatch_hook = self._pre_dispatch
         # fast path: keep the kernel's pre-dispatch callback disarmed until
         # a pause is actually pending — zero per-dispatch cost otherwise
@@ -120,6 +124,10 @@ class Debugger:
             # telemetry rides the same mask but NOT the tier-selection bits:
             # the compiled fast tier stays compiled, it just counts cycles
             caps |= DebugHook.CAP_TELEMETRY
+        if self.rv_armed:
+            # likewise outside CAP_ALL: property monitors consume framework
+            # events, so arming them must not drop the compiled tier
+            caps |= DebugHook.CAP_RV
         # Push unconditionally: interpreters cache tier-selection flags
         # locally (``_fast_ok``/``_want_*``), and an interpreter built or
         # adopted after the last mask *change* would otherwise keep stale

@@ -17,6 +17,7 @@ class StopKind(enum.Enum):
     TRAP = "trap"  # the trap() builtin (programmatic int3)
     DATAFLOW = "dataflow"  # dataflow-extension stops (catchpoints, …)
     DEADLOCK = "deadlock"
+    VIOLATION = "violation"  # a runtime-verification check tripped
     EXITED = "exited"
     ERROR = "error"
     PAUSED = "paused"  # external interrupt
@@ -61,6 +62,12 @@ class StopEvent:
             lines.append(self.message)
         elif self.kind == StopKind.REPLAY:
             lines.append(f"Replay stop{who}: {self.message}")
+        elif self.kind == StopKind.VIOLATION:
+            lines.append(f"Check violated: {self.message}")
+            # the structured verdict rides in the payload; render it fully
+            payload = self.payload
+            if payload is not None and hasattr(payload, "render"):
+                lines.extend(payload.render()[1:])
         elif self.kind == StopKind.DEADLOCK:
             lines.append(f"Deadlock detected: {self.message}")
         elif self.kind == StopKind.EXITED:

@@ -88,6 +88,12 @@ class ReplayError(DataflowDebugError):
     """Error raised by the record/replay subsystem (``repro.core.replay``)."""
 
 
+class RvError(DataflowDebugError):
+    """Error raised by the runtime-verification subsystem (``repro.rv``):
+    a malformed property, a name that does not resolve against the
+    reconstructed graph, or a check operation on an unknown id."""
+
+
 class ReplayDivergenceError(ReplayError):
     """A replayed execution did not reproduce the recorded one.
 

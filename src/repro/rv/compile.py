@@ -1,0 +1,147 @@
+"""The monitor compiler: resolve property names, lower to monitors.
+
+Properties name dataflow entities the way the paper's transcripts do
+(``actor``, ``actor::iface``, ``a::out->b::in``); the compiler resolves
+them against the **reconstructed graph** (the same
+:class:`~repro.core.model.DataflowModel` autocompletion and catchpoints
+use) into plain string tables — link names, actor qualnames, module
+membership — and bakes those into the monitor.  After compilation a
+monitor never touches the model again, which is what keeps live and
+journal-derived verdicts identical.
+
+Resolution failures raise :class:`~repro.errors.RvError` with the list
+of known names, mirroring the model's own error style.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from ..errors import DataflowDebugError, RvError
+from ..pedf.api import SYM_POP, SYM_PUSH
+from .monitors import (
+    DeadlockMonitor,
+    Monitor,
+    OccupancyMonitor,
+    OrderMonitor,
+    ProgressMonitor,
+    RateMonitor,
+)
+from .props import (
+    DeadlockFreeProp,
+    OccupancyProp,
+    OrderProp,
+    ProgressProp,
+    Property,
+    RateProp,
+)
+
+
+class GraphView:
+    """Name resolution over the reconstructed graph, with RV errors."""
+
+    def __init__(self, model):
+        self.model = model
+
+    def _require_graph(self) -> None:
+        if not self.model.actors and not self.model.initialized:
+            raise RvError(
+                "the dataflow graph has not been reconstructed yet — run the "
+                "program through the framework init phase before adding checks"
+            )
+
+    def resolve_actor(self, name: str) -> str:
+        """Resolve a short or qualified actor name to its qualname."""
+        self._require_graph()
+        try:
+            return self.model.find_actor(name).qualname
+        except DataflowDebugError as exc:
+            raise RvError(str(exc)) from exc
+
+    def resolve_link(self, spec: str) -> Tuple[str, str, str, int]:
+        """Resolve a link spec — a full link name (``a::o->b::i``) or a
+        bound interface (``a::o``) — to ``(link name, src actor qualname,
+        dst actor qualname, capacity)``."""
+        self._require_graph()
+        if "->" in spec:
+            src_spec, _, dst_spec = spec.partition("->")
+            link = self.model.link_between(src_spec, dst_spec)
+            if link is None:
+                known = ", ".join(sorted(l.name for l in self.model.links)) or "none"
+                raise RvError(f"no link {spec!r} (known: {known})")
+        else:
+            try:
+                conn = self.model.find_connection(spec)
+            except DataflowDebugError as exc:
+                raise RvError(str(exc)) from exc
+            link = conn.link
+            if link is None:
+                raise RvError(f"interface {spec!r} is not bound to any link")
+        return (
+            link.name,
+            link.src.actor.qualname,
+            link.dst.actor.qualname,
+            link.capacity,
+        )
+
+    def resolve_iface_events(self, spec: str) -> Tuple[str, str, str]:
+        """Resolve an interface spec to ``(link name, counted symbol,
+        actor qualname)`` — token events *through* an output interface
+        are push exits on its link, through an input interface pop exits."""
+        self._require_graph()
+        try:
+            conn = self.model.find_connection(spec)
+        except DataflowDebugError as exc:
+            raise RvError(str(exc)) from exc
+        if conn.link is None:
+            raise RvError(f"interface {spec!r} is not bound to any link")
+        symbol = SYM_PUSH if conn.direction == "output" else SYM_POP
+        return conn.link.name, symbol, conn.actor.qualname
+
+    def link_ends(self) -> Dict[str, Tuple[str, str]]:
+        return {
+            link.name: (link.src.actor.qualname, link.dst.actor.qualname)
+            for link in self.model.links
+        }
+
+    def module_filters(self) -> Dict[str, Tuple[str, ...]]:
+        """Controller qualname -> qualnames of the filters it schedules."""
+        out: Dict[str, Tuple[str, ...]] = {}
+        for actor in self.model.actors.values():
+            if actor.kind != "controller":
+                continue
+            filters = tuple(sorted(
+                a.qualname
+                for a in self.model.actors.values()
+                if a.kind == "filter" and a.module == actor.module
+            ))
+            out[actor.qualname] = filters
+        return out
+
+
+def compile_property(prop: Property, graph: GraphView, check_id: int) -> Monitor:
+    """Lower one property into its monitor, resolving all names now."""
+    text = prop.text()
+    if isinstance(prop, OccupancyProp):
+        link, src, dst, _capacity = graph.resolve_link(prop.link_spec)
+        return OccupancyMonitor(check_id, text, link, prop.op, prop.bound, src, dst)
+    if isinstance(prop, RateProp):
+        p_link, p_sym, p_actor = graph.resolve_iface_events(prop.produced_spec)
+        c_link, c_sym, c_actor = graph.resolve_iface_events(prop.consumed_spec)
+        return RateMonitor(
+            check_id, text, p_link, p_sym, c_link, c_sym,
+            prop.k_num, prop.k_den, prop.tol, (p_actor, c_actor),
+        )
+    if isinstance(prop, OrderProp):
+        b_link, b_sym, b_actor = graph.resolve_iface_events(prop.before_spec)
+        a_link, a_sym, a_actor = graph.resolve_iface_events(prop.after_spec)
+        return OrderMonitor(
+            check_id, text, b_link, b_sym, a_link, a_sym, (b_actor, a_actor)
+        )
+    if isinstance(prop, ProgressProp):
+        actor = graph.resolve_actor(prop.actor_spec)
+        return ProgressMonitor(check_id, text, actor, prop.every)
+    if isinstance(prop, DeadlockFreeProp):
+        graph._require_graph()
+        return DeadlockMonitor(check_id, text, graph.link_ends(), graph.module_filters())
+    raise RvError(f"unknown property type {type(prop).__name__}")

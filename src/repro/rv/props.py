@@ -1,0 +1,184 @@
+"""The declarative property layer: builder API + compact text form.
+
+Five property families over the dataflow graph, mirroring the failure
+modes of the §VI case studies:
+
+=============  ==========================================================
+occupancy      per-link bounded occupancy (rate-mismatch onset)
+rate           ``produced(f.out) == k * consumed(g.in)`` within tolerance
+order          causality: the Nth event on one interface must be preceded
+               by at least N events on another
+progress       starvation: an actor fires at least once every N
+               controller steps
+deadlock-free  graph-level wait-for-cycle / starvation detector over
+               blocked push/pop/WAIT_FOR_* states
+=============  ==========================================================
+
+Each property has a canonical text form (``prop.text()``) accepted back
+by :func:`parse_property` — the ``check add`` command speaks the text
+form, programmatic users the builder functions.  Name resolution against
+the reconstructed graph happens later, in :mod:`repro.rv.compile`.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Union
+
+from ..errors import RvError
+
+
+@dataclass(frozen=True)
+class OccupancyProp:
+    """``occupancy LINK <= N`` / ``occupancy LINK >= N``.
+
+    ``link_spec`` is a full link name (``a::out->b::in``) or a bound
+    interface (``a::out``)."""
+
+    link_spec: str
+    op: str  # "<=" | ">="
+    bound: int
+
+    def text(self) -> str:
+        return f"occupancy {self.link_spec} {self.op} {self.bound}"
+
+
+@dataclass(frozen=True)
+class RateProp:
+    """``rate PRODUCED == K * CONSUMED tol T``: tokens produced through
+    one interface track ``k`` times the tokens consumed through another,
+    within a transient tolerance (dynamic rates diverge mid-step)."""
+
+    produced_spec: str
+    consumed_spec: str
+    k_num: int = 1
+    k_den: int = 1
+    tol: int = 0
+
+    def text(self) -> str:
+        k = f"{self.k_num}" if self.k_den == 1 else f"{self.k_num}/{self.k_den}"
+        return f"rate {self.produced_spec} == {k} * {self.consumed_spec} tol {self.tol}"
+
+
+@dataclass(frozen=True)
+class OrderProp:
+    """``order BEFORE before AFTER``: the Nth token event on ``after``
+    must be preceded by at least N token events on ``before``."""
+
+    before_spec: str
+    after_spec: str
+
+    def text(self) -> str:
+        return f"order {self.before_spec} before {self.after_spec}"
+
+
+@dataclass(frozen=True)
+class ProgressProp:
+    """``progress ACTOR every N``: the actor fires (enters WORK) at
+    least once every ``every`` controller steps."""
+
+    actor_spec: str
+    every: int
+
+    def text(self) -> str:
+        return f"progress {self.actor_spec} every {self.every}"
+
+
+@dataclass(frozen=True)
+class DeadlockFreeProp:
+    """``deadlock-free``: on a platform deadlock, produce a wait-for
+    analysis (cycle or starvation roots) as the verdict."""
+
+    def text(self) -> str:
+        return "deadlock-free"
+
+
+Property = Union[OccupancyProp, RateProp, OrderProp, ProgressProp, DeadlockFreeProp]
+
+
+# ------------------------------------------------------------- builder API
+
+
+def bounded(link_spec: str, max: int = None, min: int = None) -> OccupancyProp:  # noqa: A002
+    """Bounded-occupancy property on a link (give ``max`` or ``min``)."""
+    if (max is None) == (min is None):
+        raise RvError("bounded(): give exactly one of max= or min=")
+    if max is not None:
+        return OccupancyProp(link_spec, "<=", int(max))
+    return OccupancyProp(link_spec, ">=", int(min))
+
+
+def rate(
+    produced_spec: str, consumed_spec: str, k: Union[int, str] = 1, tol: int = 0
+) -> RateProp:
+    """``produced(produced_spec) == k * consumed(consumed_spec)`` ± tol.
+
+    ``k`` may be an integer or an ``"a/b"`` fraction string."""
+    num, den = _parse_fraction(str(k))
+    return RateProp(produced_spec, consumed_spec, num, den, int(tol))
+
+
+def ordered(before_spec: str, after_spec: str) -> OrderProp:
+    return OrderProp(before_spec, after_spec)
+
+
+def progress(actor_spec: str, every: int) -> ProgressProp:
+    if int(every) < 1:
+        raise RvError("progress: the step window must be >= 1")
+    return ProgressProp(actor_spec, int(every))
+
+
+def deadlock_free() -> DeadlockFreeProp:
+    return DeadlockFreeProp()
+
+
+# --------------------------------------------------------------- text form
+
+_OCC_RE = re.compile(r"^occupancy\s+(\S+)\s*(<=|>=)\s*(\d+)$")
+_RATE_RE = re.compile(
+    r"^rate\s+(\S+)\s*==\s*(\d+(?:/\d+)?)\s*\*\s*(\S+?)(?:\s+tol\s+(\d+))?$"
+)
+_ORDER_RE = re.compile(r"^order\s+(\S+)\s+before\s+(\S+)$")
+_PROGRESS_RE = re.compile(r"^progress\s+(\S+)\s+every\s+(\d+)$")
+
+_GRAMMAR = (
+    "occupancy LINK <=|>= N | "
+    "rate OUT == K * IN [tol T] | "
+    "order IFACE before IFACE | "
+    "progress ACTOR every N | "
+    "deadlock-free"
+)
+
+
+def _parse_fraction(text: str):
+    num, _, den = text.partition("/")
+    if not num.isdigit() or (den and not den.isdigit()):
+        raise RvError(f"bad rate factor {text!r} (expected K or K/D)")
+    num, den = int(num), int(den) if den else 1
+    if num < 1 or den < 1:
+        raise RvError(f"bad rate factor {text!r} (must be positive)")
+    return num, den
+
+
+def parse_property(text: str) -> Property:
+    """Parse the compact text form into a property (inverse of ``text()``)."""
+    text = " ".join(text.split())
+    if not text:
+        raise RvError(f"empty property (expected: {_GRAMMAR})")
+    if text == "deadlock-free":
+        return DeadlockFreeProp()
+    m = _OCC_RE.match(text)
+    if m:
+        return OccupancyProp(m.group(1), m.group(2), int(m.group(3)))
+    m = _RATE_RE.match(text)
+    if m:
+        num, den = _parse_fraction(m.group(2))
+        return RateProp(m.group(1), m.group(3), num, den, int(m.group(4) or 0))
+    m = _ORDER_RE.match(text)
+    if m:
+        return OrderProp(m.group(1), m.group(2))
+    m = _PROGRESS_RE.match(text)
+    if m:
+        return progress(m.group(1), int(m.group(2)))
+    raise RvError(f"cannot parse property {text!r} (expected: {_GRAMMAR})")

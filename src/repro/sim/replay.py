@@ -100,6 +100,15 @@ class ReplayJournal:
         #: telemetry deriver) attribute recorded token events to links,
         #: which the event log alone cannot (it stores only the seq).
         self.token_links: Dict[int, str] = {}
+        #: event position -> link name for *every* push/pop event (both
+        #: phases).  Entries matter to the runtime-verification deriver:
+        #: a push/pop entry with no matching exit is an actor blocked on
+        #: that link, the raw material of the wait-for deadlock analysis.
+        self.event_links: Dict[int, str] = {}
+        #: event position -> target filter qualname for actor_start /
+        #: actor_sync events, so scheduling counters (starts issued, sync
+        #: targets) are reconstructible from the journal.
+        self.event_targets: Dict[int, str] = {}
         self._total = 0
         self._cp_by_dispatch: Dict[int, Checkpoint] = {}
 
@@ -122,6 +131,18 @@ class ReplayJournal:
         """Remember which link carried token ``seq`` (first note wins)."""
         if seq is not None and link:
             self.token_links.setdefault(seq, link)
+
+    def note_event_link(self, index: int, link: Optional[str]) -> None:
+        """Remember which link a push/pop event (at position ``index``)
+        operated on.  Side table only — not fingerprint-compared."""
+        if link:
+            self.event_links[index] = link
+
+    def note_event_target(self, index: int, target: Optional[str]) -> None:
+        """Remember the target filter of a scheduling event (actor_start
+        / actor_sync) at position ``index``.  Side table only."""
+        if target:
+            self.event_targets[index] = target
 
     def add_checkpoint(self, cp: Checkpoint) -> None:
         self.checkpoints.append(cp)

@@ -1,0 +1,70 @@
+"""The hook-capability vocabulary: one definition, stable semantics.
+
+Regression guard for the bitmask contract: ``CAP_TELEMETRY`` and
+``CAP_RV`` must stay *outside* ``CAP_ALL`` (they are observation bits —
+arming them must never flip tier selection or hook elision), all bits
+must stay distinct, and the :mod:`repro.dbg` re-exports must be the
+:class:`~repro.cminus.interp.DebugHook` constants themselves.
+"""
+
+from repro.apps.rle import build_rle_pipeline
+from repro.cminus.interp import DebugHook
+from repro.core import DataflowSession
+from repro.dbg import (
+    CAP_ALL,
+    CAP_CALLS,
+    CAP_DATA,
+    CAP_RETURNS,
+    CAP_RV,
+    CAP_STATEMENTS,
+    CAP_TELEMETRY,
+    Debugger,
+)
+
+ALL_BITS = {
+    "CAP_STATEMENTS": CAP_STATEMENTS,
+    "CAP_CALLS": CAP_CALLS,
+    "CAP_RETURNS": CAP_RETURNS,
+    "CAP_DATA": CAP_DATA,
+    "CAP_TELEMETRY": CAP_TELEMETRY,
+    "CAP_RV": CAP_RV,
+}
+
+
+def test_observation_bits_stay_outside_cap_all():
+    assert CAP_TELEMETRY & CAP_ALL == 0
+    assert CAP_RV & CAP_ALL == 0
+    # ... while the four tier-selection bits are exactly CAP_ALL
+    assert CAP_STATEMENTS | CAP_CALLS | CAP_RETURNS | CAP_DATA == CAP_ALL
+
+
+def test_bits_are_distinct_single_bit_powers_of_two():
+    values = list(ALL_BITS.values())
+    assert len(set(values)) == len(values)
+    for name, bit in ALL_BITS.items():
+        assert bit > 0 and bit & (bit - 1) == 0, name
+
+
+def test_dbg_reexports_are_the_interp_constants():
+    for name, bit in ALL_BITS.items():
+        assert bit == getattr(DebugHook, name)
+    assert CAP_ALL == DebugHook.CAP_ALL
+
+
+def test_rv_arming_sets_cap_rv_but_keeps_fast_tier():
+    sched, runtime, sink = build_rle_pipeline([5, 2, 7])
+    session = DataflowSession(Debugger(sched, runtime), stop_on_init=True)
+    dbg = session.dbg
+    dbg.run()
+    assert not dbg.hook.capabilities & CAP_RV
+    session.checks.add("occupancy pack::o->expand::i <= 4", action="log")
+    assert dbg.hook.capabilities & CAP_RV
+    # the RV bit never deoptimizes: every live interpreter keeps _fast_ok
+    checked = 0
+    for actor in runtime.all_actors():
+        interp = getattr(actor, "interp", None)
+        if interp is not None:
+            assert interp._fast_ok
+            assert interp._rv_armed
+            checked += 1
+    assert checked > 0

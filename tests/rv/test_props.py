@@ -1,0 +1,141 @@
+"""Property layer: builders, text-form round-trip, compile errors."""
+
+import pytest
+
+from repro.apps.rle import build_rle_pipeline
+from repro.core import DataflowSession
+from repro.core.model import DataflowModel
+from repro.dbg import Debugger
+from repro.errors import RvError
+from repro.rv import (
+    DeadlockFreeProp,
+    GraphView,
+    OccupancyProp,
+    OrderProp,
+    ProgressProp,
+    RateProp,
+    bounded,
+    compile_property,
+    deadlock_free,
+    ordered,
+    parse_property,
+    progress,
+    rate,
+)
+
+
+# ------------------------------------------------------------- text form
+
+
+@pytest.mark.parametrize("text,expected", [
+    ("occupancy a::o->b::i <= 4", OccupancyProp("a::o->b::i", "<=", 4)),
+    ("occupancy a::o >= 1", OccupancyProp("a::o", ">=", 1)),
+    ("rate f::out == 2 * g::in tol 3", RateProp("f::out", "g::in", 2, 1, 3)),
+    ("rate f::out == 1/2 * g::in", RateProp("f::out", "g::in", 1, 2, 0)),
+    ("order a::o before b::o", OrderProp("a::o", "b::o")),
+    ("progress ipred every 3", ProgressProp("ipred", 3)),
+    ("deadlock-free", DeadlockFreeProp()),
+])
+def test_parse_property(text, expected):
+    assert parse_property(text) == expected
+
+
+@pytest.mark.parametrize("prop", [
+    OccupancyProp("a::o->b::i", "<=", 4),
+    OccupancyProp("a::o", ">=", 1),
+    RateProp("f::out", "g::in", 2, 1, 3),
+    RateProp("f::out", "g::in", 1, 2, 0),
+    OrderProp("a::o", "b::o"),
+    ProgressProp("ipred", 3),
+    DeadlockFreeProp(),
+])
+def test_text_round_trips(prop):
+    assert parse_property(prop.text()) == prop
+
+
+def test_whitespace_is_normalised():
+    assert parse_property("  occupancy   a::o   <=  4 ") == OccupancyProp("a::o", "<=", 4)
+
+
+@pytest.mark.parametrize("bad", [
+    "",
+    "occupancy a::o < 4",          # only <= / >= are in the grammar
+    "occupancy a::o <= many",
+    "rate f::out == 0 * g::in",    # factor must be positive
+    "rate f::out = 2 * g::in",
+    "order a::o after b::o",
+    "progress ipred every 0",
+    "liveness ipred",
+])
+def test_parse_rejects_garbage(bad):
+    with pytest.raises(RvError):
+        parse_property(bad)
+
+
+# ------------------------------------------------------------ builder API
+
+
+def test_builders_match_text_form():
+    assert bounded("a::o->b::i", max=4) == parse_property("occupancy a::o->b::i <= 4")
+    assert bounded("a::o", min=1) == parse_property("occupancy a::o >= 1")
+    assert rate("f::out", "g::in", k="1/2", tol=2) == parse_property(
+        "rate f::out == 1/2 * g::in tol 2")
+    assert ordered("a::o", "b::o") == parse_property("order a::o before b::o")
+    assert progress("ipred", 3) == parse_property("progress ipred every 3")
+    assert deadlock_free() == parse_property("deadlock-free")
+
+
+def test_builder_validation():
+    with pytest.raises(RvError):
+        bounded("a::o")  # neither bound
+    with pytest.raises(RvError):
+        bounded("a::o", max=1, min=1)  # both bounds
+    with pytest.raises(RvError):
+        rate("f::out", "g::in", k="2/0")
+    with pytest.raises(RvError):
+        progress("ipred", 0)
+
+
+# ---------------------------------------------------------- compile errors
+
+
+def rle_session():
+    sched, runtime, sink = build_rle_pipeline([5, 5, 5, 2, 7, 7])
+    session = DataflowSession(Debugger(sched, runtime), stop_on_init=True)
+    session.dbg.run()  # stops right after init, graph reconstructed
+    return session
+
+
+def test_compile_on_empty_graph_is_a_clean_error():
+    graph = GraphView(DataflowModel())
+    for text in ("occupancy a::o <= 4", "progress a every 1", "deadlock-free"):
+        with pytest.raises(RvError, match="not been reconstructed"):
+            compile_property(parse_property(text), graph, 1)
+
+
+def test_compile_missing_actor_lists_known_names():
+    session = rle_session()
+    with pytest.raises(RvError, match="expand"):
+        session.checks.add("progress nosuch every 2")
+
+
+def test_compile_missing_link_lists_known_links():
+    session = rle_session()
+    with pytest.raises(RvError, match="pack::o->expand::i"):
+        session.checks.add("occupancy nosuch::o->expand::i <= 4")
+    with pytest.raises(RvError):
+        session.checks.add("rate expand::o == 1 * nosuch::i")
+
+
+def test_compile_resolves_interface_spec_to_its_link():
+    session = rle_session()
+    check = session.checks.add("occupancy pack::o <= 100", action="log")
+    assert check.monitor.link == "pack::o->expand::i"
+
+
+def test_unknown_check_id_and_action_are_clean_errors():
+    session = rle_session()
+    with pytest.raises(RvError, match="no check 7"):
+        session.checks.remove(7)
+    with pytest.raises(RvError, match="unknown on-violation action"):
+        session.checks.add("deadlock-free", action="explode")
