@@ -127,12 +127,20 @@ def build_demo(
     attribute: int = 1,
     scheduler: Optional[Scheduler] = None,
     platform_config: Optional[PlatformConfig] = None,
+    shard=None,  # Optional[repro.sim.sharding.ShardContext]
 ) -> Tuple[Scheduler, P2012Platform, PedfRuntime, "SourceActor", "SinkActor"]:
     """Build the full test bench: source → AModule → sink, not yet loaded."""
     sched = scheduler or Scheduler()
     platform = P2012Platform(sched, platform_config or PlatformConfig(n_clusters=2, pes_per_cluster=4))
     program = build_amodule_program(attribute=attribute, max_steps=len(values))
-    runtime = PedfRuntime(sched, platform, program)
+    runtime = PedfRuntime(sched, platform, program, shard=shard)
     source = runtime.add_source("stim", "AModule", "module_in", list(values))
     sink = runtime.add_sink("capture", "AModule", "module_out", expect=len(values))
     return sched, platform, runtime, source, sink
+
+
+#: the partitioning units of the demo test bench (for shard plans)
+AMODULE_HOSTS = (
+    ("stim", "AModule", "module_in", "source"),
+    ("capture", "AModule", "module_out", "sink"),
+)

@@ -122,11 +122,9 @@ def count_runs(values: Sequence[int]) -> int:
     return runs
 
 
-def build_rle_pipeline(
-    values: Sequence[int],
-    scheduler: Optional[Scheduler] = None,
-) -> Tuple[Scheduler, PedfRuntime, "SinkActor"]:
-    """source → pack → expand → sink; the round trip must be identity."""
+def build_rle_program(values: Sequence[int]) -> ProgramDecl:
+    """The RLE codec's declaration alone (cheap — no elaboration), for
+    consumers that only need the graph shape, e.g. shard partitioning."""
     values = list(values)
     if any(v == TERMINATOR for v in values):
         raise ValueError("input may not contain the terminator sentinel")
@@ -162,10 +160,27 @@ def build_rle_pipeline(
     mod.bind("pack", "o", "expand", "i", capacity=0)
     mod.bind("expand", "o", "this", "stream_out", capacity=0)
     program.add_module(mod)
+    return program
 
+
+def build_rle_pipeline(
+    values: Sequence[int],
+    scheduler: Optional[Scheduler] = None,
+    shard=None,  # Optional[repro.sim.sharding.ShardContext]
+) -> Tuple[Scheduler, PedfRuntime, "SinkActor"]:
+    """source → pack → expand → sink; the round trip must be identity."""
+    values = list(values)
+    program = build_rle_program(values)
     sched = scheduler or Scheduler()
     platform = P2012Platform(sched, PlatformConfig(n_clusters=1, pes_per_cluster=4))
-    runtime = PedfRuntime(sched, platform, program)
+    runtime = PedfRuntime(sched, platform, program, shard=shard)
     runtime.add_source("stim", "codec", "stream_in", values + [TERMINATOR], capacity=0)
     sink = runtime.add_sink("cap", "codec", "stream_out", expect=len(values) + 1)
     return sched, runtime, sink
+
+
+#: the partitioning units of the RLE test bench (for shard plans)
+RLE_HOSTS = (
+    ("stim", "codec", "stream_in", "source"),
+    ("cap", "codec", "stream_out", "sink"),
+)

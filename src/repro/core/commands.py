@@ -95,6 +95,7 @@ def install_dataflow_commands(cli: CommandCli, session: DataflowSession) -> None
         completer=handler.complete_check,
     ))
     cli.info_topics["replay"] = handler.cmd_info_replay
+    cli.info_topics["shards"] = handler.cmd_info_shards
     cli.info_topics["metrics"] = handler.cmd_info_metrics
     cli.info_topics["spans"] = handler.cmd_info_spans
     cli.info_topics["trace"] = handler.cmd_info_trace
@@ -393,6 +394,14 @@ class _Commands:
 
     def cmd_info_replay(self, arg: str) -> List[str]:
         return self.session.replay.info()
+
+    def cmd_info_shards(self, arg: str) -> List[str]:
+        """``info shards`` — per-shard actor counts, clocks, dispatch
+        counts and cross-shard channel horizons."""
+        sharding = getattr(self.session, "sharding", None)
+        if sharding is None:
+            return ["(execution is not sharded)"]
+        return sharding.info_lines()
 
     # ------------------------------------------------------------- telemetry
 

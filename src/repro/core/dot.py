@@ -18,9 +18,32 @@ from typing import Dict, List, Optional
 
 from .model import DataflowModel, DbgActor
 
+#: fill colours cycling over shard indices (shard-aware rendering)
+SHARD_PALETTE = (
+    "lightblue",
+    "lightyellow",
+    "lightpink",
+    "lightcyan",
+    "wheat",
+    "lavender",
+    "honeydew",
+    "mistyrose",
+)
+
 
 def _node_id(actor: DbgActor) -> str:
     return actor.qualname.replace(".", "_").replace("-", "_")
+
+
+def _unit_of(actor: DbgActor) -> str:
+    """The partitioning unit an actor belongs to (module or host name)."""
+    return actor.name if actor.module == "host" else actor.module
+
+
+def _shard_of(actor: DbgActor, shard_plan) -> Optional[int]:
+    if shard_plan is None:
+        return None
+    return shard_plan.assignment.get(_unit_of(actor))
 
 
 def _actor_label(actor: DbgActor, metrics) -> str:
@@ -42,9 +65,20 @@ def _actor_label(actor: DbgActor, metrics) -> str:
     return f"{actor.name}\\n{', '.join(parts)}"
 
 
-def _node_decl(actor: DbgActor, metrics=None) -> str:
+def _node_decl(actor: DbgActor, metrics=None, shard: Optional[int] = None) -> str:
     nid = _node_id(actor)
     label = _actor_label(actor, metrics)
+    if shard is not None:
+        label = f"{label}\\n[shard {shard}]"
+        fill = SHARD_PALETTE[shard % len(SHARD_PALETTE)]
+        if actor.kind == "controller":
+            return f'{nid} [label="{label}" shape=box style="filled" fillcolor="{fill}"]'
+        if actor.kind in ("source", "sink"):
+            return (
+                f'{nid} [label="{label}" shape=diamond style="filled,dashed" '
+                f'fillcolor="{fill}"]'
+            )
+        return f'{nid} [label="{label}" shape=ellipse style="filled" fillcolor="{fill}"]'
     if actor.kind == "controller":
         return (
             f'{nid} [label="{label}" shape=box style="filled" '
@@ -60,6 +94,7 @@ def render_dot(
     include_counts: bool = True,
     title: str = "",
     metrics=None,
+    shard_plan=None,
 ) -> str:
     lines: List[str] = []
     name = title or model.program_name or "dataflow"
@@ -74,17 +109,26 @@ def render_dot(
         actors = sorted(by_module[module], key=lambda a: a.qualname)
         if module == "host":
             for actor in actors:
-                lines.append(f"  {_node_decl(actor, metrics)};")
+                lines.append(f"  {_node_decl(actor, metrics, _shard_of(actor, shard_plan))};")
             continue
         lines.append(f'  subgraph "cluster_{module}" {{')
         lines.append(f'    label="{module}";')
         for actor in actors:
-            lines.append(f"    {_node_decl(actor, metrics)};")
+            lines.append(f"    {_node_decl(actor, metrics, _shard_of(actor, shard_plan))};")
         lines.append("  }")
 
     for link in sorted(model.links, key=lambda l: l.name):
         attrs = []
-        if link.dma:
+        src_shard = _shard_of(link.src.actor, shard_plan)
+        dst_shard = _shard_of(link.dst.actor, shard_plan)
+        cross_shard = (
+            src_shard is not None and dst_shard is not None and src_shard != dst_shard
+        )
+        if cross_shard:
+            # a cut link: dashed crimson regardless of DMA/control styling
+            attrs.append("style=dashed")
+            attrs.append('color="crimson"')
+        elif link.dma:
             attrs.append("style=dashed")
         elif link.kind == "control":
             attrs.append("style=dotted")

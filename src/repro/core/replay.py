@@ -100,6 +100,10 @@ class RunRecorder:
         # per-event side tables for the runtime-verification deriver
         if event.symbol in (SYM_PUSH, SYM_POP):
             self.journal.note_event_link(index, event.args.get("link"))
+            if event.phase == "exit" and event.symbol == SYM_PUSH and event.retval is not None:
+                from ..sim.sharding.merge import stable_value_text
+
+                self.journal.note_event_value(index, stable_value_text(event.retval.value))
         elif event.symbol in (SYM_ACTOR_START, SYM_ACTOR_SYNC):
             self.journal.note_event_target(index, event.args.get("actor"))
 

@@ -71,6 +71,9 @@ class DataflowSession:
         self.checks = Checks(self)
         #: the active RunRecorder journaling this session, if any
         self._run_recorder = None
+        #: the ShardedRun coordinating this session, when execution is
+        #: sharded (set by core.shards.ShardedRun); None otherwise
+        self.sharding = None
         #: filters whose data/attribute state is snapshotted into every
         #: token they push (enabled via ``filter X record state``)
         self.state_recorded: set = set()
@@ -95,8 +98,11 @@ class DataflowSession:
         if self.graph_update == "on-stop" and self.model.initialized:
             self.refresh_graph()
 
+    def _shard_plan(self):
+        return self.sharding.plan if self.sharding is not None else None
+
     def refresh_graph(self) -> str:
-        self.last_graph = render_dot(self.model)
+        self.last_graph = render_dot(self.model, shard_plan=self._shard_plan())
         self.graph_renders += 1
         return self.last_graph
 
@@ -104,11 +110,14 @@ class DataflowSession:
         """Render the reconstructed graph (Fig. 2 / Fig. 4 artefact).
 
         When telemetry has collected anything, nodes and edges carry
-        metric annotations (firings, busy/blocked, peak/avg occupancy)."""
+        metric annotations (firings, busy/blocked, peak/avg occupancy);
+        in a sharded run, actors are coloured by shard assignment and cut
+        links are drawn dashed."""
         return render_dot(
             self.model,
             include_counts=include_counts,
             metrics=self.telemetry.metrics,
+            shard_plan=self._shard_plan(),
         )
 
     def set_graph_update(self, mode: str) -> None:

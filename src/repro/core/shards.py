@@ -1,0 +1,116 @@
+"""Sharded debugging runs: N sessions, one coordinated execution.
+
+``ShardedRun`` builds one full :class:`~repro.core.session.DataflowSession`
+per shard from a user-supplied builder (each with its own scheduler,
+platform, runtime, debugger, capture and — optionally — journal), wires
+their cut links together through shared cross-shard channels, and drives
+them with the conservative-lookahead
+:class:`~repro.sim.sharding.ShardedScheduler`.
+
+Every per-shard subsystem keeps working unchanged: record/replay journals
+its shard's events, RV monitors its shard's properties, telemetry spans
+its shard's actors.  The run-level determinism artefact is the *merged
+canonical fingerprint* — per-link token value streams, unioned across
+shards — which tests gate against the single-kernel run byte for byte.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional
+
+from ..errors import DataflowDebugError
+from ..sim.replay import DEFAULT_CHECKPOINT_INTERVAL
+from ..sim.sharding import (
+    Shard,
+    ShardContext,
+    ShardedScheduler,
+    ShardedStop,
+    ShardPlan,
+    fingerprint_streams,
+    merge_link_streams,
+)
+
+SessionBuilder = Callable[[ShardContext], Any]
+
+
+class ShardedRun:
+    """One program, partitioned across coordinated debug sessions."""
+
+    def __init__(
+        self,
+        plan: ShardPlan,
+        builder: SessionBuilder,
+        record: bool = False,
+        checkpoint_interval: int = DEFAULT_CHECKPOINT_INTERVAL,
+    ):
+        self.plan = plan
+        self.channels: Dict[str, Any] = {}
+        self.sessions: List[Any] = []
+        shards: List[Shard] = []
+        for sid in range(plan.n_shards):
+            ctx = ShardContext(sid, plan, self.channels)
+            session = builder(ctx)
+            session.sharding = self
+            if record:
+                session.replay.record_on(interval=checkpoint_interval)
+            self.sessions.append(session)
+            shards.append(
+                Shard(
+                    index=sid,
+                    scheduler=session.dbg.scheduler,
+                    runtime=session.dbg.runtime,
+                    ctx=ctx,
+                    dbg=session.dbg,
+                )
+            )
+        self.engine = ShardedScheduler(shards, self.channels)
+        self.recorded = record
+        self._loaded = False
+
+    # ------------------------------------------------------------ execution
+
+    @property
+    def shards(self) -> List[Shard]:
+        return self.engine.shards
+
+    def load(self) -> None:
+        if self._loaded:
+            return
+        self._loaded = True
+        for session in self.sessions:
+            session.dbg.load()
+
+    def run(self) -> ShardedStop:
+        """Run to the first debugger stop or to global termination."""
+        self.load()
+        return self.engine.run()
+
+    def cont(self) -> ShardedStop:
+        """Resume after a stop — re-enters the interrupted quantum, so
+        dispatch counts and journals stay stop-invariant per shard."""
+        if not self._loaded:
+            raise DataflowDebugError("sharded run not started (use run())")
+        return self.engine.run()
+
+    # ---------------------------------------------------------- determinism
+
+    def link_streams(self) -> Dict[str, List[str]]:
+        """Merged per-link token value streams across all shard journals."""
+        if not self.recorded:
+            raise DataflowDebugError(
+                "sharded run was not recorded (pass record=True)"
+            )
+        parts = [s.replay.master.link_value_streams() for s in self.sessions]
+        return merge_link_streams(parts)
+
+    def fingerprint(self) -> str:
+        """The canonical determinism fingerprint of the merged journals —
+        byte-identical to the single-kernel run's, by contract."""
+        return fingerprint_streams(self.link_streams())
+
+    # ----------------------------------------------------------- inspection
+
+    def info_lines(self) -> List[str]:
+        lines = self.plan.describe()
+        lines.extend(self.engine.info_lines())
+        return lines

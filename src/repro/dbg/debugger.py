@@ -494,6 +494,14 @@ class Debugger:
         if self._finished:
             return self.last_stop  # type: ignore[return-value]
         stop = self.scheduler.run(until=until, max_dispatches=max_dispatches)
+        return self.absorb_kernel_stop(stop)
+
+    def absorb_kernel_stop(self, stop: StopReason) -> StopEvent:
+        """Translate a kernel stop someone else's ``scheduler.run`` call
+        produced and fire the stop callbacks — the entry point the sharded
+        coordinator uses, so that per-quantum horizon stops never reach
+        the stop log but real stops (breakpoints, exits, errors) behave
+        exactly as if ``cont`` had produced them."""
         ev = self._translate(stop)
         for cb in list(self.stop_callbacks):
             cb(ev)

@@ -1,0 +1,64 @@
+"""Remote-endpoint stubs for cross-shard links.
+
+When a link is cut by the shard plan, the local shard still elaborates a
+real :class:`~repro.pedf.links.LinkInst` (same name, same capacity) — but
+one endpoint lives on another kernel.  A :class:`ProxyIface` stands in
+for it: just enough of the ``IfaceInst`` surface for link naming, the
+init-phase ``pedf_rt_bind`` registration and the graph reconstruction to
+work, with no behaviour (the pumps in
+:mod:`repro.sim.sharding.channel` move the tokens).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+
+class _RemoteResource:
+    """Placeholder execution resource of a remote actor."""
+
+    def __init__(self, name: str = "remote"):
+        self.name = name
+
+
+class ProxyActor:
+    """A remote actor as this shard sees it: a name, a kind, no body."""
+
+    def __init__(self, module: str, name: str, kind: str, shard: int):
+        self.module = module  # "host" for remote sources/sinks
+        self.name = name
+        self.kind = kind
+        self.shard = shard  # the shard that actually runs it
+        self.resource = _RemoteResource()
+        self.ifaces: Dict[str, "ProxyIface"] = {}
+        self.work_symbol = ""
+
+    @property
+    def qualname(self) -> str:
+        return f"{self.module}.{self.name}"
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<ProxyActor {self.qualname} @shard{self.shard}>"
+
+
+class ProxyIface:
+    """A remote interface endpoint; nameable and bindable, never driven."""
+
+    def __init__(self, actor: ProxyActor, name: str, direction: str, ctype):
+        self.actor = actor
+        self.name = name
+        self.direction = direction
+        self.ctype = ctype
+        self.link = None
+        actor.ifaces[name] = self
+
+    @property
+    def qualname(self) -> str:
+        return f"{self.actor.name}::{self.name}"
+
+    @property
+    def full_qualname(self) -> str:
+        return f"{self.actor.qualname}::{self.name}"
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<ProxyIface {self.qualname}>"

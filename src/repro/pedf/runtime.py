@@ -59,6 +59,7 @@ class PedfRuntime:
         platform: P2012Platform,
         program: ProgramDecl,
         config: Optional[RuntimeConfig] = None,
+        shard=None,  # Optional[repro.sim.sharding.ShardContext]
     ):
         self.scheduler = scheduler
         self.platform = platform
@@ -69,6 +70,9 @@ class PedfRuntime:
         self.console: List[str] = []
         self._next_seq = 1
         self.loaded = False
+        #: when set, only the units this shard owns elaborate; links the
+        #: plan cuts become proxy links wired to cross-shard channels
+        self.shard = shard
 
         compile_program(program)
         program.validate()
@@ -79,10 +83,16 @@ class PedfRuntime:
         self.sinks: List[SinkActor] = []
         # (module, ext iface) -> inner actor iface endpoint
         self._ext_alias: Dict[Tuple[str, str], IfaceInst] = {}
+        #: remote endpoints this shard references, keyed by qualname
+        self.proxy_actors: Dict[str, "ProxyActor"] = {}
         self._hook: Optional[DebugHook] = None
 
         self._elaborate_modules()
         self._resolve_bindings()
+
+    def _is_local(self, unit: str) -> bool:
+        """Does this runtime elaborate ``unit`` (module or host actor)?"""
+        return self.shard is None or self.shard.owns(unit)
 
     # ------------------------------------------------------------- plumbing
 
@@ -114,10 +124,16 @@ class PedfRuntime:
 
     # ----------------------------------------------------------- elaboration
 
+    def _module_cluster(self, index: int, mdecl: ModuleDecl) -> int:
+        return mdecl.cluster if mdecl.cluster is not None else index % len(self.platform.clusters)
+
     def _elaborate_modules(self) -> None:
         for i, mdecl in enumerate(self.decl.modules.values()):
+            if not self._is_local(mdecl.name):
+                continue  # lives on another shard; the index keeps the
+                # cluster assignment identical to a single-kernel run
             module = ModuleInst(mdecl, self)
-            cluster = mdecl.cluster if mdecl.cluster is not None else i % len(self.platform.clusters)
+            cluster = self._module_cluster(i, mdecl)
             ctl_pe = self.platform.allocate_pe(cluster)
             controller = ControllerInst(mdecl.controller, module, self, ctl_pe)
             if self.config.max_steps is not None:
@@ -169,13 +185,32 @@ class PedfRuntime:
                 self._make_link(src, dst, b.capacity, b.dma)
         # pass 3: program-level module-to-module links
         for b in self.decl.bindings:
-            src = self._ext_alias.get((b.src.actor, b.src.iface))
-            dst = self._ext_alias.get((b.dst.actor, b.dst.iface))
-            if src is None or dst is None:
-                raise PedfError(
-                    f"binding {b}: module interface not aliased to an inner actor"
-                )
-            self._make_link(src, dst, b.capacity, b.dma)
+            src_local = self._is_local(b.src.actor)
+            dst_local = self._is_local(b.dst.actor)
+            if not src_local and not dst_local:
+                continue  # entirely on other shards
+            src = self._ext_alias.get((b.src.actor, b.src.iface)) if src_local else None
+            dst = self._ext_alias.get((b.dst.actor, b.dst.iface)) if dst_local else None
+            if src_local and dst_local:
+                if src is None or dst is None:
+                    raise PedfError(
+                        f"binding {b}: module interface not aliased to an inner actor"
+                    )
+                self._make_link(src, dst, b.capacity, b.dma)
+            elif src_local:
+                if src is None:
+                    raise PedfError(
+                        f"binding {b}: module interface not aliased to an inner actor"
+                    )
+                proxy = self._remote_module_iface(b.dst.actor, b.dst.iface, "input", src.ctype)
+                self._make_cross_link(src, proxy, b.capacity, b.dma)
+            else:
+                if dst is None:
+                    raise PedfError(
+                        f"binding {b}: module interface not aliased to an inner actor"
+                    )
+                proxy = self._remote_module_iface(b.src.actor, b.src.iface, "output", dst.ctype)
+                self._make_cross_link(proxy, dst, b.capacity, b.dma)
 
     def _actor_iface(self, module: ModuleInst, ref: EndpointRef) -> IfaceInst:
         actor: Optional[ActorInst]
@@ -219,6 +254,121 @@ class PedfRuntime:
         self.links.append(link)
         return link
 
+    # ---------------------------------------------------- cross-shard links
+
+    def _proxy_actor(self, module: str, name: str, kind: str):
+        from .proxies import ProxyActor
+
+        qualname = f"{module}.{name}"
+        proxy = self.proxy_actors.get(qualname)
+        if proxy is None:
+            unit = name if module == "host" else module
+            proxy = ProxyActor(module, name, kind, self.shard.plan.shard_of(unit))
+            self.proxy_actors[qualname] = proxy
+        return proxy
+
+    def _remote_module_iface(self, module: str, ext_iface: str, direction: str, ctype):
+        """Proxy endpoint for a remote module's external interface,
+        resolved to the inner actor straight from the declaration — so
+        the link *name* matches the single-kernel elaboration exactly."""
+        from ..sim.sharding.plan import decl_actor_kind, decl_ext_endpoint
+        from .proxies import ProxyIface
+
+        inner = decl_ext_endpoint(self.decl, module, ext_iface)
+        kind = decl_actor_kind(self.decl, module, inner.actor)
+        proxy = self._proxy_actor(module, inner.actor, kind)
+        iface = proxy.ifaces.get(inner.iface)
+        if iface is None:
+            iface = ProxyIface(proxy, inner.iface, direction, ctype)
+        return iface
+
+    def _remote_host_iface(self, name: str, kind: str, direction: str, ctype):
+        """Proxy endpoint for a remote test-bench source or sink."""
+        from .proxies import ProxyIface
+
+        proxy = self._proxy_actor("host", name, kind)
+        iface_name = "out" if direction == "output" else "in"
+        iface = proxy.ifaces.get(iface_name)
+        if iface is None:
+            iface = ProxyIface(proxy, iface_name, direction, ctype)
+        return iface
+
+    def _cross_cost(self, local_iface, remote_unit: str, dma: Optional[bool]) -> LinkCost:
+        """Mirror :meth:`P2012Platform.link_cost` with the remote endpoint
+        represented by a stand-in resource of its declared placement.
+        Every shard builds the full platform, so the cost — and with it
+        the link's memory level and DMA assistance — matches the
+        single-kernel elaboration."""
+        if remote_unit.startswith("host:"):
+            remote_res = self.platform.host
+        else:
+            cluster = None
+            for i, (name, mdecl) in enumerate(self.decl.modules.items()):
+                if name == remote_unit:
+                    cluster = self._module_cluster(i, mdecl)
+                    break
+            if cluster is None:
+                raise PedfError(f"unknown remote unit {remote_unit!r}")
+            remote_res = self.platform.clusters[cluster].pes[0]
+        cost = self.platform.link_cost(local_iface.actor.resource, remote_res)
+        if dma is True and cost.dma is None:
+            cost = LinkCost(cost.memory, cost.push_cycles, cost.pop_cycles, self.platform.next_dma())
+        elif dma is False and cost.dma is not None:
+            cost = LinkCost(cost.memory, cost.push_cycles, cost.pop_cycles, None)
+        return cost
+
+    def _make_cross_link(
+        self,
+        src,
+        dst,
+        capacity: Optional[int],
+        dma: Optional[bool],
+        remote_unit: Optional[str] = None,
+    ) -> LinkInst:
+        """Elaborate one *cut* link: a normal local link (single-kernel
+        name and capacity) with a proxy at the remote end, plus a pump
+        wiring its FIFO to the shared cross-shard channel."""
+        from .proxies import ProxyIface
+
+        src_is_proxy = isinstance(src, ProxyIface)
+        dst_is_proxy = isinstance(dst, ProxyIface)
+        if src_is_proxy == dst_is_proxy:
+            raise PedfError("cross link needs exactly one proxy endpoint")
+        local = dst if src_is_proxy else src
+        remote = src if src_is_proxy else dst
+        if remote_unit is None:
+            remote_unit = (
+                f"host:{remote.actor.name}" if remote.actor.module == "host" else remote.actor.module
+            )
+
+        local_kind = getattr(local.actor, "kind", "host")
+        kind = "control" if "controller" in (local_kind, remote.actor.kind) else "data"
+        if capacity is None:
+            capacity = (
+                self.config.control_capacity if kind == "control" else self.config.default_capacity
+            )
+        cost = self._cross_cost(local, remote_unit, dma)
+        name = f"{src.qualname}->{dst.qualname}"
+        fifo = Fifo(self.scheduler, capacity=capacity, name=name)
+        link = LinkInst(name, fifo, local.ctype, kind, cost, capacity)
+        local.bind(link)
+        if src_is_proxy:
+            link.src = src
+            src.link = link
+        else:
+            link.dst = dst
+            dst.link = link
+        self.links.append(link)
+
+        channel = self.shard.channel(name, capacity)
+        if src_is_proxy:  # tokens arrive from the remote producer
+            channel.attach_consumer(self.scheduler, self.shard.shard_id)
+            self.shard.ingress.append((link, channel))
+        else:  # tokens leave towards the remote consumer
+            channel.attach_producer(self.scheduler, self.shard.shard_id)
+            self.shard.egress.append((link, channel))
+        return link
+
     # ----------------------------------------------------------- test bench
 
     def add_source(
@@ -230,15 +380,33 @@ class PedfRuntime:
         period: int = 0,
         capacity: Optional[int] = None,
     ) -> SourceActor:
-        """Attach a host-side source feeding a module's external input."""
+        """Attach a host-side source feeding a module's external input.
+
+        Shard-aware: on a sharded runtime the source elaborates only on
+        its own shard (cut feeds become proxy links); returns ``None``
+        when this shard hosts neither the source nor the module."""
         if self.loaded:
             raise PedfError("cannot add sources after load()")
-        target = self._ext_alias.get((module, ext_iface))
-        if target is None:
-            raise PedfError(f"no external interface {module}.{ext_iface}")
         mdecl = self.decl.modules[module].ifaces.get(ext_iface)
         if mdecl is None or mdecl.direction != "input":
             raise PedfError(f"{module}.{ext_iface} is not a module input")
+        src_local = self._is_local(name)
+        mod_local = self._is_local(module)
+        if not src_local and not mod_local:
+            return None
+        if src_local and not mod_local:
+            source = SourceActor(name, self, mdecl.ctype, values, period)
+            proxy = self._remote_module_iface(module, ext_iface, "input", mdecl.ctype)
+            self._make_cross_link(source.out, proxy, capacity, None)
+            self.sources.append(source)
+            return source
+        target = self._ext_alias.get((module, ext_iface))
+        if target is None:
+            raise PedfError(f"no external interface {module}.{ext_iface}")
+        if mod_local and not src_local:
+            proxy = self._remote_host_iface(name, "source", "output", mdecl.ctype)
+            self._make_cross_link(proxy, target, capacity, None, remote_unit=f"host:{name}")
+            return None
         source = SourceActor(name, self, mdecl.ctype, values, period)
         self._make_link(source.out, target, capacity, None)
         self.sources.append(source)
@@ -252,15 +420,32 @@ class PedfRuntime:
         expect: Optional[int] = None,
         capacity: Optional[int] = None,
     ) -> SinkActor:
-        """Attach a host-side sink draining a module's external output."""
+        """Attach a host-side sink draining a module's external output.
+
+        Shard-aware like :meth:`add_source`; returns ``None`` when this
+        shard hosts neither endpoint."""
         if self.loaded:
             raise PedfError("cannot add sinks after load()")
-        producer = self._ext_alias.get((module, ext_iface))
-        if producer is None:
-            raise PedfError(f"no external interface {module}.{ext_iface}")
         mdecl = self.decl.modules[module].ifaces.get(ext_iface)
         if mdecl is None or mdecl.direction != "output":
             raise PedfError(f"{module}.{ext_iface} is not a module output")
+        sink_local = self._is_local(name)
+        mod_local = self._is_local(module)
+        if not sink_local and not mod_local:
+            return None
+        if sink_local and not mod_local:
+            sink = SinkActor(name, self, mdecl.ctype, expect)
+            proxy = self._remote_module_iface(module, ext_iface, "output", mdecl.ctype)
+            self._make_cross_link(proxy, sink.inp, capacity, None)
+            self.sinks.append(sink)
+            return sink
+        producer = self._ext_alias.get((module, ext_iface))
+        if producer is None:
+            raise PedfError(f"no external interface {module}.{ext_iface}")
+        if mod_local and not sink_local:
+            proxy = self._remote_host_iface(name, "sink", "input", mdecl.ctype)
+            self._make_cross_link(producer, proxy, capacity, None, remote_unit=f"host:{name}")
+            return None
         sink = SinkActor(name, self, mdecl.ctype, expect)
         self._make_link(producer, sink.inp, capacity, None)
         self.sinks.append(sink)
@@ -326,6 +511,31 @@ class PedfRuntime:
                             "ctype": str(iface.ctype),
                         },
                     )
+            # remote endpoints register like local actors so the graph
+            # reconstruction resolves every BIND — each shard's model
+            # shows the full neighbourhood of its cut
+            for proxy in self.proxy_actors.values():
+                yield from self.api.call(
+                    SYM_REGISTER_ACTOR,
+                    {
+                        "module": proxy.module,
+                        "name": proxy.name,
+                        "kind": proxy.kind,
+                        "resource": proxy.resource.name,
+                        "work_symbol": "",
+                        "source": "",
+                    },
+                )
+                for iface in proxy.ifaces.values():
+                    yield from self.api.call(
+                        SYM_REGISTER_IFACE,
+                        {
+                            "actor": proxy.qualname,
+                            "iface": iface.name,
+                            "direction": iface.direction,
+                            "ctype": str(iface.ctype),
+                        },
+                    )
             for link in self.links:
                 yield from self.api.call(
                     SYM_BIND,
@@ -357,6 +567,19 @@ class PedfRuntime:
             host_actor.process = self.scheduler.spawn(
                 host_actor.body(), name=host_actor.qualname, owner=host_actor
             )
+        if self.shard is not None:
+            from ..sim.sharding.channel import egress_pump, ingress_pump
+
+            for link, channel in self.shard.egress:
+                self.scheduler.spawn(
+                    egress_pump(self.scheduler, link.fifo, channel),
+                    name=f"xshard.out@{link.name}",
+                )
+            for link, channel in self.shard.ingress:
+                self.scheduler.spawn(
+                    ingress_pump(self.scheduler, link.fifo, channel),
+                    name=f"xshard.in@{link.name}",
+                )
 
     # -------------------------------------------------------------- queries
 

@@ -209,6 +209,13 @@ class Scheduler:
     def frozen_processes(self) -> List[Process]:
         return [p for p in self.processes if p.state == ProcessState.FROZEN]
 
+    def next_event_time(self) -> Optional[int]:
+        """Earliest live timed-heap entry; None if nothing is scheduled.
+
+        Used by the sharded coordinator to compute the lookahead promise a
+        shard can extend to its peers after draining a quantum."""
+        return min((t for t, _, p in self._timed if p.alive), default=None)
+
     # ------------------------------------------------------------- internal
 
     def _make_ready(self, proc: Process) -> None:

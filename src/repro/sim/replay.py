@@ -109,6 +109,15 @@ class ReplayJournal:
         #: actor_sync events, so scheduling counters (starts issued, sync
         #: targets) are reconstructible from the journal.
         self.event_targets: Dict[int, str] = {}
+        #: event position -> canonical payload text, noted at push exits.
+        #: The raw material of the *sharded* determinism contract:
+        #: per-link ordered value streams are invariant under scheduling
+        #: (Kahn), so they — unlike global seqs or timestamps — can be
+        #: compared between a single-kernel run and a merge of per-shard
+        #: journals.  Keyed by event position, not token seq: each shard
+        #: numbers its own tokens, so seqs collide across journals while
+        #: positions cannot.
+        self.event_values: Dict[int, str] = {}
         self._total = 0
         self._cp_by_dispatch: Dict[int, Checkpoint] = {}
 
@@ -131,6 +140,12 @@ class ReplayJournal:
         """Remember which link carried token ``seq`` (first note wins)."""
         if seq is not None and link:
             self.token_links.setdefault(seq, link)
+
+    def note_event_value(self, index: int, value_text: Optional[str]) -> None:
+        """Remember the canonical payload text pushed by the event at
+        position ``index``.  Side table only — not fingerprint-compared."""
+        if value_text is not None:
+            self.event_values[index] = value_text
 
     def note_event_link(self, index: int, link: Optional[str]) -> None:
         """Remember which link a push/pop event (at position ``index``)
@@ -190,6 +205,24 @@ class ReplayJournal:
         """Global seq numbers of every recorded token production, in
         order — the run's determinism fingerprint."""
         return [rec.detail for rec in self.events.of_kind(kind) if rec.detail is not None]
+
+    def link_value_streams(self, kind: str = TOKEN_EVENT_KIND) -> Dict[str, List[str]]:
+        """Per-link ordered token payload streams (canonical texts).
+
+        Requires the ``event_links`` / ``event_values`` side tables (both
+        populated by :class:`~repro.core.replay.RunRecorder`).  This is
+        the shard-invariant projection of the journal: merging each
+        shard's streams reproduces the single-kernel streams exactly."""
+        streams: Dict[str, List[str]] = {}
+        for i, rec in enumerate(self.events, start=self._stored_base() + 1):
+            if rec.kind != kind:
+                continue
+            link = self.event_links.get(i)
+            value = self.event_values.get(i)
+            if link is None or value is None:
+                continue
+            streams.setdefault(link, []).append(value)
+        return streams
 
     def _stored_base(self) -> int:
         """Position of the oldest stored event, minus one."""

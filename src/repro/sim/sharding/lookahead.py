@@ -1,0 +1,171 @@
+"""Per-channel conservative lookahead from influence reachability.
+
+The naive null-message promise — "I will send nothing below
+``max(now + 1, min(next event, min incoming horizon))``" — treats a
+shard as one opaque blob: *any* input might instantly become *any*
+output.  On a shard hosting several unrelated subgraphs that assumption
+couples every egress channel to every ingress horizon, and two blocked
+shards end up ratcheting each other forward one cycle per round (the
+classic +1 crawl of conservative PDES).
+
+This module sharpens the promise per egress channel using what the
+elaborated graph already knows:
+
+* **influence graph** — a unit-level digraph (units = modules / host
+  actors) with an edge ``u -> v`` for every fully-local link from ``u``
+  to ``v``, plus the reverse edge when the link has *finite* capacity
+  (backpressure: a pop in ``v`` can unblock a producer in ``u``).
+  Unbounded links propagate influence strictly forward.
+* **reach(E)** — the units that can influence egress channel ``E``'s
+  producer, i.e. the reverse closure of the influence graph from it.
+* **deps(E)** — the ingress channels whose consumer unit lies in
+  ``reach(E)``: the only external inputs that can ever cause a send.
+
+The promise for ``E`` then ignores every event and horizon outside
+``reach(E)``/``deps(E)``.  A source feeding a remote pipeline promises
+its own next push time — not the +1 floor — so the consumer shard leaps
+whole inter-arrival gaps per round.  And when ``reach(E)`` holds no
+timed event, every dep is closed and drained, and nothing is staged,
+``E`` can *never* carry another token: it is closed outright, freeing
+the consumer shard of the bound entirely (quiescent-subgraph
+retirement, generalising the dead-producer rule).
+
+Timed events that cannot be attributed to a unit (platform engines, the
+init process) count toward every channel — conservative, never unsafe.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional, Set, Tuple
+
+from ..kernel import StopKind
+
+#: spawn-name prefixes of the cross-shard pump processes
+_INGRESS_PREFIX = "xshard.in@"
+_EGRESS_PREFIX = "xshard.out@"
+
+
+def unit_of_actor(actor) -> str:
+    """The partitioning unit an elaborated actor belongs to."""
+    module = getattr(actor, "module", None)
+    if module is None:
+        return actor.name  # host actor (source/sink)
+    name = getattr(module, "name", module)  # ModuleInst or plain string
+    return actor.name if name == "host" else name
+
+
+class _ChannelPlan:
+    __slots__ = ("link", "channel", "reach", "deps", "dep_links")
+
+    def __init__(self, link, channel, reach: Set[str], deps: List[Any]):
+        self.link = link  # producer-side staging LinkInst
+        self.channel = channel
+        self.reach = reach  # units that can influence the producer
+        self.deps = deps  # ingress CrossShardChannels feeding reach
+
+
+class ShardLookahead:
+    """Computes per-egress promises / closures for one shard."""
+
+    def __init__(self, runtime, ctx):
+        self.ctx = ctx
+        cross_links = {id(link) for link, _ in ctx.egress}
+        cross_links.update(id(link) for link, _ in ctx.ingress)
+        edges: Dict[str, Set[str]] = {}
+        for link in runtime.links:
+            if id(link) in cross_links:
+                continue
+            src_actor = getattr(link.src, "actor", None)
+            dst_actor = getattr(link.dst, "actor", None)
+            if src_actor is None or dst_actor is None:
+                continue
+            u, v = unit_of_actor(src_actor), unit_of_actor(dst_actor)
+            edges.setdefault(u, set()).add(v)
+            if link.capacity and link.capacity > 0:
+                # finite fifo: consumer pops can unblock the producer
+                edges.setdefault(v, set()).add(u)
+
+        reverse: Dict[str, Set[str]] = {}
+        for u, vs in edges.items():
+            for v in vs:
+                reverse.setdefault(v, set()).add(u)
+
+        self.plans: List[_ChannelPlan] = []
+        for link, channel in ctx.egress:
+            u_e = unit_of_actor(link.src.actor)
+            reach = self._closure(u_e, reverse)
+            deps = [
+                ich
+                for ilink, ich in ctx.ingress
+                if unit_of_actor(ilink.dst.actor) in reach
+            ]
+            self.plans.append(_ChannelPlan(link, channel, reach, deps))
+
+    @staticmethod
+    def _closure(start: str, reverse: Dict[str, Set[str]]) -> Set[str]:
+        seen = {start}
+        frontier = [start]
+        while frontier:
+            u = frontier.pop()
+            for p in reverse.get(u, ()):
+                if p not in seen:
+                    seen.add(p)
+                    frontier.append(p)
+        return seen
+
+    # ------------------------------------------------------------- the rules
+
+    def _event_matters(self, proc, plan: _ChannelPlan, dep_names: Set[str]) -> bool:
+        owner = getattr(proc, "owner", None)
+        if owner is not None and hasattr(owner, "module"):
+            return unit_of_actor(owner) in plan.reach
+        name = getattr(proc, "name", "")
+        if name.startswith(_INGRESS_PREFIX):
+            # a pump mid-delivery: matters iff its channel feeds reach(E)
+            return name[len(_INGRESS_PREFIX):] in dep_names
+        if name.startswith(_EGRESS_PREFIX):
+            return False  # egress pumps never hold timed events
+        return True  # platform / unknown: conservative
+
+    def assess(self, scheduler, stop_kind) -> List[Tuple[Any, Optional[int]]]:
+        """Per open egress channel: ``(channel, promise)`` or
+        ``(channel, None)`` when the channel can be closed for good."""
+        now = scheduler.now
+        quantum_drained = stop_kind in (StopKind.MAX_TIME, StopKind.DEADLOCK)
+        timed = [(t, p) for t, _, p in scheduler._timed if p.alive]
+        out: List[Tuple[Any, Optional[int]]] = []
+        for plan in self.plans:
+            ch = plan.channel
+            if ch.closed:
+                continue
+            dep_names = {d.name for d in plan.deps}
+            producer = getattr(getattr(plan.link, "src", None), "actor", None)
+            producer_proc = getattr(producer, "process", None)
+            staged = not plan.link.fifo.empty
+            if (
+                producer_proc is not None
+                and not producer_proc.alive
+                and not staged
+            ):
+                # the only process that pushes into the staging link is
+                # gone and the staging fifo is drained: nothing left
+                out.append((ch, None))
+                continue
+            pending = staged or ch.full or any(d.queue for d in plan.deps)
+            if not quantum_drained or pending:
+                # mid-quantum stop, or deliverable work on the doorstep:
+                # sends at the current cycle are still possible
+                out.append((ch, now))
+                continue
+            candidates = [
+                t for t, p in timed if self._event_matters(p, plan, dep_names)
+            ]
+            open_deps = [d.horizon for d in plan.deps if not d.closed]
+            candidates.extend(open_deps)
+            if candidates:
+                out.append((ch, max(now + 1, min(candidates))))
+            else:
+                # no timed event can reach the producer, every dep is
+                # closed and drained, nothing staged: frozen subgraph
+                out.append((ch, None))
+        return out

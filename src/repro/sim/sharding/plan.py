@@ -1,0 +1,192 @@
+"""Graph partitioning into shard islands, cut only at FIFO links.
+
+A *unit* is the smallest indivisible piece of a PEDF program the
+partitioner places: one module (its controller plus all of its filters —
+they share intra-module control links that must never cross a shard) or
+one host actor (a test-bench source/sink).  Islands are groups of units;
+the default heuristic keys islands off the P2012 cluster mapping, because
+the cluster is both the locality domain of the hardware (L1 links stay
+inside it) and the axis along which applications already declare their
+parallelism (``ModuleDecl.cluster``).
+
+The assignment is user-overridable per unit, so a test can deliberately
+split co-clustered modules across shards to exercise the cross-shard
+machinery on fabric-to-fabric links.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ...errors import SimulationError
+
+HOST_UNIT_PREFIX = "host."
+
+
+@dataclass(frozen=True)
+class HostSpec:
+    """A test-bench host actor the partitioner must place.
+
+    ``direction`` is the host's role: a ``"source"`` feeds ``module``'s
+    external input ``ext_iface``; a ``"sink"`` drains its output.
+    """
+
+    name: str
+    module: str
+    ext_iface: str
+    direction: str  # "source" | "sink"
+
+
+@dataclass
+class ShardPlan:
+    """A complete unit -> shard assignment."""
+
+    n_shards: int
+    assignment: Dict[str, int] = field(default_factory=dict)
+
+    def shard_of(self, unit: str) -> int:
+        try:
+            return self.assignment[unit]
+        except KeyError:
+            raise SimulationError(f"shard plan has no unit {unit!r}")
+
+    def units_of(self, shard: int) -> List[str]:
+        return sorted(u for u, s in self.assignment.items() if s == shard)
+
+    def describe(self) -> List[str]:
+        lines = []
+        for shard in range(self.n_shards):
+            units = self.units_of(shard)
+            lines.append(f"shard {shard}: {', '.join(units) if units else '(empty)'}")
+        return lines
+
+
+def partition_program(
+    program,
+    n_shards: int,
+    *,
+    hosts: Sequence[HostSpec] = (),
+    override: Optional[Mapping[str, int]] = None,
+) -> ShardPlan:
+    """Island-partition a :class:`~repro.pedf.decls.ProgramDecl`.
+
+    Heuristic: modules sharing a P2012 cluster form one island (their
+    links are L1-local and cheap — cutting them would put the chattiest
+    links on the slowest path); host actors form a final island of their
+    own (host links already cross the L3/DMA boundary, so they are the
+    natural cut points).  Islands are dealt to shards round-robin.
+
+    ``override`` maps unit names (module name or host actor name) to
+    explicit shard indices and wins over the heuristic.
+    """
+    if n_shards < 1:
+        raise SimulationError(f"need at least one shard, got {n_shards}")
+    # dense island ids: distinct declared clusters, in sorted order
+    module_clusters: Dict[str, int] = {}
+    for i, (name, mdecl) in enumerate(program.modules.items()):
+        module_clusters[name] = mdecl.cluster if mdecl.cluster is not None else i
+    distinct = sorted(set(module_clusters.values()))
+    island_of_cluster = {c: i for i, c in enumerate(distinct)}
+    host_island = len(distinct)
+
+    assignment: Dict[str, int] = {}
+    for name, cluster in module_clusters.items():
+        assignment[name] = island_of_cluster[cluster] % n_shards
+    for spec in hosts:
+        assignment[spec.name] = host_island % n_shards
+    if override:
+        for unit, shard in override.items():
+            if unit not in assignment:
+                raise SimulationError(f"override names unknown unit {unit!r}")
+            if not 0 <= shard < n_shards:
+                raise SimulationError(f"override shard {shard} out of range for {unit!r}")
+            assignment[unit] = shard
+    return ShardPlan(n_shards=n_shards, assignment=assignment)
+
+
+# --------------------------------------------------------- cross-link census
+
+
+@dataclass(frozen=True)
+class CrossLink:
+    """One FIFO link whose endpoints live on different shards."""
+
+    name: str  # identical to the single-kernel LinkInst name
+    src_unit: str
+    dst_unit: str
+    src_shard: int
+    dst_shard: int
+    capacity: int
+
+
+def decl_ext_endpoint(program, module_name: str, ext_iface: str):
+    """Resolve a module's external interface to the inner actor endpoint
+    it is aliased to, straight from the declaration (no elaboration).
+
+    Returns an ``EndpointRef`` — the key property is that the *name* of a
+    cross-shard link is computable on every shard without elaborating the
+    remote side, so link names (and therefore journal streams) match the
+    single-kernel run exactly.
+    """
+    mdecl = program.modules.get(module_name)
+    if mdecl is None:
+        raise SimulationError(f"no module {module_name!r}")
+    for b in mdecl.bindings:
+        if b.src.actor == "this" and b.src.iface == ext_iface:
+            return b.dst
+        if b.dst.actor == "this" and b.dst.iface == ext_iface:
+            return b.src
+    raise SimulationError(f"{module_name}.{ext_iface} is not aliased to an inner actor")
+
+
+def decl_actor_kind(program, module_name: str, actor_name: str) -> str:
+    mdecl = program.modules[module_name]
+    if mdecl.controller is not None and mdecl.controller.name == actor_name:
+        return "controller"
+    if actor_name in mdecl.filters:
+        return "filter"
+    raise SimulationError(f"no actor {module_name}.{actor_name}")
+
+
+def enumerate_cross_links(
+    program,
+    plan: ShardPlan,
+    *,
+    hosts: Sequence[HostSpec] = (),
+    default_capacity: int = 16,
+    host_capacities: Optional[Mapping[str, Optional[int]]] = None,
+) -> List[CrossLink]:
+    """List every link the plan cuts, with single-kernel link names.
+
+    Used by the process-pool backend to pre-create one pipe per cut link,
+    and by ``info shards`` / ``dot`` to describe the cut.
+    """
+    host_capacities = host_capacities or {}
+    out: List[CrossLink] = []
+    for b in program.bindings:
+        s_shard = plan.shard_of(b.src.actor)
+        d_shard = plan.shard_of(b.dst.actor)
+        if s_shard == d_shard:
+            continue
+        src_ep = decl_ext_endpoint(program, b.src.actor, b.src.iface)
+        dst_ep = decl_ext_endpoint(program, b.dst.actor, b.dst.iface)
+        name = f"{src_ep.actor}::{src_ep.iface}->{dst_ep.actor}::{dst_ep.iface}"
+        cap = b.capacity if b.capacity is not None else default_capacity
+        out.append(CrossLink(name, b.src.actor, b.dst.actor, s_shard, d_shard, cap))
+    for spec in hosts:
+        h_shard = plan.shard_of(spec.name)
+        m_shard = plan.shard_of(spec.module)
+        if h_shard == m_shard:
+            continue
+        inner = decl_ext_endpoint(program, spec.module, spec.ext_iface)
+        cap = host_capacities.get(spec.name)
+        if cap is None:
+            cap = default_capacity
+        if spec.direction == "source":
+            name = f"{spec.name}::out->{inner.actor}::{inner.iface}"
+            out.append(CrossLink(name, spec.name, spec.module, h_shard, m_shard, cap))
+        else:
+            name = f"{inner.actor}::{inner.iface}->{spec.name}::in"
+            out.append(CrossLink(name, spec.module, spec.name, m_shard, h_shard, cap))
+    return out

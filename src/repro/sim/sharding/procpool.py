@@ -1,0 +1,414 @@
+"""Process-pool shard backend: one OS process per shard, fork + pipes.
+
+The in-process :class:`~repro.sim.sharding.ShardedScheduler` proves the
+determinism contract but cannot buy wall-clock time — every shard kernel
+still shares one interpreter lock.  This backend runs the *same*
+conservative-lookahead protocol bulk-synchronously across forked
+workers: each round the parent computes every shard's horizon bound,
+ships pending cross-shard tokens + null messages down a pipe, lets all
+workers crunch their quanta **in parallel**, then folds the replies
+(promises, forwarded tokens, retirements) back into the channel state.
+
+Token delivery is end-of-round rather than live, which can deliver a
+token one quantum later than the in-process backend would.  Kahn
+determinism makes that invisible to the canonical fingerprint: per-link
+token *value* streams depend only on the program, never on arrival
+times, so ``fingerprint()`` here is byte-identical to the single-kernel
+and in-process-sharded runs (gated by tests and the CI smoke job).
+
+Fork-only by design: shard sessions hold live generator coroutines,
+which cannot be pickled for a spawn-style start — but a forked child
+inherits the parent's code and builds its own shard from the plan, so
+nothing but plain data ever crosses a pipe.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import time
+import traceback
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from ...errors import SimulationError
+from ..kernel import StopKind
+from .channel import INFINITE_TIME, ShardContext
+from .lookahead import ShardLookahead
+from .merge import PushStreamRecorder, fingerprint_streams, merge_link_streams
+from .plan import ShardPlan
+
+#: rounds with no clock, horizon or token movement before declaring a
+#: protocol stall (should be unreachable: promises carry a +1 floor)
+STALL_LIMIT = 8
+
+
+# ---------------------------------------------------------------- worker side
+
+
+def _shard_quantum(shard_id, session, ingress, egress, lookahead, payload):
+    """Apply one round's inputs, run the kernel, report the outcome."""
+    sched = session.dbg.scheduler
+    for name, h in payload["horizons"].items():
+        ingress[name].commit_horizon(h)
+    for name in payload["close"]:
+        if name in ingress:
+            ingress[name].close()
+    for name, toks in payload["tokens"].items():
+        ch = ingress[name]
+        for t, token in toks:
+            ch.send(t, token)
+
+    bound = payload["bound"]
+    until = None if bound is None else max(bound, sched.now)
+    stop = sched.run(until=until)
+
+    if stop.kind == StopKind.SUSPENDED:
+        raise SimulationError(
+            "debugger suspend inside a process-pool worker: interactive "
+            "stops need the in-process sharded backend"
+        )
+    if stop.kind in (StopKind.PROCESS_ERROR, StopKind.MAX_DISPATCHES):
+        raise SimulationError(f"shard {shard_id} kernel stop: {stop}")
+
+    open_ingress = [ch for ch in ingress.values() if not ch.closed]
+    drained = all(not ch.queue for ch in open_ingress)
+    if (
+        stop.kind == StopKind.DEADLOCK
+        and bound is not None
+        and bound > sched.now
+        and drained
+    ):
+        # nothing local schedulable, nothing below the bound can arrive:
+        # free time advance (collapses the +1 horizon crawl)
+        sched.now = bound
+
+    out_tokens = {}
+    for name, ch in egress.items():
+        if ch.queue:
+            batch = []
+            while ch.queue:
+                t = ch.head_time()
+                batch.append((t, ch.pop()))
+            out_tokens[name] = batch
+
+    # per-channel reachability-refined promises; None = close for good
+    retired = []
+    promises = {}
+    for ch, promise in lookahead.assess(sched, stop.kind):
+        if promise is None:
+            ch.close()
+            retired.append(ch.name)
+        else:
+            promises[ch.name] = promise
+
+    return {
+        "stop": stop.kind.value,
+        "now": sched.now,
+        "next_event": sched.next_event_time(),
+        "dispatches": sched.dispatch_count,
+        "promises": promises,
+        "out_tokens": out_tokens,
+        "retired": retired,
+        "ingress_empty": drained and all(not ch.queue for ch in ingress.values()),
+    }
+
+
+def _worker_main(conn, plan: ShardPlan, shard_id: int, builder) -> None:
+    try:
+        ctx = ShardContext(shard_id, plan, {})
+        session = builder(ctx)
+        recorder = PushStreamRecorder(session.dbg.runtime)
+        session.dbg.load()
+        lookahead = ShardLookahead(session.dbg.runtime, ctx)
+        ingress = {ch.name: ch for _, ch in ctx.ingress}
+        egress = {ch.name: ch for _, ch in ctx.egress}
+        conn.send(("ready", {"ingress": sorted(ingress), "egress": sorted(egress)}))
+        # CPU seconds spent on shard work — process_time so a timeshared
+        # (fewer-cores-than-shards) box still reports each worker's own
+        # compute, the basis of the critical-path speedup metric
+        busy = 0.0
+        while True:
+            cmd, payload = conn.recv()
+            if cmd == "quantum":
+                t0 = time.process_time()
+                reply = _shard_quantum(
+                    shard_id, session, ingress, egress, lookahead, payload
+                )
+                busy += time.process_time() - t0
+                conn.send(("stopped", reply))
+            elif cmd == "finalize":
+                t0 = time.process_time()
+                for ch in ingress.values():
+                    ch.close()
+                stop = session.dbg.scheduler.run()
+                busy += time.process_time() - t0
+                outcome = session.dbg.runtime.classify_stop(stop)
+                sinks = {
+                    a.name: [t.value for t in a.received]
+                    for a in session.dbg.runtime.all_actors()
+                    if hasattr(a, "received")
+                }
+                conn.send(
+                    (
+                        "final",
+                        {
+                            "outcome": outcome,
+                            "dispatches": session.dbg.scheduler.dispatch_count,
+                            "now": session.dbg.scheduler.now,
+                            "streams": dict(recorder.streams),
+                            "sinks": sinks,
+                            "busy": busy,
+                        },
+                    )
+                )
+            elif cmd == "exit":
+                return
+            else:  # pragma: no cover - protocol misuse
+                raise SimulationError(f"unknown worker command {cmd!r}")
+    except BaseException:
+        try:
+            conn.send(("error", traceback.format_exc()))
+        except Exception:  # pragma: no cover - pipe already gone
+            pass
+
+
+# ---------------------------------------------------------------- parent side
+
+
+class _ChannelState:
+    """Parent-side mirror of one cross-shard channel."""
+
+    __slots__ = ("name", "horizon", "closed", "pending", "src_shard", "dst_shard")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.horizon = 0
+        self.closed = False
+        self.pending: List[Tuple[int, Any]] = []  # undelivered (time, token)
+        self.src_shard: Optional[int] = None
+        self.dst_shard: Optional[int] = None
+
+
+class ProcPoolRun:
+    """Coordinate one sharded execution across forked worker processes.
+
+    ``builder(ctx)`` runs *inside each worker* (inherited through fork,
+    never pickled) and must return a per-shard ``DataflowSession`` built
+    with ``shard=ctx`` — exactly the builder the in-process
+    :class:`~repro.core.shards.ShardedRun` takes.
+    """
+
+    def __init__(self, plan: ShardPlan, builder: Callable[[ShardContext], Any]):
+        self.plan = plan
+        self.builder = builder
+        self.rounds = 0
+        self.outcomes: Dict[int, str] = {}
+        self.sinks: Dict[str, List[Any]] = {}
+        self.dispatch_counts: Dict[int, int] = {}
+        self.busy_times: Dict[int, float] = {}  # per-shard in-worker seconds
+        self._streams: Dict[str, List[str]] = {}
+        self._collected: set = set()
+        self._done = False
+        self._ctx = mp.get_context("fork")
+        self._workers: List[Any] = []
+        self._conns: List[Any] = []
+        self._channels: Dict[str, _ChannelState] = {}
+        self._ingress_of: Dict[int, List[str]] = {}
+        self._egress_of: Dict[int, List[str]] = {}
+
+    # ------------------------------------------------------------- lifecycle
+
+    def _start(self) -> None:
+        for sid in range(self.plan.n_shards):
+            parent_conn, child_conn = self._ctx.Pipe()
+            proc = self._ctx.Process(
+                target=_worker_main,
+                args=(child_conn, self.plan, sid, self.builder),
+                daemon=True,
+            )
+            proc.start()
+            child_conn.close()
+            self._workers.append(proc)
+            self._conns.append(parent_conn)
+        for sid, conn in enumerate(self._conns):
+            kind, info = self._recv(sid)
+            if kind != "ready":  # pragma: no cover - worker died in build
+                raise SimulationError(f"shard {sid} failed to start: {info}")
+            self._ingress_of[sid] = info["ingress"]
+            self._egress_of[sid] = info["egress"]
+            for name in info["ingress"]:
+                self._channel(name).dst_shard = sid
+            for name in info["egress"]:
+                self._channel(name).src_shard = sid
+
+    def _channel(self, name: str) -> _ChannelState:
+        st = self._channels.get(name)
+        if st is None:
+            st = _ChannelState(name)
+            self._channels[name] = st
+        return st
+
+    def _recv(self, sid: int):
+        kind, payload = self._conns[sid].recv()
+        if kind == "error":
+            self.shutdown()
+            raise SimulationError(f"shard {sid} worker failed:\n{payload}")
+        return kind, payload
+
+    def shutdown(self) -> None:
+        for conn in self._conns:
+            try:
+                conn.send(("exit", None))
+            except Exception:
+                pass
+        for proc in self._workers:
+            proc.join(timeout=5)
+            if proc.is_alive():  # pragma: no cover - hung worker
+                proc.terminate()
+        self._conns, self._workers = [], []
+
+    # ------------------------------------------------------------- execution
+
+    def _bound_for(self, sid: int) -> Optional[int]:
+        horizons = [
+            self._channels[name].horizon
+            for name in self._ingress_of[sid]
+            if not self._channels[name].closed
+        ]
+        if not horizons:
+            return None
+        b = min(horizons)
+        return None if b >= INFINITE_TIME else b
+
+    def run(self) -> str:
+        """Run to completion; returns the overall outcome ("exited" ...)."""
+        self._start()
+        try:
+            return self._drive()
+        finally:
+            self.shutdown()
+
+    def _drive(self) -> str:
+        n = self.plan.n_shards
+        active = set(range(n))
+        reports: Dict[int, dict] = {}
+        stall = 0
+        while active:
+            for sid in sorted(active):
+                tokens = {}
+                horizons = {}
+                close = []
+                for name in self._ingress_of[sid]:
+                    st = self._channels[name]
+                    if st.pending:
+                        tokens[name] = st.pending
+                        st.pending = []
+                    horizons[name] = st.horizon
+                    if st.closed:
+                        close.append(name)
+                self._conns[sid].send(
+                    (
+                        "quantum",
+                        {
+                            "bound": self._bound_for(sid),
+                            "tokens": tokens,
+                            "horizons": horizons,
+                            "close": close,
+                        },
+                    )
+                )
+            progressed = bool(
+                any(st.pending for st in self._channels.values())
+            )
+            for sid in sorted(active):
+                kind, rep = self._recv(sid)
+                prev = reports.get(sid)
+                reports[sid] = rep
+                if prev is None or rep["now"] > prev["now"] or rep["dispatches"] > prev["dispatches"]:
+                    progressed = True
+                for name, batch in rep["out_tokens"].items():
+                    self._channels[name].pending.extend(batch)
+                    progressed = True
+                for name in rep["retired"]:
+                    self._channels[name].closed = True
+                    self._channels[name].horizon = INFINITE_TIME
+                    progressed = True
+                for name, h in rep["promises"].items():
+                    st = self._channels[name]
+                    if not st.closed and h > st.horizon:
+                        st.horizon = h
+                        progressed = True
+                if rep["stop"] == StopKind.EXHAUSTED.value:
+                    active.discard(sid)
+                    self.outcomes[sid] = "exited"
+                    self.dispatch_counts[sid] = rep["dispatches"]
+                    for name in self._egress_of[sid]:
+                        self._channels[name].closed = True
+                        self._channels[name].horizon = INFINITE_TIME
+                    progressed = True
+            self.rounds += 1
+            if active and self._quiet(active, reports):
+                self._finalize(sorted(active))
+                active = set()
+                break
+            stall = 0 if progressed else stall + 1
+            if stall >= STALL_LIMIT:  # pragma: no cover - protocol bug net
+                self.shutdown()
+                raise SimulationError(
+                    f"process-pool protocol stall after {self.rounds} rounds"
+                )
+        self._collect_remaining()
+        self._done = True
+        if any(o == "error" for o in self.outcomes.values()):
+            return "error"
+        if any(o == "deadlock" for o in self.outcomes.values()):
+            return "deadlock"
+        return "exited"
+
+    def _quiet(self, active, reports) -> bool:
+        for sid in active:
+            rep = reports.get(sid)
+            if rep is None or rep["stop"] != StopKind.DEADLOCK.value:
+                return False
+            if rep["next_event"] is not None or not rep["ingress_empty"]:
+                return False
+        # tokens bound for a finished shard can never be consumed — the
+        # single-kernel analogue is a token parked on an unread link
+        return not any(
+            st.pending for st in self._channels.values() if st.dst_shard in active
+        )
+
+    def _finalize(self, sids) -> None:
+        for sid in sids:
+            self._conns[sid].send(("finalize", None))
+        for sid in sids:
+            kind, rep = self._recv(sid)
+            self.outcomes[sid] = rep["outcome"]
+            self.dispatch_counts[sid] = rep["dispatches"]
+            self.busy_times[sid] = rep["busy"]
+            self.sinks.update(rep["sinks"])
+            self._merge_streams(sid, rep["streams"])
+
+    def _collect_remaining(self) -> None:
+        """Fetch streams from workers that exited early (EXHAUSTED)."""
+        for sid in range(self.plan.n_shards):
+            if sid in self.outcomes and sid not in self._collected:
+                self._conns[sid].send(("finalize", None))
+                kind, rep = self._recv(sid)
+                self.sinks.update(rep["sinks"])
+                self.dispatch_counts[sid] = rep["dispatches"]
+                self.busy_times[sid] = rep["busy"]
+                self._merge_streams(sid, rep["streams"])
+
+    def _merge_streams(self, sid: int, streams: Dict[str, List[str]]) -> None:
+        self._streams = merge_link_streams([self._streams, streams])
+        self._collected.add(sid)
+
+    # ----------------------------------------------------------- determinism
+
+    def link_streams(self) -> Dict[str, List[str]]:
+        if not self._done:
+            raise SimulationError("process-pool run has not completed")
+        return self._streams
+
+    def fingerprint(self) -> str:
+        return fingerprint_streams(self.link_streams())

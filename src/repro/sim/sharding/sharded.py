@@ -1,0 +1,284 @@
+"""The sharded scheduler: conservative-lookahead coordination of kernels.
+
+One :class:`~repro.sim.kernel.Scheduler` per shard; the coordinator
+round-robins over them, bounding each quantum by the *minimum incoming
+channel horizon* — the null-message protocol of conservative parallel
+discrete-event simulation.  A shard may freely dispatch any event at or
+below that bound: every cross-shard token that could affect it is either
+already queued (and delivered by the ingress pump at its send time) or
+promised to carry a later timestamp.
+
+After a quantum drains (``MAX_TIME`` at the bound, or a kernel
+``DEADLOCK`` meaning "blocked until something external arrives"), the
+shard publishes a new horizon on each outgoing channel, computed by
+:class:`~repro.sim.sharding.lookahead.ShardLookahead` from the events
+and ingress horizons that can actually *reach* that channel's producer
+through the local influence graph::
+
+    promise(E) = max(now + 1,
+                     min(next event in reach(E), min horizon of deps(E)))
+
+The ``+1`` floor is the minimum lookahead: links always cost at least
+one cycle, so even a zero-delay feedback loop (RLE's host->codec->host
+ring) makes one cycle of global progress per round instead of
+deadlocking the protocol.  When reach(E) holds no event and every dep
+is closed and drained, E itself is closed — the consumer shard runs
+unbounded from then on.
+
+Termination cannot ride on horizons alone (they would crawl forever at
++1 on a truly deadlocked program), so the coordinator detects *global
+quiescence* — every active shard kernel-blocked, every channel empty,
+every timed heap empty — then closes all channels, lets the ingress pumps
+retire, and classifies each shard's final stop through its runtime
+(quiescent DEADLOCK = exited, the same rule the single-kernel debugger
+applies).
+
+Determinism: each shard's dispatch sequence is a pure function of its
+quantum-bound sequence, which is a pure function of the plan and the
+program.  A debugger ``Suspend`` in one shard returns control mid-pass
+with every peer already *stopped at or before the barrier it would have
+reached anyway*; resuming re-enters the very same quantum with the very
+same bound, so breakpoints never perturb dispatch counts, journals or
+fingerprints — the single-kernel stop-invariance contract, shard by
+shard.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from ..kernel import Scheduler, StopKind, StopReason
+from .channel import INFINITE_TIME, CrossShardChannel, ShardContext
+from .lookahead import ShardLookahead
+
+
+@dataclass
+class Shard:
+    """One shard's kernel + elaborated runtime + context."""
+
+    index: int
+    scheduler: Scheduler
+    runtime: Any  # PedfRuntime
+    ctx: ShardContext
+    dbg: Any = None  # optional Debugger
+    finished: bool = False
+    outcome: str = ""  # "", "exited", "deadlock", "error"
+    last_stop: Optional[StopReason] = None
+    lookahead: Optional[ShardLookahead] = None  # built on first publish
+
+    @property
+    def now(self) -> int:
+        return self.scheduler.now
+
+    @property
+    def dispatch_count(self) -> int:
+        return self.scheduler.dispatch_count
+
+
+@dataclass
+class ShardedStop:
+    """Why :meth:`ShardedScheduler.run` returned."""
+
+    kind: str  # "suspended" | "exited" | "deadlock" | "error"
+    shard: Optional[int] = None  # the shard that triggered the stop
+    event: Any = None  # the shard debugger's StopEvent, if one exists
+    detail: str = ""
+
+
+class ShardedScheduler:
+    """Drives N shard kernels under the conservative horizon protocol."""
+
+    def __init__(self, shards: List[Shard], channels: Dict[str, CrossShardChannel]):
+        self.shards = list(shards)
+        self.channels = dict(channels)
+        self.rounds = 0
+        self._cursor = 0  # shard index the next pass starts at (resume point)
+        self.result: Optional[ShardedStop] = None
+
+    # -------------------------------------------------------------- queries
+
+    def _incoming(self, shard: Shard) -> List[CrossShardChannel]:
+        return [ch for _, ch in shard.ctx.ingress]
+
+    def _outgoing(self, shard: Shard) -> List[CrossShardChannel]:
+        return [ch for _, ch in shard.ctx.egress]
+
+    def bound_for(self, shard: Shard) -> Optional[int]:
+        """Inclusive time bound this shard may advance to; None = free."""
+        horizons = [ch.horizon for ch in self._incoming(shard) if not ch.closed]
+        if not horizons:
+            return None
+        b = min(horizons)
+        return None if b >= INFINITE_TIME else b
+
+    # ------------------------------------------------------------- protocol
+
+    def _publish_horizons(self, shard: Shard, stop: StopReason) -> bool:
+        """Null messages: per-channel reachability-refined promises."""
+        if shard.lookahead is None:
+            shard.lookahead = ShardLookahead(shard.runtime, shard.ctx)
+        progressed = False
+        for ch, promise in shard.lookahead.assess(shard.scheduler, stop.kind):
+            if promise is None:
+                ch.close()
+                progressed = True
+            elif ch.commit_horizon(promise):
+                progressed = True
+        return progressed
+
+    def _close_outgoing(self, shard: Shard) -> None:
+        for ch in self._outgoing(shard):
+            ch.close()
+
+    def _globally_quiet(self) -> bool:
+        """No shard can ever dispatch again without external input."""
+        for shard in self.shards:
+            if shard.finished:
+                continue
+            stop = shard.last_stop
+            if stop is None or stop.kind != StopKind.DEADLOCK:
+                return False
+            if shard.scheduler.next_event_time() is not None:
+                return False
+        return all(not ch.queue for ch in self.channels.values())
+
+    # ------------------------------------------------------------ execution
+
+    def run(self) -> ShardedStop:
+        """Advance all shards until a debugger stop or global termination.
+
+        Re-entrant: after a ``suspended`` return, calling ``run`` again
+        resumes the interrupted quantum (same shard, same bound)."""
+        shards = self.shards
+        n = len(shards)
+        while True:
+            progressed = False
+            start = self._cursor
+            for k in range(n):
+                idx = (start + k) % n
+                shard = shards[idx]
+                self._cursor = idx  # a mid-pass return resumes right here
+                if shard.finished:
+                    continue
+                bound = self.bound_for(shard)
+                before = (shard.scheduler.dispatch_count, shard.scheduler.now)
+                stop = shard.scheduler.run(until=bound)
+                shard.last_stop = stop
+                if stop.kind == StopKind.SUSPENDED:
+                    # peers are parked at (or before) their own barriers:
+                    # a consistent global pause, by construction
+                    return self._absorb(shard, stop, "suspended")
+                if stop.kind in (StopKind.PROCESS_ERROR, StopKind.MAX_DISPATCHES):
+                    shard.finished = True
+                    shard.outcome = "error"
+                    self._close_outgoing(shard)
+                    return self._absorb(shard, stop, "error")
+                if stop.kind == StopKind.EXHAUSTED:
+                    shard.finished = True
+                    shard.outcome = "exited"
+                    self._close_outgoing(shard)
+                    progressed = True
+                    continue
+                # MAX_TIME or DEADLOCK: publish the new promise
+                if (
+                    stop.kind == StopKind.DEADLOCK
+                    and bound is not None
+                    and bound > shard.scheduler.now
+                    and all(not ch.queue for ch in self._incoming(shard))
+                ):
+                    # nothing local is schedulable and no peer token can
+                    # arrive below the bound: free time advance (the same
+                    # jump the kernel's MAX_TIME path performs), which
+                    # collapses the +1 horizon crawl between real events
+                    shard.scheduler.now = bound
+                if self._publish_horizons(shard, stop):
+                    progressed = True
+                if (shard.scheduler.dispatch_count, shard.scheduler.now) != before:
+                    progressed = True
+            self._cursor = 0
+            self.rounds += 1
+            if all(s.finished for s in shards):
+                return self._finish()
+            if self._globally_quiet():
+                return self._drain_and_finish()
+            if not progressed:
+                # should be unreachable: horizons are strictly monotone
+                # (+1 floor) while any shard is unfinished
+                return self._stalled()
+
+    # ------------------------------------------------------------- finishing
+
+    def _absorb(self, shard: Shard, stop: StopReason, kind: str) -> ShardedStop:
+        """Route a kernel stop through the shard's debugger (when one is
+        attached) so stop logs, journals and callbacks stay coherent."""
+        event = None
+        if shard.dbg is not None:
+            event = shard.dbg.absorb_kernel_stop(stop)
+        self.result = ShardedStop(kind, shard=shard.index, event=event)
+        return self.result
+
+    def _drain_and_finish(self) -> ShardedStop:
+        """Global quiescence: close every channel, let ingress pumps
+        retire, then classify each shard's final stop."""
+        for ch in self.channels.values():
+            ch.close()
+        for shard in self.shards:
+            if shard.finished:
+                continue
+            stop = shard.scheduler.run()
+            shard.last_stop = stop
+            shard.finished = True
+            shard.outcome = shard.runtime.classify_stop(stop)
+            if shard.dbg is not None:
+                shard.dbg.absorb_kernel_stop(stop)
+        return self._finish()
+
+    def _finish(self) -> ShardedStop:
+        for shard in self.shards:
+            if not shard.outcome:
+                shard.outcome = "exited"
+        bad = [s for s in self.shards if s.outcome == "error"]
+        if bad:
+            self.result = ShardedStop("error", shard=bad[0].index)
+        elif any(s.outcome == "deadlock" for s in self.shards):
+            first = next(s for s in self.shards if s.outcome == "deadlock")
+            self.result = ShardedStop("deadlock", shard=first.index)
+        else:
+            self.result = ShardedStop("exited")
+        return self.result
+
+    def _stalled(self) -> ShardedStop:
+        detail = "; ".join(
+            f"shard {s.index}: t={s.now} stop={s.last_stop and s.last_stop.kind.value}"
+            for s in self.shards
+        )
+        self.result = ShardedStop("deadlock", detail=f"protocol stall: {detail}")
+        return self.result
+
+    # ----------------------------------------------------------- inspection
+
+    def info_lines(self) -> List[str]:
+        """``info shards``: per-shard counters and channel horizons."""
+        lines: List[str] = []
+        for shard in self.shards:
+            n_actors = len(shard.runtime.all_actors())
+            state = shard.outcome or "running"
+            lines.append(
+                f"shard {shard.index}: {n_actors} actor(s), t={shard.now}, "
+                f"dispatches={shard.dispatch_count}, {state}"
+            )
+            for link, ch in shard.ctx.ingress:
+                h = "closed" if ch.closed else str(ch.horizon)
+                lines.append(
+                    f"  <- {ch.name} (from shard {ch.src_shard}): "
+                    f"horizon={h}, queued={len(ch.queue)}, forwarded={ch.total_forwarded}"
+                )
+            for link, ch in shard.ctx.egress:
+                h = "closed" if ch.closed else str(ch.horizon)
+                lines.append(
+                    f"  -> {ch.name} (to shard {ch.dst_shard}): "
+                    f"horizon={h}, queued={len(ch.queue)}, forwarded={ch.total_forwarded}"
+                )
+        lines.append(f"coordination rounds: {self.rounds}")
+        return lines

@@ -1,0 +1,82 @@
+"""Tie-break determinism audit for the kernel's timed heap.
+
+The sharded fingerprint contract rests on one property of the
+single-kernel dispatcher: same-time events are ordered by ``(time,
+seq)`` — seq being the monotone schedule counter — and by *nothing
+else*.  No process name, no ``id()``, no hash order may ever break a
+tie, or dispatch streams would vary run to run and the per-shard
+journal merge could never be byte-compared against a single-kernel run.
+
+Three layers of defence:
+
+* a source audit: the only ``heappush`` in ``kernel.py`` pushes the
+  literal ``(time, self._seq, proc)`` triple;
+* a structural guarantee: :class:`Process` defines no ``__lt__``, so a
+  heap comparison that ever *reached* the third tuple element would
+  raise ``TypeError`` instead of silently ordering by object identity;
+* a behavioural regression: identical programs registered in shuffled
+  orders dispatch same-time events in exactly registration order.
+"""
+
+import inspect
+import re
+
+from repro.sim.kernel import Scheduler
+from repro.sim.process import Delay, Process
+
+
+def test_timed_heap_orders_by_time_then_seq_only():
+    import repro.sim.kernel as kernel_mod
+
+    source = inspect.getsource(kernel_mod)
+    pushes = re.findall(r"heapq\.heappush\(([^\n]*)\)", source)
+    assert pushes == ["self._timed, (time, self._seq, proc)"], (
+        "kernel.py grew a heappush that does not use the (time, seq) "
+        f"tie-break: {pushes}"
+    )
+
+
+def test_process_has_no_ordering_dunder():
+    # object.__lt__ exists but is not callable into an ordering; what
+    # matters is that Process doesn't *define* one — a heap tie past
+    # (time, seq) must be impossible, not resolved arbitrarily.
+    assert "__lt__" not in Process.__dict__
+    assert "__gt__" not in Process.__dict__
+
+
+def _run_traced(order):
+    """Spawn ``len(order)`` identical delay-loops, registering them in
+    the given order; return the dispatched-name sequence (self-reported
+    at every resume, so it is exactly the kernel's dispatch order)."""
+    sched = Scheduler()
+    log = []
+
+    def looper(name):
+        for _ in range(3):
+            log.append(name)
+            yield Delay(5)
+
+    for i, tag in enumerate(order):
+        name = f"p{tag}"
+        sched.spawn(looper(name), name=name)
+    sched.run()
+    return log
+
+
+def test_identical_runs_dispatch_identically():
+    order = [3, 1, 4, 1, 5, 9, 2, 6]
+    names = [f"p{t}" for t in order]
+    seq_a = _run_traced(order)
+    seq_b = _run_traced(order)
+    assert seq_a == seq_b
+    assert set(seq_a) >= set(names)
+
+
+def test_same_time_events_follow_registration_order():
+    # every process delays to the same instants, so *all* ordering is
+    # tie-breaking; the dispatch stream must be the registration order,
+    # repeated — regardless of how names would sort
+    forward = _run_traced([0, 1, 2, 3])
+    shuffled = _run_traced([2, 0, 3, 1])
+    assert forward == ["p0", "p1", "p2", "p3"] * 3
+    assert shuffled == ["p2", "p0", "p3", "p1"] * 3

@@ -1,0 +1,97 @@
+"""Partitioner unit tests: islands keyed off clusters, hosts as their
+own island, user overrides, and the cross-link census with
+single-kernel-identical names."""
+
+import pytest
+
+from repro.cminus.typesys import U32
+from repro.errors import SimulationError
+from repro.pedf.decls import ControllerDecl, FilterDecl, ModuleDecl, ProgramDecl
+from repro.sim.sharding import (
+    HostSpec,
+    enumerate_cross_links,
+    partition_program,
+)
+
+CTL_SOURCE = "void work() { WAIT_FOR_ACTOR_SYNC(); }\n"
+FILT_SOURCE = "void work() { pedf.io.o[0] = pedf.io.i[0]; }\n"
+
+
+def _module(name, cluster=None):
+    mod = ModuleDecl(name=name, cluster=cluster)
+    ctl = ControllerDecl(name="ctl", source=CTL_SOURCE, source_name="ctl.c", max_steps=1)
+    mod.set_controller(ctl)
+    f = FilterDecl(name="f", source=FILT_SOURCE, source_name="f.c")
+    f.add_iface("i", "input", U32)
+    f.add_iface("o", "output", U32)
+    mod.add_filter(f)
+    mod.add_iface("in", "input", U32)
+    mod.add_iface("out", "output", U32)
+    mod.bind("this", "in", "f", "i")
+    mod.bind("f", "o", "this", "out")
+    return mod
+
+
+def _chain_program():
+    """a(cluster 0) -> b(cluster 0) -> c(cluster 1), host source/sink."""
+    program = ProgramDecl(name="chain")
+    for name, cluster in (("a", 0), ("b", 0), ("c", 1)):
+        program.add_module(_module(name, cluster=cluster))
+    program.bind("a", "out", "b", "in", capacity=4)
+    program.bind("b", "out", "c", "in")
+    return program
+
+
+HOSTS = (HostSpec("src", "a", "in", "source"), HostSpec("snk", "c", "out", "sink"))
+
+
+def test_co_clustered_modules_share_a_shard():
+    plan = partition_program(_chain_program(), 2, hosts=HOSTS)
+    assert plan.shard_of("a") == plan.shard_of("b")
+    assert plan.shard_of("c") != plan.shard_of("a")
+    # hosts form their own island, folded round-robin onto a shard
+    assert plan.shard_of("src") == plan.shard_of("snk")
+
+
+def test_single_shard_plan_holds_everything():
+    plan = partition_program(_chain_program(), 1, hosts=HOSTS)
+    assert set(plan.assignment.values()) == {0}
+    assert plan.units_of(0) == ["a", "b", "c", "snk", "src"]
+
+
+def test_override_wins_and_is_validated():
+    plan = partition_program(_chain_program(), 2, hosts=HOSTS, override={"b": 1})
+    assert plan.shard_of("b") == 1
+    with pytest.raises(SimulationError):
+        partition_program(_chain_program(), 2, override={"nope": 0})
+    with pytest.raises(SimulationError):
+        partition_program(_chain_program(), 2, hosts=HOSTS, override={"b": 7})
+
+
+def test_describe_lists_every_shard():
+    plan = partition_program(_chain_program(), 4, hosts=HOSTS)
+    lines = plan.describe()
+    assert len(lines) == 4
+    assert lines[0].startswith("shard 0:")
+
+
+def test_cross_link_census_uses_single_kernel_names():
+    # split b away from a: the a->b binding becomes a cut link whose name
+    # must match what a single-kernel elaboration would call it
+    plan = partition_program(
+        _chain_program(), 2, hosts=HOSTS, override={"a": 0, "b": 1, "c": 1, "src": 0, "snk": 0}
+    )
+    links = {cl.name: cl for cl in enumerate_cross_links(_chain_program(), plan, hosts=HOSTS)}
+    assert set(links) == {
+        "f::o->f::i",  # a.f -> b.f (both ends alias "f", module-qualified at runtime)
+        "f::o->snk::in",  # c.f -> sink host
+    }
+    ab = links["f::o->f::i"]
+    assert (ab.src_unit, ab.dst_unit) == ("a", "b")
+    assert (ab.src_shard, ab.dst_shard) == (0, 1)
+    assert ab.capacity == 4  # declared capacity survives the census
+
+
+def test_uncut_plan_yields_no_cross_links():
+    plan = partition_program(_chain_program(), 1, hosts=HOSTS)
+    assert enumerate_cross_links(_chain_program(), plan, hosts=HOSTS) == []
