@@ -1,11 +1,18 @@
 """REPLAY: journaling overhead and time-travel speed.
 
 Records a 40-macroblock decode with the replay journal on, and measures
-(a) what the always-on event journal costs next to a plain debugged run
-and (b) how fast the driver can re-execute to a recorded position.  Every
-round re-checks the determinism bar: the replayed token-seq stream equals
-the recorded one.
+(a) what the always-on event journal costs next to a plain debugged run,
+(b) how fast the driver can re-execute to a recorded position from
+scratch (the O(run-length) baseline, resident snapshots disabled), and
+(c) how fast a hop lands when it restores the nearest resident snapshot
+and re-executes only the tail.  The snapshot rows gate O(tail)
+*deterministically* — ``last_restore`` event counts, not wall clocks —
+so a regression to full re-execution fails the bench even on a fast
+machine.  Every round re-checks the determinism bar: the replayed
+token-seq stream equals the recorded one.
 """
+
+import itertools
 
 import pytest
 
@@ -62,11 +69,15 @@ def recorded():
 
 
 def test_replay_to_end_speed(benchmark, recorded):
+    # resident snapshots off: this row is the full re-execution baseline
+    recorded.set_pool_limit(0)
     live_stream = recorded.master.token_stream()
+    total = recorded.master.total_events
 
     def travel():
         ev = recorded.replay_to("end")
         assert ev.kind == StopKind.REPLAY
+        assert recorded.last_restore == (0, total, total)  # rebuilt from start
         assert recorded.recorder.journal.token_stream() == live_stream
         return ev
 
@@ -74,12 +85,52 @@ def test_replay_to_end_speed(benchmark, recorded):
 
 
 def test_replay_to_midpoint_speed(benchmark, recorded):
+    recorded.set_pool_limit(0)
     mid = recorded.master.total_events // 2
 
     def travel():
         ev = recorded.replay_to(f"event {mid}")
         assert ev.kind == StopKind.REPLAY
         assert recorded.position == mid
+        assert recorded.last_restore == (0, mid, mid)
         return ev
 
     benchmark(travel)
+
+
+@pytest.fixture()
+def seeded():
+    """A recorded run whose first sweep already parked anchor machines."""
+
+    def fresh():
+        sched, platform, runtime, source, sink, mbs = build_decoder(n_mbs=N_MBS)
+        return DataflowSession(Debugger(sched, runtime))
+
+    session = fresh()
+    session.replay.register_builder(fresh)
+    mgr = session.replay
+    mgr.record_on(interval=INTERVAL)
+    _run_to_exit(session.dbg)
+    ev = mgr.replay_to("end")  # seeds geometric anchors en route
+    assert ev.kind == StopKind.REPLAY
+    assert mgr.pool, "anchor seeding produced no resident snapshots"
+    return mgr
+
+
+def test_replay_snapshot_hop_is_o_tail(benchmark, seeded):
+    """Back-and-forth hops across the run land on resident snapshots:
+    every landing must re-execute at most a short tail, never the run."""
+    mgr = seeded
+    total = mgr.master.total_events
+    mid = total // 2
+    targets = itertools.cycle([mid + 32, total])
+
+    def hop():
+        ev = mgr.replay_to(f"event {next(targets)}")
+        assert ev.kind == StopKind.REPLAY
+        src, _target, tail = mgr.last_restore
+        assert src > 0, "hop fell back to a full rebuild"
+        assert tail <= 32, f"re-executed {tail} of {total} events, not O(tail)"
+        return ev
+
+    benchmark(hop)

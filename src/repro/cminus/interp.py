@@ -327,6 +327,15 @@ class Interpreter:
     def backtrace(self) -> List[Frame]:
         return list(reversed(self.frames))
 
+    def capture_frames(self) -> Tuple[Tuple[str, int], ...]:
+        """``(function name, current line)`` per live frame, outermost
+        first — the interpreter's contribution to a deep machine-state
+        snapshot.  Execution *position* lives in Python generator frames
+        and cannot be pickled; this captures the observable summary used
+        to fingerprint a parked resident machine.  Tier-variant: the
+        compiled tier maintains no frames and returns ``()``."""
+        return tuple((f.name, f.line) for f in self.frames)
+
     # --------------------------------------------------------------- entry
 
     def run_function(self, name: str, args: Sequence[Raw] = ()):

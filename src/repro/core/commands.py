@@ -64,15 +64,18 @@ def install_dataflow_commands(cli: CommandCli, session: DataflowSession) -> None
     ))
     cli.register(Command(
         "record", handler.cmd_record,
-        "record on [every N] [limit N] | record off — journal the execution "
-        "for deterministic replay (must precede run)",
+        "record on [every N] [limit N] [segments DIR] [window N] [snapshot M] "
+        "| record off — journal the execution for deterministic replay "
+        "(must precede run); segments rotate the log to disk, snapshot M "
+        "takes a deep state snapshot every M checkpoints",
         completer=lambda t: [s for s in ("on", "off") if s.startswith(t)],
     ))
     cli.register(Command(
         "replay", handler.cmd_replay,
-        "replay to seq N|time T|event K|end — re-execute the recorded run "
-        "and stop at that position (time travel)",
-        completer=lambda t: [s for s in ("to",) if s.startswith(t)],
+        "replay to seq N|time T|event K|end — restore the nearest resident "
+        "snapshot and re-execute only the tail (time travel); "
+        "replay snapshots N|off sizes the resident pool",
+        completer=lambda t: [s for s in ("to", "snapshots") if s.startswith(t)],
     ))
     cli.register(Command(
         "reverse-continue", handler.cmd_reverse_continue,
@@ -358,7 +361,8 @@ class _Commands:
         mgr = self.session.replay
         verb, _, rest = arg.strip().partition(" ")
         if verb == "on":
-            interval = limit = None
+            interval = limit = window = snapshot_every = None
+            segment_dir = None
             words = rest.split()
             i = 0
             while i < len(words):
@@ -368,9 +372,27 @@ class _Commands:
                 elif words[i] == "limit" and i + 1 < len(words) and words[i + 1].isdigit():
                     limit = int(words[i + 1])
                     i += 2
+                elif words[i] == "segments" and i + 1 < len(words):
+                    segment_dir = words[i + 1]
+                    i += 2
+                elif words[i] == "window" and i + 1 < len(words) and words[i + 1].isdigit():
+                    window = int(words[i + 1])
+                    i += 2
+                elif words[i] == "snapshot" and i + 1 < len(words) and words[i + 1].isdigit():
+                    snapshot_every = int(words[i + 1])
+                    i += 2
                 else:
-                    raise CommandError("usage: record on [every N] [limit N]")
-            return mgr.record_on(interval=interval, limit=limit)
+                    raise CommandError(
+                        "usage: record on [every N] [limit N] [segments DIR] "
+                        "[window N] [snapshot M]"
+                    )
+            return mgr.record_on(
+                interval=interval,
+                limit=limit,
+                segment_dir=segment_dir,
+                window=window,
+                snapshot_every=snapshot_every,
+            )
         if verb == "off":
             return mgr.record_off()
         if verb == "":
@@ -379,8 +401,15 @@ class _Commands:
 
     def cmd_replay(self, arg: str) -> List[str]:
         verb, _, rest = arg.strip().partition(" ")
+        if verb == "snapshots":
+            rest = rest.strip()
+            if rest == "off":
+                return self.session.replay.set_pool_limit(0)
+            if rest.isdigit():
+                return self.session.replay.set_pool_limit(int(rest))
+            raise CommandError("usage: replay snapshots N|off")
         if verb != "to":
-            raise CommandError("usage: replay to seq N|time T|event K|end")
+            raise CommandError("usage: replay to seq N|time T|event K|end | replay snapshots N|off")
         ev = self.session.replay.replay_to(rest)
         # replay_to may have adopted a rebuilt session: self.session/self.dbg
         # were rebound through cli.dataflow_handler during adoption

@@ -6,26 +6,34 @@ The recording side (:class:`RunRecorder`) taps three existing mechanisms:
   framework event (and, via ``wants()``, forces event materialisation
   regardless of the §V capture narrowing — journals are always complete);
 - the kernel's post-dispatch hook takes a checkpoint digest every N
-  completed dispatches;
+  completed dispatches, and a sparse deep
+  :class:`~repro.sim.snapshot.MachineState` snapshot every M checkpoints;
 - the debugger's stop callbacks position each stop on the event log.
 
-The replay side cannot restore a checkpoint (actors are live coroutines),
-so *replay is re-execution*: a registered zero-argument **builder**
-produces a fresh, unloaded session of the same program, and the driver
-runs it forward to the target event index.  A second :class:`RunRecorder`
-in replay mode rides along, comparing every event fingerprint and every
-checkpoint digest against the reference journal — the built-in
-determinism self-check — and re-applying journaled alterations at their
-recorded positions (so a deadlock the user untied by inserting a token
-unties itself again).  On arrival the debugging session *adopts* the
-replayed machine: the CLI rebinds to the new debugger and the
-:class:`ReplayManager` transplants itself into the new session, keeping
-the master journal so the user can hop forward and backward repeatedly.
+Actor coroutines cannot be pickled, so a deep snapshot alone is not a
+resumable machine — but a **live replayed machine parked at a known
+position is**.  The :class:`ReplayManager` keeps a bounded pool of such
+*resident snapshots*: every machine abandoned by a hop is parked (with a
+frame-level ``MachineState`` fingerprint) instead of discarded, and the
+first full-journal sweep seeds geometric anchor machines en route.
+``replay to`` / ``reverse-continue`` then restore the nearest resident at
+or below the target and re-execute only the tail — O(tail), not
+O(run length) — falling back to a fresh build from a registered
+zero-argument **builder** only when no resident is usable.  A restored
+machine is validated against its park-time fingerprint before adoption,
+and the riding :class:`RunRecorder` still compares every event
+fingerprint, checkpoint digest and deep snapshot on the tail against the
+reference journal — the determinism self-check — while re-applying
+journaled alterations at their recorded positions (so a deadlock the
+user untied by inserting a token unties itself again).  On arrival the
+debugging session *adopts* the machine: the CLI rebinds to its debugger
+and the manager transplants itself into its session, keeping the master
+journal so the user can hop forward and backward repeatedly.
 
 A new alteration made in a replayed past **forks the timeline**: the
-master journal switches to the current (replayed) journal and recording
-continues live from there — the abandoned future is discarded, exactly
-like editing history in an interactive rebase.
+master journal switches to the current (replayed) journal, recording
+continues live from there, and the resident pool is invalidated (parked
+machines verified against the abandoned future no longer apply).
 
 Known limitation: ``freeze``/``thaw`` are not journaled; a recorded run
 that used them replays without them and the divergence self-check will
@@ -34,8 +42,10 @@ report the first mismatch instead of silently rebuilding a different run.
 
 from __future__ import annotations
 
+import warnings
 from collections import deque
-from typing import TYPE_CHECKING, Callable, List, Optional, Sequence
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, List, Optional, Sequence, Tuple
 
 from ..dbg.stop import StopEvent, StopKind
 from ..errors import ReplayDivergenceError, ReplayError
@@ -48,12 +58,22 @@ from ..sim.replay import (
     ReplayJournal,
     StopRecord,
 )
+from ..sim.segments import DEFAULT_SEGMENT_WINDOW
+from ..sim.snapshot import DEFAULT_SNAPSHOT_EVERY, MachineState, capture_machine_state
 
 if TYPE_CHECKING:  # pragma: no cover
     from .session import DataflowSession
 
 #: Safety bound on continue-iterations while driving a replay forward.
 _MAX_DRIVE_STOPS = 100_000
+
+#: Resident snapshots the manager keeps parked (plus whatever is current).
+DEFAULT_POOL_LIMIT = 4
+
+
+class ReplayCoverageWarning(RuntimeWarning):
+    """The determinism self-check could not cover every event (the
+    recorded journal evicted part of the run under a cap/ring bound)."""
 
 
 class RunRecorder:
@@ -66,11 +86,14 @@ class RunRecorder:
         interval: int = DEFAULT_CHECKPOINT_INTERVAL,
         reference: Optional[ReplayJournal] = None,
         alterations: Sequence[AlterationRecord] = (),
+        snapshot_every: int = DEFAULT_SNAPSHOT_EVERY,
     ):
         self.session = session
         self.dbg = session.dbg
         self.journal = journal
         self.interval = max(1, interval)
+        #: deep MachineState snapshot every N checkpoints (0 = off)
+        self.snapshot_every = max(0, snapshot_every)
         #: reference journal to verify against (replay mode), or None (live)
         self.reference = reference
         #: event position to suspend at (replay mode), or None
@@ -80,6 +103,12 @@ class RunRecorder:
         self.divergence: Optional[str] = None
         self.events_compared = 0
         self.checkpoints_verified = 0
+        self.snapshots_verified = 0
+        #: (first, last) positions the self-check could NOT verify because
+        #: the reference journal evicted them (cap/ring bound) — bugfix:
+        #: a capped reference used to skip these silently and still report
+        #: a clean verify
+        self.uncovered: Optional[Tuple[int, int]] = None
         self.detached = False
         self._applying = False
         #: called when a user alteration forks a replayed timeline
@@ -111,7 +140,9 @@ class RunRecorder:
         if ref is not None and self.divergence is None and index <= ref.total_events:
             expected = ref.record_at(index)
             got = self.journal.record_at(index)
-            if expected is not None and got is not None:
+            if expected is None:
+                self._note_uncovered(index)
+            elif got is not None:
                 if got != expected:
                     self.divergence = (
                         f"replay diverged at event #{index}: recorded "
@@ -141,6 +172,23 @@ class RunRecorder:
             return self.dbg.external_suspend(ev)
         return None
 
+    def _note_uncovered(self, index: int) -> None:
+        """The reference journal evicted this event: the self-check has a
+        hole.  Warn once, keep extending the range."""
+        if self.uncovered is None:
+            self.uncovered = (index, index)
+            warnings.warn(
+                f"determinism self-check has no reference for event #{index} "
+                f"and onward inside the recorded window: the recorded journal's "
+                f"cap/ring bound evicted those events, so verification is "
+                f"partial (record with segments to keep everything)",
+                ReplayCoverageWarning,
+                stacklevel=3,
+            )
+        else:
+            lo, hi = self.uncovered
+            self.uncovered = (min(lo, index), max(hi, index))
+
     def _on_dispatch(self, count: int) -> None:
         if count % self.interval:
             return
@@ -157,6 +205,25 @@ class RunRecorder:
                     )
                 else:
                     self.checkpoints_verified += 1
+        if self.snapshot_every and (count // self.interval) % self.snapshot_every == 0:
+            self._take_snapshot(count)
+
+    def _take_snapshot(self, count: int) -> None:
+        # journal-recorded snapshots must stay tier-invariant (journals are
+        # compared across interpreter tiers), so no interpreter frames here
+        state = capture_machine_state(self.dbg.scheduler, self.dbg.runtime)
+        self.journal.add_state_snapshot(count, state)
+        ref = self.reference
+        if ref is not None and self.divergence is None:
+            expected = ref.state_snapshot_at(count)
+            if expected is not None:
+                if expected != state:
+                    self.divergence = (
+                        f"replay diverged at dispatch {count}: recorded "
+                        f"{expected.describe()}, replayed {state.describe()}"
+                    )
+                else:
+                    self.snapshots_verified += 1
 
     def _take_checkpoint(self, dispatch: int) -> Checkpoint:
         runtime = self.dbg.runtime
@@ -240,6 +307,29 @@ class RunRecorder:
             self.session._run_recorder = None
 
 
+@dataclass
+class ResidentSnapshot:
+    """A live replayed machine parked at a known journal position.
+
+    The closest thing to a restorable checkpoint a coroutine-based
+    machine admits: instead of serialising un-picklable generators, the
+    machine itself stays resident, fingerprinted by a frame-level
+    :class:`MachineState` so adoption can prove nothing disturbed it
+    while parked."""
+
+    position: int  # event-log position the machine is suspended at
+    session: "DataflowSession"
+    recorder: RunRecorder
+    state: MachineState  # park-time fingerprint (with interpreter frames)
+
+    def intact(self) -> bool:
+        """True if the parked machine still matches its park-time state."""
+        if self.recorder.detached or self.recorder.divergence is not None:
+            return False
+        dbg = self.session.dbg
+        return capture_machine_state(dbg.scheduler, dbg.runtime, include_frames=True) == self.state
+
+
 class ReplayManager:
     """Per-session facade: ``record on/off``, ``replay to``,
     ``reverse-continue``, ``info replay``."""
@@ -252,8 +342,18 @@ class ReplayManager:
         self.master: Optional[ReplayJournal] = None
         self.mode = "off"  # "off" | "record" | "replay"
         self.interval = DEFAULT_CHECKPOINT_INTERVAL
+        self.snapshot_every = DEFAULT_SNAPSHOT_EVERY
         #: current event position when sitting in a replayed machine
         self.position: Optional[int] = None
+        #: parked resident snapshots, unordered (bounded by pool_limit)
+        self.pool: List[ResidentSnapshot] = []
+        self.pool_limit = DEFAULT_POOL_LIMIT
+        #: (restored-from position, target, events re-executed) of the
+        #: last hop; restored-from is 0 for a full rebuild
+        self.last_restore: Optional[Tuple[int, int, int]] = None
+        #: how the last hop got there: "resident" | "forward" | "rebuild"
+        self._last_hop_kind: Optional[str] = None
+        self._seeded = False
 
     # ------------------------------------------------------------- plumbing
 
@@ -276,7 +376,14 @@ class ReplayManager:
 
     # ------------------------------------------------------------ recording
 
-    def record_on(self, interval: Optional[int] = None, limit: Optional[int] = None) -> List[str]:
+    def record_on(
+        self,
+        interval: Optional[int] = None,
+        limit: Optional[int] = None,
+        segment_dir: Optional[str] = None,
+        window: Optional[int] = None,
+        snapshot_every: Optional[int] = None,
+    ) -> List[str]:
         if self.recording:
             return ["Recording is already on."]
         if self.session.dbg.runtime.loaded:
@@ -286,12 +393,28 @@ class ReplayManager:
             )
         if interval is not None:
             self.interval = max(1, interval)
-        journal = ReplayJournal(limit=limit)
-        self.recorder = RunRecorder(self.session, journal, self.interval)
+        if snapshot_every is not None:
+            self.snapshot_every = max(0, snapshot_every)
+        journal = ReplayJournal(
+            limit=limit,
+            segment_dir=segment_dir,
+            window=window if window is not None else DEFAULT_SEGMENT_WINDOW,
+        )
+        self.recorder = RunRecorder(
+            self.session, journal, self.interval, snapshot_every=self.snapshot_every
+        )
         self.session._run_recorder = self.recorder
         self.master = journal
         self.mode = "record"
-        bound = f", event log capped at {limit}" if limit else ""
+        self._clear_pool()
+        self._seeded = False
+        self.last_restore = None
+        self._last_hop_kind = None
+        bound = ""
+        if segment_dir is not None:
+            bound = f", segments in {segment_dir} (window {journal.window})"
+        elif limit:
+            bound = f", event log capped at {limit}"
         return [f"Recording on (checkpoint every {self.interval} dispatches{bound})."]
 
     def record_off(self) -> List[str]:
@@ -302,6 +425,74 @@ class ReplayManager:
         if self.mode == "record":
             self.mode = "off"
         return ["Recording off (journal kept for replay)."]
+
+    # ------------------------------------------------------- snapshot pool
+
+    def set_pool_limit(self, limit: int) -> List[str]:
+        """``replay snapshots N|off`` — resize (or disable) the resident
+        snapshot pool."""
+        self.pool_limit = max(0, limit)
+        while len(self.pool) > self.pool_limit:
+            self._evict_one()
+        if self.pool_limit == 0:
+            return ["Resident snapshots off (every hop re-executes from the start)."]
+        return [f"Resident snapshot pool: {self.pool_limit} machine(s)."]
+
+    def _clear_pool(self) -> None:
+        for res in self.pool:
+            res.recorder.detach()
+        self.pool.clear()
+
+    def _evict_one(self) -> None:
+        """Evict the resident whose removal hurts coverage least: the one
+        closest to its predecessor in position order (position 0 — the
+        free rebuild — counts as a virtual resident)."""
+        if not self.pool:
+            return
+        ordered = sorted(self.pool, key=lambda r: r.position)
+        prev = 0
+        victim = ordered[0]
+        best_gap = None
+        for res in ordered:
+            gap = res.position - prev
+            if best_gap is None or gap < best_gap:
+                best_gap = gap
+                victim = res
+            prev = res.position
+        victim.recorder.detach()
+        self.pool.remove(victim)
+
+    def _park(self, session: "DataflowSession", recorder: RunRecorder) -> None:
+        """Park an abandoned replayed machine as a resident snapshot."""
+        if self.pool_limit <= 0 or recorder.detached or recorder.divergence is not None:
+            recorder.detach()
+            return
+        dbg = session.dbg
+        state = capture_machine_state(dbg.scheduler, dbg.runtime, include_frames=True)
+        position = recorder.journal.total_events
+        # one resident per position is plenty
+        for res in list(self.pool):
+            if res.position == position:
+                res.recorder.detach()
+                self.pool.remove(res)
+        self.pool.append(ResidentSnapshot(position, session, recorder, state))
+        while len(self.pool) > self.pool_limit:
+            self._evict_one()
+
+    def _take_resident(self, target: int) -> Optional[ResidentSnapshot]:
+        """Pop the best intact resident at or below ``target`` (validating
+        each candidate's park-time fingerprint before trusting it)."""
+        while True:
+            best: Optional[ResidentSnapshot] = None
+            for res in self.pool:
+                if res.position <= target and (best is None or res.position > best.position):
+                    best = res
+            if best is None:
+                return None
+            self.pool.remove(best)
+            if best.intact():
+                return best
+            best.recorder.detach()  # perturbed while parked: discard
 
     # --------------------------------------------------------------- replay
 
@@ -320,15 +511,29 @@ class ReplayManager:
         kind, _, value = text.partition(" ")
         value = value.strip()
         if kind == "seq" and value.isdigit():
-            index = master.index_for_seq(int(value))
-            if index is None:
-                raise ReplayError(f"no recorded token with sequence number {value}")
-            return index
-        if kind == "time" and value.lstrip("-").isdigit():
-            index = master.index_for_time(int(value))
-            if index is None:
-                raise ReplayError(f"no recorded event at or after t={value}")
-            return index
+            status, index = master.seq_status(int(value))
+            if status == "found":
+                return index
+            if status == "evicted":
+                lo, hi = master.stored_range()
+                raise ReplayError(
+                    f"token seq {value} was recorded but evicted by the journal "
+                    f"bound (only events {lo}..{hi} of {master.total_events} are "
+                    f"still stored); re-record with segments to keep everything"
+                )
+            raise ReplayError(f"no recorded token with sequence number {value}")
+        if kind == "time" and value.isdigit():
+            status, index = master.time_status(int(value))
+            if status == "found":
+                return index
+            if status == "evicted":
+                lo, hi = master.stored_range()
+                raise ReplayError(
+                    f"events around t={value} were evicted by the journal bound "
+                    f"(only events {lo}..{hi} of {master.total_events} are still "
+                    f"stored); re-record with segments to keep everything"
+                )
+            raise ReplayError(f"no recorded event at or after t={value}")
         if kind == "event" and value.isdigit():
             index = int(value)
         elif text.isdigit():
@@ -352,11 +557,20 @@ class ReplayManager:
             and self.recorder is not None
             and not self.recorder.detached
         ):
-            # forward within the current replayed machine: keep driving it
-            self.recorder.target_index = target
-            ev = self._drive(self.session, self.recorder)
-            self.position = self.recorder.journal.total_events
-            return ev
+            # forward is reachable by driving the current machine — but a
+            # parked resident even closer to the target beats that
+            nearest = max(
+                (r.position for r in self.pool if self.position < r.position <= target),
+                default=None,
+            )
+            if nearest is None:
+                start = self.position
+                self.recorder.target_index = target
+                ev = self._drive(self.session, self.recorder)
+                self.position = self.recorder.journal.total_events
+                self.last_restore = (start, target, self.position - start)
+                self._last_hop_kind = "forward"
+                return ev
         return self._time_travel(target)
 
     def reverse_continue(self) -> StopEvent:
@@ -380,23 +594,85 @@ class ReplayManager:
                 "session.replay.register_builder(fn) with a factory that "
                 "rebuilds this program"
             )
-        new_session = self.builder()
-        if new_session.dbg.runtime.loaded:
-            raise ReplayError("replay builder returned an already-running session")
-        recorder = RunRecorder(
-            new_session,
-            ReplayJournal(),
-            self.interval,
-            reference=master,
-            alterations=master.alterations,
-        )
+        resident = self._take_resident(target)
+        if resident is None and not self._seeded:
+            # first full sweep over this master: seed geometric anchor
+            # machines en route so later backward hops are O(tail)
+            self._seed_anchors(target)
+            resident = self._take_resident(target)
+        if resident is not None:
+            return self._restore(resident, target)
+        new_session = self._build_fresh()
+        recorder = self._replay_recorder(new_session, master)
         recorder.target_index = target
-        new_session._run_recorder = recorder
         ev = self._drive(new_session, recorder)
         self._adopt(new_session, recorder)
         self.position = recorder.journal.total_events
         self.mode = "replay"
+        self.last_restore = (0, target, self.position or 0)
+        self._last_hop_kind = "rebuild"
         return ev
+
+    def _build_fresh(self) -> "DataflowSession":
+        new_session = self.builder()
+        if new_session.dbg.runtime.loaded:
+            raise ReplayError("replay builder returned an already-running session")
+        return new_session
+
+    def _replay_recorder(
+        self, session: "DataflowSession", master: ReplayJournal
+    ) -> RunRecorder:
+        recorder = RunRecorder(
+            session,
+            ReplayJournal(),
+            self.interval,
+            reference=master,
+            alterations=master.alterations,
+            snapshot_every=self.snapshot_every,
+        )
+        session._run_recorder = recorder
+        return recorder
+
+    def _restore(self, resident: ResidentSnapshot, target: int) -> StopEvent:
+        """Adopt a parked machine and drive only the tail to ``target``."""
+        recorder = resident.recorder
+        session = resident.session
+        tail = target - resident.position
+        if tail > 0:
+            recorder.target_index = target
+            ev = self._drive(session, recorder)
+        else:
+            # exact hit: adopt without driving (driving would overshoot —
+            # the recorder can only stop on the *next* event)
+            ev = StopEvent(
+                StopKind.REPLAY,
+                message=f"[Replayed to event #{target}, t={resident.state.time}]",
+                time=resident.state.time,
+            )
+        self._adopt(session, recorder)
+        self.position = recorder.journal.total_events
+        self.mode = "replay"
+        self.last_restore = (resident.position, target, tail)
+        self._last_hop_kind = "resident"
+        return ev
+
+    def _seed_anchors(self, target: int) -> None:
+        """Drive and park anchor machines at ~1/2 and ~3/4 of ``target``
+        during the first sweep.  Bounded extra cost (≤ 1.25× one sweep,
+        paid once) that turns every later hop into a tail re-execution."""
+        self._seeded = True
+        if self.pool_limit <= 0:
+            return
+        master = self.master
+        min_gap = max(2 * self.interval, 32)
+        anchors = sorted({target // 2, (3 * target) // 4})
+        anchors = [a for a in anchors if a >= min_gap and target - a >= min_gap]
+        for anchor in anchors:
+            session = self._build_fresh()
+            recorder = self._replay_recorder(session, master)
+            recorder.target_index = anchor
+            self._drive(session, recorder)
+            self._park(session, recorder)
 
     def _drive(self, session: "DataflowSession", recorder: RunRecorder) -> StopEvent:
         dbg = session.dbg
@@ -417,11 +693,16 @@ class ReplayManager:
         raise ReplayError("replay exceeded the stop budget without reaching the target")
 
     def _adopt(self, new_session: "DataflowSession", recorder: RunRecorder) -> None:
-        """Switch the debugging session over to the replayed machine."""
+        """Switch the debugging session over to the replayed machine,
+        parking the abandoned one as a resident snapshot (the original
+        live machine — whose journal *is* the master — just detaches)."""
         old = self.session
         old_rec = getattr(old, "_run_recorder", None)
         if old_rec is not None and old_rec is not recorder:
-            old_rec.detach()
+            if old_rec.journal is self.master:
+                old_rec.detach()
+            else:
+                self._park(old, old_rec)
         cli = getattr(old, "cli", None)
         if cli is not None:
             cli.rebind_debugger(new_session.dbg)
@@ -437,11 +718,16 @@ class ReplayManager:
 
     def _on_fork(self) -> None:
         """A new alteration in a replayed past: the current journal becomes
-        the master timeline and recording continues live."""
+        the master timeline and recording continues live.  Every parked
+        resident was verified against the abandoned future — invalidate."""
         if self.recorder is not None:
             self.master = self.recorder.journal
         self.mode = "record"
         self.position = None
+        self._clear_pool()
+        self._seeded = False
+        self.last_restore = None
+        self._last_hop_kind = None
 
     # ---------------------------------------------------------------- info
 
@@ -460,6 +746,41 @@ class ReplayManager:
             f"{len(master.stops)} stop(s) ({df_stops} dataflow), "
             f"{len(master.alterations)} alteration(s)"
         )
+        if master.segments is not None:
+            lines.append(f"  segments: {master.segments.describe()}")
+        elif master.evicted_events:
+            lo, hi = master.stored_range()
+            lines.append(
+                f"  journal bound evicted {master.evicted_events} event(s) "
+                f"(stored window {lo}..{hi})"
+            )
+        if self.snapshot_every:
+            lines.append(
+                f"  deep snapshots: {len(master.state_snapshots)} recorded "
+                f"(every {self.snapshot_every} checkpoint(s))"
+            )
+        else:
+            lines.append("  deep snapshots: off")
+        if self.pool_limit:
+            parked = sorted(r.position for r in self.pool)
+            at = f" @ event(s) {', '.join(str(p) for p in parked)}" if parked else ""
+            lines.append(
+                f"  resident snapshots: {len(self.pool)} of {self.pool_limit} parked{at}"
+            )
+        else:
+            lines.append("  resident snapshots: off")
+        if self.last_restore is not None:
+            src, target, tail = self.last_restore
+            if self._last_hop_kind == "resident":
+                how = f"restored resident @event {src}"
+            elif self._last_hop_kind == "forward":
+                how = f"drove current machine from event #{src}"
+            else:
+                how = "rebuilt from start"
+            lines.append(
+                f"  last hop: to event #{target}, {how}, "
+                f"{tail} event(s) re-executed"
+            )
         lines.append(f"  tokens recorded: {len(master.token_stream())}")
         if self.position is not None:
             lines.append(f"  position: event #{self.position} of {master.total_events}")
@@ -469,7 +790,15 @@ class ReplayManager:
         rec = self.recorder
         if rec is not None and not rec.detached and rec.reference is not None:
             lines.append(
-                f"  self-check: {rec.events_compared} event(s) and "
-                f"{rec.checkpoints_verified} checkpoint(s) verified identical"
+                f"  self-check: {rec.events_compared} event(s), "
+                f"{rec.checkpoints_verified} checkpoint(s) and "
+                f"{rec.snapshots_verified} deep snapshot(s) verified identical"
             )
+            if rec.uncovered is not None:
+                lo, hi = rec.uncovered
+                lines.append(
+                    f"  self-check WARNING: events {lo}..{hi} had no recorded "
+                    f"reference (evicted by the journal bound) — verification "
+                    f"is partial"
+                )
         return lines

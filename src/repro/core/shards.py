@@ -42,6 +42,7 @@ class ShardedRun:
         builder: SessionBuilder,
         record: bool = False,
         checkpoint_interval: int = DEFAULT_CHECKPOINT_INTERVAL,
+        snapshots: bool = False,
     ):
         self.plan = plan
         self.channels: Dict[str, Any] = {}
@@ -63,7 +64,7 @@ class ShardedRun:
                     dbg=session.dbg,
                 )
             )
-        self.engine = ShardedScheduler(shards, self.channels)
+        self.engine = ShardedScheduler(shards, self.channels, snapshots=snapshots)
         self.recorded = record
         self._loaded = False
 
@@ -107,6 +108,13 @@ class ShardedRun:
         """The canonical determinism fingerprint of the merged journals —
         byte-identical to the single-kernel run's, by contract."""
         return fingerprint_streams(self.link_streams())
+
+    def barrier_states(self) -> Dict[int, Any]:
+        """Latest per-shard deep MachineState captured at the quantum
+        barrier (requires ``snapshots=True``).  Barrier states are a pure
+        function of the plan and the program, so two runs of the same
+        partition must agree shard for shard."""
+        return dict(self.engine.barrier_states)
 
     # ----------------------------------------------------------- inspection
 

@@ -6,9 +6,14 @@ consumes.  Feeding the journal through a fresh builder therefore
 reconstructs the *same* spans and metrics a live run would have
 collected, byte-for-byte (the builder never looks at live-only data by
 design; see :mod:`repro.obs.builder`).  Link attribution for token
-events comes from the journal's ``token_links`` side table.
+events comes from the journal's per-position ``event_links`` side table
+(the live builder sets a link only on push/pop exits carrying a seq, so
+the derivation does the same).
 
-A journal recorded with a bound (cap/ring) may have evicted events; the
+The journal is streamed via ``iter_indexed`` — a segment-rotating
+journal is walked one decompressed segment at a time, so profiling an
+arbitrarily long run stays within the in-memory window.  Only a journal
+recorded with a lossy cap/ring bound can actually lose events; the
 derivation is then a partial profile and says so via ``complete``.
 """
 
@@ -38,11 +43,11 @@ def derive_telemetry(
     sink = SpanSink(limit=limit, ring=ring)
     metrics = MetricsRegistry()
     builder = TelemetryBuilder(sink, metrics)
-    snap = journal.events.snapshot()
-    token_links = journal.token_links
-    for rec in snap.records:
+    for index, rec in journal.iter_indexed():
         symbol, _, phase = rec.kind.rpartition(":")
         seq = rec.detail
-        link = token_links.get(seq) if seq is not None else None
+        # matches the live tap: only data-exchange exits (which are the
+        # only records carrying a seq) get a link
+        link = journal.link_for_event(index) if seq is not None else None
         builder.feed(TelemetryEvent(rec.time, phase, symbol, rec.process, seq, link))
-    return DerivedTelemetry(sink, metrics, builder.events_fed, snap.dropped == 0)
+    return DerivedTelemetry(sink, metrics, builder.events_fed, journal.evicted_events == 0)

@@ -113,6 +113,64 @@ class PedfRuntime:
     def restore_seq(self, next_seq: int) -> None:
         self._next_seq = next_seq
 
+    def capture_state(self, include_frames: bool = False) -> Dict[str, object]:
+        """Deterministic runtime-side deep-state capture (the runtime's
+        contribution to a :class:`~repro.sim.snapshot.MachineState`).
+
+        Everything is reduced to canonical tuples — link queues as
+        ``(seq, canonical payload text)``, actor data stores as
+        ``(name, canonical text)`` — so two runs that agree at the same
+        dispatch boundary produce *equal* captures regardless of payload
+        object identity.  ``include_frames`` additionally captures each
+        busy actor's interpreter frames; that part is tier-variant (the
+        compiled tier keeps no frames) and must stay out of anything
+        compared across interpreter tiers.
+        """
+        from ..sim.sharding.merge import stable_value_text
+
+        links = tuple(
+            (link.name, tuple((t.seq, stable_value_text(t.value)) for t in link.tokens()))
+            for link in self.links
+        )
+        actors = []
+        data = []
+        frames = []
+        for actor in self.all_actors():
+            qn = actor.qualname
+            state = getattr(actor, "state", None)
+            actors.append(
+                (
+                    qn,
+                    state.value if state is not None else "",
+                    getattr(actor, "works_begun", 0),
+                    getattr(actor, "works_done", 0),
+                    getattr(actor, "step_no", 0),
+                )
+            )
+            store = getattr(actor, "data_store", None)
+            if store:
+                data.append(
+                    (qn, tuple((n, stable_value_text(v.data)) for n, v in store.items()))
+                )
+            if include_frames:
+                interp = getattr(actor, "interp", None)
+                if interp is not None:
+                    captured = interp.capture_frames()
+                    if captured:
+                        frames.append((qn, captured))
+        predicates = tuple(
+            (mod.name, tuple(sorted(mod.predicates.items())))
+            for mod in self.modules.values()
+        )
+        return {
+            "next_seq": self._next_seq,
+            "links": links,
+            "actors": tuple(actors),
+            "data": tuple(data),
+            "predicates": predicates,
+            "frames": tuple(frames),
+        }
+
     def set_hook(self, hook: Optional[DebugHook]) -> None:
         """Attach a debugger hook to every actor interpreter."""
         self._hook = hook

@@ -25,11 +25,13 @@ from .monitors import Monitor, Verdict
 
 
 def journal_events(journal: ReplayJournal) -> Iterable[Tuple[int, RvEvent]]:
-    """Yield ``(position, RvEvent)`` for every stored journal record."""
-    snap = journal.events.snapshot()
-    base = journal.total_events - len(snap.records)
-    for offset, rec in enumerate(snap.records):
-        index = base + offset + 1
+    """Yield ``(position, RvEvent)`` for every available journal record.
+
+    Streams via :meth:`~repro.sim.replay.ReplayJournal.iter_indexed`: a
+    segment-rotating journal is walked one decompressed segment at a
+    time, so deriving verdicts from an arbitrarily long run never
+    materialises the whole event log in memory."""
+    for index, rec in journal.iter_indexed():
         symbol, _, phase = rec.kind.rpartition(":")
         yield index, RvEvent(
             rec.time,
@@ -37,8 +39,8 @@ def journal_events(journal: ReplayJournal) -> Iterable[Tuple[int, RvEvent]]:
             symbol,
             rec.process,
             rec.detail,
-            journal.event_links.get(index),
-            journal.event_targets.get(index),
+            journal.link_for_event(index),
+            journal.target_for_event(index),
         )
 
 

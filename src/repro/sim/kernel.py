@@ -45,7 +45,7 @@ import enum
 import heapq
 from collections import deque
 from dataclasses import dataclass
-from typing import Any, Callable, Deque, Generator, List, Optional, Tuple
+from typing import Any, Callable, Deque, Dict, Generator, List, Optional, Tuple
 
 from ..errors import DeadlockError, SimulationError
 from .events import Event
@@ -215,6 +215,22 @@ class Scheduler:
         Used by the sharded coordinator to compute the lookahead promise a
         shard can extend to its peers after draining a quantum."""
         return min((t for t, _, p in self._timed if p.alive), default=None)
+
+    def capture_state(self) -> Dict[str, Any]:
+        """Deterministic kernel-side deep-state capture (the kernel's
+        contribution to a :class:`~repro.sim.snapshot.MachineState`).
+
+        Taken at a dispatch boundary this is stop-invariant: the ready
+        queue, the sorted live timed-heap entries and the clock are pure
+        functions of the dispatch count (interactive suspends re-queue
+        the interrupted process at the front and do not count the
+        dispatch, so no interleaving is observable)."""
+        return {
+            "time": self.now,
+            "dispatch": self._dispatch_count,
+            "ready": tuple(p.name for p in self._ready if p.alive),
+            "timed": tuple(sorted((t, s, p.name) for t, s, p in self._timed if p.alive)),
+        }
 
     # ------------------------------------------------------------- internal
 

@@ -12,11 +12,17 @@ position and (b) prove the re-execution really is identical:
   data-exchange exits, the token's global sequence number.  The log
   doubles as a fingerprint stream: replaying compares each event against
   the recorded one (the determinism self-check).
-- periodic **checkpoints** — lightweight digests (not restorable state:
-  actor coroutines cannot be snapshotted) taken every N completed
-  dispatches: simulated time, next token seq, per-link occupancy as
-  token-seq tuples.  A replay that matches every digest en route has
-  provably rebuilt the same machine.
+- periodic **checkpoints** — digests taken every N completed dispatches:
+  simulated time, next token seq, per-link occupancy as token-seq
+  tuples.  A replay that matches every digest en route has provably
+  rebuilt the same machine.
+- sparse **deep state snapshots** — full :class:`~repro.sim.snapshot.
+  MachineState` captures (kernel clock/heap/ready queue, link queues
+  with payload texts, per-actor scheduling state) taken at checkpoint
+  boundaries.  Replays verify them en route (a much stronger self-check
+  than the digest), and the :class:`~repro.core.replay.ReplayManager`
+  pairs them with *resident* replayed machines so ``replay to`` restores
+  the nearest snapshot and re-executes only the tail.
 - the **stop log** — where the user stopped, as event-log positions, so
   ``reverse-continue`` can land on the previous dataflow stop.
 - the **alteration log** — debugger-side mutations (token insert / drop /
@@ -29,14 +35,21 @@ under interactive stops, and an index names an exact mid-dispatch machine
 state (the moment just after that event's listeners ran).
 
 Storage reuses :class:`~repro.sim.trace.TraceRecorder` (same dual
-cap/ring policies, same O(1) per-kind indexing).
+cap/ring policies, same O(1) per-kind indexing).  With ``segment_dir``
+set, the journal instead keeps a sliding in-memory window and rotates
+older events — side tables included — into compressed on-disk
+:mod:`segments <repro.sim.segments>`; every query and the streaming
+:meth:`ReplayJournal.iter_indexed` fall back to segments transparently,
+so nothing is ever lost and memory stays bounded on unbounded runs.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Any, Dict, Iterator, List, Optional, Tuple
 
+from ..errors import ReplayError
+from .segments import DEFAULT_SEGMENT_WINDOW, SegmentStore
 from .trace import TraceRecord, TraceRecorder
 
 #: event-log kind of a completed token production — the determinism
@@ -48,7 +61,7 @@ DEFAULT_CHECKPOINT_INTERVAL = 64
 
 @dataclass(frozen=True)
 class Checkpoint:
-    """Digest of the machine at a dispatch boundary (not restorable)."""
+    """Digest of the machine at a dispatch boundary."""
 
     index: int  # event-log position when taken
     dispatch: int  # kernel dispatch count when taken
@@ -90,15 +103,29 @@ class AlterationRecord:
 class ReplayJournal:
     """The recorded run: event log + checkpoints + stop/alteration logs."""
 
-    def __init__(self, limit: Optional[int] = None, ring: bool = False):
+    def __init__(
+        self,
+        limit: Optional[int] = None,
+        ring: bool = False,
+        segment_dir: Optional[str] = None,
+        window: int = DEFAULT_SEGMENT_WINDOW,
+    ):
+        if segment_dir is not None:
+            # segment rotation bounds memory without losing anything, so
+            # the lossy cap/ring policies are mutually exclusive with it
+            limit, ring = None, False
         self.events = TraceRecorder(limit=limit, ring=ring)
+        self.segments: Optional[SegmentStore] = (
+            SegmentStore(segment_dir) if segment_dir is not None else None
+        )
+        self.window = max(2, window)
         self.checkpoints: List[Checkpoint] = []
         self.stops: List[StopRecord] = []
         self.alterations: List[AlterationRecord] = []
         #: token seq -> link name, noted at push/pop exits.  Not part of
-        #: the fingerprint stream; it lets a post-hoc consumer (the
-        #: telemetry deriver) attribute recorded token events to links,
-        #: which the event log alone cannot (it stores only the seq).
+        #: the fingerprint stream; it lets a post-hoc consumer attribute
+        #: recorded token events to links.  Rotates into segments with
+        #: the push event that minted the seq (see ``token_link``).
         self.token_links: Dict[int, str] = {}
         #: event position -> link name for *every* push/pop event (both
         #: phases).  Entries matter to the runtime-verification deriver:
@@ -118,7 +145,13 @@ class ReplayJournal:
         #: numbers its own tokens, so seqs collide across journals while
         #: positions cannot.
         self.event_values: Dict[int, str] = {}
+        #: dispatch count -> deep MachineState snapshot (sparse; see
+        #: :mod:`repro.sim.snapshot`).  Small next to the event log, so
+        #: kept in memory even when the log itself rotates.
+        self.state_snapshots: Dict[int, Any] = {}
+        self._snapshot_order: List[int] = []
         self._total = 0
+        self._max_seq: Optional[int] = None
         self._cp_by_dispatch: Dict[int, Checkpoint] = {}
 
     # ------------------------------------------------------------ recording
@@ -128,13 +161,58 @@ class ReplayJournal:
         """Lifetime event count (positions run 1..total_events)."""
         return self._total
 
+    @property
+    def max_seq_recorded(self) -> Optional[int]:
+        """Largest token seq the event log ever carried (even if the
+        carrying record was later evicted); None if no token yet."""
+        return self._max_seq
+
+    @property
+    def evicted_events(self) -> int:
+        """Events irrecoverably discarded by a cap/ring bound.  Always 0
+        for segment-rotating journals — rotation is not loss."""
+        return self.events.dropped
+
     def add_event(
         self, time: int, phase: str, symbol: str, actor: Optional[str], seq: Optional[int]
     ) -> int:
         """Append one framework event; returns its 1-based position."""
         self._total += 1
+        if seq is not None and (self._max_seq is None or seq > self._max_seq):
+            self._max_seq = seq
         self.events.record(time, actor or "", f"{symbol}:{phase}", seq)
+        if self.segments is not None and len(self.events) >= self.window:
+            self._rotate()
         return self._total
+
+    def _rotate(self) -> None:
+        """Move the oldest half-window of the in-memory log (and its side
+        table entries) into a compressed on-disk segment."""
+        n = len(self.events) // 2
+        first = self._total - len(self.events) + 1
+        records = self.events.drain_oldest(n)
+        last = first + len(records) - 1
+        links: Dict[int, str] = {}
+        targets: Dict[int, str] = {}
+        values: Dict[int, str] = {}
+        tokens: Dict[int, str] = {}
+        for pos in range(first, last + 1):
+            link = self.event_links.pop(pos, None)
+            if link is not None:
+                links[pos] = link
+            target = self.event_targets.pop(pos, None)
+            if target is not None:
+                targets[pos] = target
+            value = self.event_values.pop(pos, None)
+            if value is not None:
+                values[pos] = value
+        for rec in records:
+            # a push exit mints its seq: the token->link note travels with it
+            if rec.kind == TOKEN_EVENT_KIND and rec.detail is not None:
+                link = self.token_links.pop(rec.detail, None)
+                if link is not None:
+                    tokens[rec.detail] = link
+        self.segments.rotate(first, records, links, targets, values, tokens)
 
     def note_token_link(self, seq: Optional[int], link: Optional[str]) -> None:
         """Remember which link carried token ``seq`` (first note wins)."""
@@ -163,6 +241,15 @@ class ReplayJournal:
         self.checkpoints.append(cp)
         self._cp_by_dispatch[cp.dispatch] = cp
 
+    def add_state_snapshot(self, dispatch: int, state: Any) -> None:
+        """Attach a deep MachineState snapshot to a dispatch boundary."""
+        if dispatch not in self.state_snapshots:
+            self._snapshot_order.append(dispatch)
+        self.state_snapshots[dispatch] = state
+
+    def state_snapshot_at(self, dispatch: int) -> Optional[Any]:
+        return self.state_snapshots.get(dispatch)
+
     def add_stop(self, record: StopRecord) -> None:
         self.stops.append(record)
 
@@ -173,20 +260,62 @@ class ReplayJournal:
 
     def record_at(self, index: int) -> Optional[TraceRecord]:
         """The stored event at 1-based ``index``; None if out of range or
-        evicted by the bound (cap mode keeps the first ``limit`` events,
-        ring mode the last)."""
+        evicted by a cap/ring bound.  Falls back to on-disk segments when
+        the journal rotates."""
         if not 1 <= index <= self._total:
             return None
         events = self.events
         stored = len(events)
-        if events.ring:
-            first = self._total - stored + 1  # oldest stored position
-            if index < first:
-                return None
-            return events.at(index - first)
+        first = self._total - stored + 1  # oldest in-memory position
+        if events.ring or self.segments is not None:
+            if index >= first:
+                return events.at(index - first)
+            if self.segments is not None:
+                seg = self.segments.segment_for(index)
+                if seg is not None:
+                    return self.segments.load(seg).record_at(index)
+            return None
         if index > stored:
             return None
         return events.at(index - 1)
+
+    def link_for_event(self, index: int) -> Optional[str]:
+        """``event_links`` lookup that falls back to segments."""
+        link = self.event_links.get(index)
+        if link is None and self.segments is not None:
+            seg = self.segments.segment_for(index)
+            if seg is not None:
+                return self.segments.load(seg).event_links.get(index)
+        return link
+
+    def target_for_event(self, index: int) -> Optional[str]:
+        """``event_targets`` lookup that falls back to segments."""
+        target = self.event_targets.get(index)
+        if target is None and self.segments is not None:
+            seg = self.segments.segment_for(index)
+            if seg is not None:
+                return self.segments.load(seg).event_targets.get(index)
+        return target
+
+    def value_for_event(self, index: int) -> Optional[str]:
+        """``event_values`` lookup that falls back to segments."""
+        value = self.event_values.get(index)
+        if value is None and self.segments is not None:
+            seg = self.segments.segment_for(index)
+            if seg is not None:
+                return self.segments.load(seg).event_values.get(index)
+        return value
+
+    def token_link(self, seq: int) -> Optional[str]:
+        """``token_links`` lookup that falls back to segments (newest
+        first — interactive lookups usually target recent tokens)."""
+        link = self.token_links.get(seq)
+        if link is None and self.segments is not None:
+            for seg in reversed(self.segments.segments):
+                link = self.segments.load(seg).token_links.get(seq)
+                if link is not None:
+                    return link
+        return link
 
     def checkpoint_at_dispatch(self, dispatch: int) -> Optional[Checkpoint]:
         return self._cp_by_dispatch.get(dispatch)
@@ -201,46 +330,132 @@ class ReplayJournal:
                 break
         return best
 
+    def iter_indexed(self, kind: Optional[str] = None) -> Iterator[Tuple[int, TraceRecord]]:
+        """Stream ``(position, record)`` over everything still available —
+        on-disk segments first (one resident at a time), then the
+        in-memory window — without materialising the whole journal."""
+        if self.segments is not None:
+            for pos, rec in self.segments.iter_records():
+                if kind is None or rec.kind == kind:
+                    yield pos, rec
+        base = self._stored_base()
+        for offset, rec in enumerate(self.events):
+            if kind is None or rec.kind == kind:
+                yield base + offset + 1, rec
+
     def token_stream(self, kind: str = TOKEN_EVENT_KIND) -> List[int]:
         """Global seq numbers of every recorded token production, in
         order — the run's determinism fingerprint."""
-        return [rec.detail for rec in self.events.of_kind(kind) if rec.detail is not None]
+        if self.segments is None:
+            return [rec.detail for rec in self.events.of_kind(kind) if rec.detail is not None]
+        return [rec.detail for _, rec in self.iter_indexed(kind) if rec.detail is not None]
 
-    def link_value_streams(self, kind: str = TOKEN_EVENT_KIND) -> Dict[str, List[str]]:
+    def link_value_streams(
+        self, kind: str = TOKEN_EVENT_KIND, partial: bool = False
+    ) -> Dict[str, List[str]]:
         """Per-link ordered token payload streams (canonical texts).
 
         Requires the ``event_links`` / ``event_values`` side tables (both
         populated by :class:`~repro.core.replay.RunRecorder`).  This is
         the shard-invariant projection of the journal: merging each
-        shard's streams reproduces the single-kernel streams exactly."""
+        shard's streams reproduces the single-kernel streams exactly.
+
+        A cap/ring-bounded journal that actually evicted events cannot
+        produce complete streams; that raises unless ``partial=True``
+        explicitly asks for the surviving window (a segment-rotating
+        journal never evicts and always streams everything)."""
+        if self.evicted_events and not partial:
+            lo, hi = self.stored_range()
+            raise ReplayError(
+                f"link value streams are incomplete: the journal bound evicted "
+                f"{self.evicted_events} of {self._total} event(s) (stored window "
+                f"{lo}..{hi}); record with segment_dir=... to keep everything, "
+                f"or pass partial=True for the surviving window"
+            )
         streams: Dict[str, List[str]] = {}
-        for i, rec in enumerate(self.events, start=self._stored_base() + 1):
-            if rec.kind != kind:
-                continue
-            link = self.event_links.get(i)
-            value = self.event_values.get(i)
+        for i, rec in self.iter_indexed(kind):
+            link = self.link_for_event(i)
+            value = self.value_for_event(i)
             if link is None or value is None:
                 continue
             streams.setdefault(link, []).append(value)
         return streams
 
     def _stored_base(self) -> int:
-        """Position of the oldest stored event, minus one."""
-        return self._total - len(self.events) if self.events.ring else 0
+        """Position of the oldest in-memory event, minus one."""
+        if self.events.ring or self.segments is not None:
+            return self._total - len(self.events)
+        return 0
+
+    def stored_range(self) -> Tuple[int, int]:
+        """The contiguous position range still *available* (in memory or
+        in segments): positions outside it were irrecoverably evicted."""
+        if self._total == 0:
+            return (0, 0)
+        if self.segments is not None:
+            return (1, self._total)
+        if self.events.ring:
+            return (self._total - len(self.events) + 1, self._total)
+        return (1, len(self.events))
 
     def index_for_seq(self, seq: int, kind: str = TOKEN_EVENT_KIND) -> Optional[int]:
-        """Event position at which token ``seq`` was produced."""
-        for i, rec in enumerate(self.events, start=self._stored_base() + 1):
-            if rec.kind == kind and rec.detail == seq:
+        """Event position at which token ``seq`` was produced, or None if
+        that position is not available (see :meth:`seq_status` for the
+        evicted / never-recorded distinction)."""
+        for i, rec in self.iter_indexed(kind):
+            if rec.detail == seq:
                 return i
         return None
 
+    def seq_status(self, seq: int, kind: str = TOKEN_EVENT_KIND) -> Tuple[str, Optional[int]]:
+        """Resolve a token seq to ``(status, index)``:
+
+        - ``("found", index)`` — the production event is available;
+        - ``("evicted", None)`` — it *was* recorded, but the journal
+          bound discarded it (seq <= the largest seq ever logged and
+          events were evicted);
+        - ``("unknown", None)`` — no such token was ever recorded."""
+        index = self.index_for_seq(seq, kind)
+        if index is not None:
+            return ("found", index)
+        if (
+            self.evicted_events
+            and self._max_seq is not None
+            and 0 <= seq <= self._max_seq
+        ):
+            return ("evicted", None)
+        return ("unknown", None)
+
     def index_for_time(self, time: int) -> Optional[int]:
-        """First stored event position at simulated time >= ``time``."""
-        for i, rec in enumerate(self.events, start=self._stored_base() + 1):
+        """First available event position at simulated time >= ``time``."""
+        for i, rec in self.iter_indexed():
             if rec.time >= time:
                 return i
         return None
+
+    def time_status(self, time: int) -> Tuple[str, Optional[int]]:
+        """Resolve a timestamp to ``(status, index)``: ``found`` when the
+        first event at/after ``time`` is provably available, ``evicted``
+        when eviction makes the answer unknowable (sim time is monotone,
+        so a ring journal is only trustworthy strictly *after* the oldest
+        surviving record's time), ``unknown`` when the run never reached
+        ``time``."""
+        index = self.index_for_time(time)
+        if self.evicted_events:
+            if self.events.ring:
+                lo, _ = self.stored_range()
+                oldest = self.record_at(lo)
+                # an evicted event may also match: times are nondecreasing,
+                # so everything evicted happened at or before oldest.time
+                if oldest is None or time <= oldest.time:
+                    return ("evicted", None)
+            elif index is None:
+                # cap mode drops the *newest* events: no stored match says
+                # nothing about the dropped tail
+                return ("evicted", None)
+        if index is None:
+            return ("unknown", None)
+        return ("found", index)
 
     @staticmethod
     def describe_record(rec: TraceRecord) -> str:

@@ -49,6 +49,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
 
 from ..kernel import Scheduler, StopKind, StopReason
+from ..snapshot import MachineState, capture_machine_state
 from .channel import INFINITE_TIME, CrossShardChannel, ShardContext
 from .lookahead import ShardLookahead
 
@@ -89,12 +90,25 @@ class ShardedStop:
 class ShardedScheduler:
     """Drives N shard kernels under the conservative horizon protocol."""
 
-    def __init__(self, shards: List[Shard], channels: Dict[str, CrossShardChannel]):
+    def __init__(
+        self,
+        shards: List[Shard],
+        channels: Dict[str, CrossShardChannel],
+        snapshots: bool = False,
+    ):
         self.shards = list(shards)
         self.channels = dict(channels)
         self.rounds = 0
         self._cursor = 0  # shard index the next pass starts at (resume point)
         self.result: Optional[ShardedStop] = None
+        #: when on, capture each shard's deep MachineState as its quantum
+        #: drains at the conservative barrier — the sharded analogue of
+        #: the single-kernel checkpoint snapshot.  Barrier states are a
+        #: pure function of the plan and the program (quantum bounds are),
+        #: so they double as a cross-run determinism artefact.
+        self.snapshots_enabled = snapshots
+        self.barrier_states: Dict[int, MachineState] = {}
+        self.snapshots_taken = 0
 
     # -------------------------------------------------------------- queries
 
@@ -194,6 +208,13 @@ class ShardedScheduler:
                     shard.scheduler.now = bound
                 if self._publish_horizons(shard, stop):
                     progressed = True
+                if self.snapshots_enabled:
+                    # the shard is parked at its barrier: a consistent,
+                    # dispatch-boundary point — capture its deep state
+                    self.barrier_states[shard.index] = capture_machine_state(
+                        shard.scheduler, shard.runtime
+                    )
+                    self.snapshots_taken += 1
                 if (shard.scheduler.dispatch_count, shard.scheduler.now) != before:
                     progressed = True
             self._cursor = 0
@@ -281,4 +302,13 @@ class ShardedScheduler:
                     f"horizon={h}, queued={len(ch.queue)}, forwarded={ch.total_forwarded}"
                 )
         lines.append(f"coordination rounds: {self.rounds}")
+        if self.snapshots_enabled:
+            digests = ", ".join(
+                f"shard {idx}: {state.digest()}"
+                for idx, state in sorted(self.barrier_states.items())
+            )
+            lines.append(
+                f"barrier snapshots: {self.snapshots_taken} taken"
+                + (f" ({digests})" if digests else "")
+            )
         return lines

@@ -103,6 +103,20 @@ class TraceRecorder:
             bucket = self._by_kind[kind] = deque()
         bucket.append(rec)
 
+    def drain_oldest(self, n: int) -> List[TraceRecord]:
+        """Remove and return the ``n`` oldest stored records (in order).
+
+        Unlike ring eviction this is *rotation*, not loss: the caller is
+        expected to persist the drained records elsewhere (see
+        :class:`~repro.sim.segments.SegmentStore`), so ``dropped`` is not
+        incremented and ``kind_counts`` keeps its lifetime totals."""
+        out: List[TraceRecord] = []
+        for _ in range(min(n, len(self._records))):
+            rec = self._records.popleft()
+            self._by_kind[rec.kind].popleft()
+            out.append(rec)
+        return out
+
     def of_kind(self, kind: str) -> List[TraceRecord]:
         """Stored records of one kind — O(matches), not O(all records)."""
         bucket = self._by_kind.get(kind)

@@ -291,7 +291,9 @@ def test_cli_record_replay_commands():
     assert any("position: event #10" in line for line in out)
     assert any("self-check" in line for line in out)
 
-    assert cli.execute("replay") == ["error: usage: replay to seq N|time T|event K|end"]
+    assert cli.execute("replay") == [
+        "error: usage: replay to seq N|time T|event K|end | replay snapshots N|off"
+    ]
     out = cli.execute("replay to nowhere")
     assert out[0].startswith("error: bad replay position")
     out = cli.execute("record maybe")
