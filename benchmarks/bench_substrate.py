@@ -106,8 +106,13 @@ U32 main() {
 #: (measured ~4x on fib15 / ~5x on loop5k; recorded conservatively)
 RECORDED_SPEEDUP_MARGIN = 2.0
 
+#: the next rung: the register-machine bytecode tier must beat the
+#: compiled closure tier by at least this factor on the straight-line
+#: hot loop (measured ~2x on loop5k; recorded conservatively)
+VM_SPEEDUP_MARGIN = 1.5
 
-@pytest.mark.parametrize("tier", ["compiled", "slow"])
+
+@pytest.mark.parametrize("tier", ["vm", "compiled", "slow"])
 @pytest.mark.parametrize("name,src,expected", [
     ("fib15", FIB_SRC, 610),
     ("loop5k", LOOP_SRC, None),
@@ -118,8 +123,8 @@ def test_interpreter_throughput(benchmark, name, src, expected, tier):
 
     def work():
         interp = Interpreter(prog, info, env=NullEnvironment(), timed=False)
-        if tier == "slow":
-            interp.tier = "slow"
+        if tier != "compiled":
+            interp.tier = tier
         return run_sync(interp.run_function("main")), interp.state.statements_executed
 
     (value, stmts) = benchmark(lambda: _fresh_stack(work))
@@ -160,6 +165,28 @@ def test_compiled_tier_margin():
     assert slow >= RECORDED_SPEEDUP_MARGIN * fast, (
         f"compiled tier speedup {slow / fast:.2f}x below the recorded "
         f"{RECORDED_SPEEDUP_MARGIN}x margin (fast {fast:.4f}s, slow {slow:.4f}s)"
+    )
+
+
+def test_vm_tier_margin():
+    """The bytecode-tier acceptance bar, independent of pytest-benchmark
+    (also runs under ``--benchmark-disable``): on the straight-line hot
+    loop the register VM beats the compiled closure tier by the recorded
+    margin."""
+    prog = parse_program(LOOP_SRC)
+    info = analyze(prog, None, LOOP_SRC)
+
+    def run(tier):
+        interp = Interpreter(prog, info, env=NullEnvironment(), timed=False)
+        interp.tier = tier
+        return run_sync(interp.run_function("main"))
+
+    assert run("vm") == run("auto")  # same value before we time anything
+    vm = _fresh_stack(lambda: _best_of(lambda: run("vm")))
+    closure = _fresh_stack(lambda: _best_of(lambda: run("auto")))
+    assert closure >= VM_SPEEDUP_MARGIN * vm, (
+        f"vm tier speedup {closure / vm:.2f}x below the recorded "
+        f"{VM_SPEEDUP_MARGIN}x margin (vm {vm:.4f}s, closure {closure:.4f}s)"
     )
 
 

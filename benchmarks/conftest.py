@@ -12,9 +12,22 @@ scripts can compare runs without scraping terminal tables.
 """
 
 import json
+import subprocess
 from pathlib import Path
 
 import pytest
+
+
+def _git_sha(root):
+    """The commit the numbers were taken at (None outside a checkout) —
+    lets CI and the experiment scripts line bench rows up across runs."""
+    try:
+        return subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=root, capture_output=True, text=True, timeout=10,
+        ).stdout.strip() or None
+    except (OSError, subprocess.SubprocessError):
+        return None
 
 
 def _bench_rows(benchmarks):
@@ -29,6 +42,7 @@ def _bench_rows(benchmarks):
         fullname = getattr(bench, "fullname", "") or ""
         modpath = fullname.split("::", 1)[0]
         stem = Path(modpath).stem  # bench_substrate
+        params = getattr(bench, "params", None) or {}
         row = {
             "test": fullname.split("::", 1)[-1],
             "group": getattr(bench, "group", None),
@@ -37,6 +51,8 @@ def _bench_rows(benchmarks):
             "stddev": getattr(stats, "stddev", None),
             "rounds": getattr(stats, "rounds", None),
         }
+        if "tier" in params:  # tiered rows are comparable by tier key
+            row["tier"] = params["tier"]
         by_file.setdefault(stem, []).append(row)
     return by_file
 
@@ -47,10 +63,14 @@ def pytest_sessionfinish(session, exitstatus):
     if bs is None:
         return
     root = Path(str(session.config.rootpath))
+    sha = _git_sha(root)
     for stem, rows in _bench_rows(getattr(bs, "benchmarks", [])).items():
         name = stem[len("bench_"):] if stem.startswith("bench_") else stem
         out = root / f"BENCH_{name}.json"
-        out.write_text(json.dumps({"bench": stem, "rows": rows}, indent=2) + "\n")
+        out.write_text(
+            json.dumps({"bench": stem, "git_sha": sha, "rows": rows}, indent=2)
+            + "\n"
+        )
         tr = session.config.pluginmanager.get_plugin("terminalreporter")
         if tr is not None:
             tr.write_line(f"bench results written to {out}")

@@ -25,8 +25,15 @@ from .errors import ReproError
 
 def _apply_tier(session, tier: str) -> None:
     """Force every live interpreter onto ``tier`` ("auto" is the default:
-    compiled closures with debugger-triggered deoptimization; "slow" is
-    the per-statement resumable tier, useful as a differential oracle)."""
+    compiled closures with debugger-triggered deoptimization; "vm" is the
+    register-machine bytecode tier; "slow" is the per-statement resumable
+    tier, useful as a differential oracle)."""
+    from .cminus.interp import VALID_TIERS
+
+    if tier not in VALID_TIERS:
+        raise ReproError(
+            f"unknown interpreter tier {tier!r} (choose from {', '.join(VALID_TIERS)})"
+        )
     runtime = session.dbg.runtime
     runtime.config.interp_tier = tier
     for actor in runtime.all_actors():
@@ -147,10 +154,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--source-values", default="",
                         help="comma-separated integers fed to the first module input")
     parser.add_argument("--script", help="run commands from this file instead of a REPL")
-    parser.add_argument("--interp-tier", choices=["auto", "slow"], default="auto",
+    parser.add_argument("--interp-tier", choices=["auto", "vm", "slow"], default="auto",
                         help="Filter-C execution tier: 'auto' runs compiled closures "
-                             "with debugger-triggered deoptimization, 'slow' forces "
-                             "the per-statement resumable interpreter")
+                             "with debugger-triggered deoptimization, 'vm' runs the "
+                             "register-machine bytecode tier (fastest; supports disas/"
+                             "stepi/ISA breakpoints), 'slow' forces the per-statement "
+                             "resumable interpreter")
     parser.add_argument("--trace-out", metavar="FILE",
                         help="enable telemetry from the start and write a "
                              "Perfetto-loadable Chrome trace-event JSON on exit")

@@ -145,6 +145,14 @@ class DebugHook:
     #: compiled tier keeps running compiled and the monitors-off cost on
     #: the statement path stays a single predicted branch
     CAP_RV = 0x20
+    #: per-instruction observation on the VM tier (ISA breakpoints,
+    #: register watchpoints, ``stepi``).  Outside CAP_ALL and ignored by
+    #: tier selection — arming it never deoptimizes; it flips the VM
+    #: dispatch loop into its instrumented prelude, which calls
+    #: :meth:`on_instruction` before every instruction.  The bit is the
+    #: ISA-level extension of the hook-elision bitmask: disarmed, the VM
+    #: pays one local bool test per instruction
+    CAP_ISA = 0x40
 
     capabilities: int = CAP_ALL
 
@@ -159,6 +167,16 @@ class DebugHook:
 
     def on_trap(self, interp: "Interpreter") -> Optional[Suspend]:
         return Suspend("trap")
+
+    def on_instruction(self, interp: "Interpreter", act) -> Optional[Suspend]:
+        """Called before each VM instruction while CAP_ISA is armed;
+        ``act`` is the :class:`~repro.cminus.vm.emulator.Activation`."""
+        return None
+
+    def on_isa_break(self, interp: "Interpreter", act) -> Optional[Suspend]:
+        """A ``brk``/``brkc`` break instruction fired (hook attached;
+        like :meth:`on_trap`, not capability-gated)."""
+        return Suspend("brk")
 
 
 @dataclass
@@ -179,6 +197,12 @@ class CostModel:
 
     def stmt_cost(self, stmt: ast.Stmt) -> int:
         return self.default_stmt
+
+
+#: accepted values of ``Interpreter.tier`` / ``RuntimeConfig.interp_tier``:
+#: "auto" picks the fastest non-observing tier (closure), "vm" runs the
+#: register-machine bytecode tier, "slow" always tree-walks
+VALID_TIERS = ("auto", "vm", "slow")
 
 
 # -------------------------------------------------------------------- frames
@@ -267,6 +291,8 @@ class Interpreter:
         self.cycles_flushed = 0
         self._count_cycles = False
         self._rv_armed = False
+        self._isa_armed = False
+        self._vm_trace = False
         # constant per-statement cost when the cost model is not refined;
         # None forces a stmt_cost() call per boundary
         self._stmt_cost_const: Optional[int] = (
@@ -276,6 +302,12 @@ class Interpreter:
         )
         self._compiled = None  # lazily built CompiledUnit (fast tier)
         self._compile_failed = False
+        self._vm_unit = None  # lazily built VmUnit (bytecode tier)
+        self._vm_failed = False
+        #: simulated cycles attributed per executed VM opcode (keyed by
+        #: opcode number), counted only while CAP_TELEMETRY is armed —
+        #: never added to ``_pending``, so Delay streams stay tier-exact
+        self.opcode_cycles: Dict[int, int] = {}
         # hook-elision fast-path flags, cached from hook.capabilities so the
         # per-statement checkpoint is one attribute test when disarmed
         self._want_stmt = True
@@ -314,6 +346,12 @@ class Interpreter:
         # is cached only so tooling can see it rode the same mask without
         # perturbing tier selection (CAP_RV must never flip _fast_ok)
         self._rv_armed = bool(caps & DebugHook.CAP_RV)
+        # ISA-level observation flips the VM dispatch loop into its
+        # instrumented prelude without deoptimizing (CAP_ISA must never
+        # flip _fast_ok); telemetry rides the same prelude for per-opcode
+        # cycle attribution
+        self._isa_armed = bool(caps & DebugHook.CAP_ISA)
+        self._vm_trace = self._isa_armed or self._count_cycles
         # fully-synchronous execution is only safe when nothing can observe
         # or suspend mid-region: no hook at all and untimed simulation
         self._pure_fast = self.hook is None and not self.timed
@@ -351,7 +389,11 @@ class Interpreter:
         if not self._globals_ready:
             yield from self._init_globals()
         self._pure_fast = self.hook is None and not self.timed
-        if self._use_fast(func.name):
+        if self._use_vm(func.name):
+            from .vm.emulator import call_vm
+
+            ret = yield from call_vm(self, func.name, list(args))
+        elif self._use_fast(func.name):
             from .compile import call_compiled
 
             ret = yield from call_compiled(self, func.name, list(args))
@@ -360,6 +402,25 @@ class Interpreter:
         if self._pending:
             yield from self._flush_cost()
         return ret
+
+    def _use_vm(self, name: str) -> bool:
+        """Bytecode-tier selection: only when explicitly requested
+        (``tier == "vm"``) and no statement/call/return hook is armed —
+        entry-time descent falls through to ``_use_fast`` otherwise."""
+        if self.tier != "vm" or not self._fast_ok:
+            return False
+        vu = self._vm_unit
+        if vu is None:
+            if self._vm_failed:
+                return False
+            try:
+                from .vm.compiler import vm_unit
+
+                vu = self._vm_unit = vm_unit(self.program)
+            except Exception:  # compiler trouble must never break execution
+                self._vm_failed = True
+                return False
+        return vu.supports(name)
 
     def _use_fast(self, name: str) -> bool:
         """Tier selection: compiled unless a statement/call/return hook is

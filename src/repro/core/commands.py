@@ -102,6 +102,7 @@ def install_dataflow_commands(cli: CommandCli, session: DataflowSession) -> None
     cli.info_topics["metrics"] = handler.cmd_info_metrics
     cli.info_topics["spans"] = handler.cmd_info_spans
     cli.info_topics["trace"] = handler.cmd_info_trace
+    cli.info_topics["opcodes"] = handler.cmd_info_opcodes
     cli.info_topics["checks"] = handler.cmd_info_checks
     cli.info_topics["verdict"] = handler.cmd_info_verdict
 
@@ -502,6 +503,17 @@ class _Commands:
             lines.append(f"  ... ({len(snap.spans) - len(shown)} earlier span(s) not shown)")
         lines.extend("  " + span.describe() for span in shown)
         return lines
+
+    def cmd_info_opcodes(self, arg: str) -> List[str]:
+        """Per-opcode cycle attribution from the bytecode tier."""
+        cycles = self.session.telemetry.opcode_cycles()
+        if not cycles:
+            return ["no opcode cycles counted (needs `trace on` and the vm tier)"]
+        out = [f"{'opcode':<10} {'cycles':>12}"]
+        for name, cyc in sorted(cycles.items(), key=lambda kv: (-kv[1], kv[0])):
+            out.append(f"{name:<10} {cyc:>12}")
+        out.append(f"{'total':<10} {sum(cycles.values()):>12}")
+        return out
 
     def cmd_info_trace(self, arg: str) -> List[str]:
         lines: List[str] = []

@@ -184,6 +184,47 @@ class Watchpoint(BreakpointBase):
         return f"{self.expr_text} [{self.actor}]"
 
 
+class IsaBreakpoint(BreakpointBase):
+    """Breaks before one VM instruction executes (``function+pc``) — the
+    instruction-level analogue of a source breakpoint, available only on
+    the bytecode tier (arming one raises CAP_ISA; it never deoptimizes)."""
+
+    kind = "isa"
+    index_category = "isa"
+
+    def __init__(self, func_name: str, pc: int, **kwargs):
+        super().__init__(**kwargs)
+        self.func_name = func_name
+        self.pc = pc
+
+    def what(self) -> str:
+        s = f"{self.func_name}+{self.pc}"
+        if self.actor:
+            s += f" [{self.actor}]"
+        return s
+
+
+class RegisterWatchpoint(BreakpointBase):
+    """Stops when a VM register of a function changes value (compared
+    before each instruction while CAP_ISA is armed)."""
+
+    kind = "rwatch"
+    index_category = "rwatch"
+
+    def __init__(self, func_name: str, reg: int, **kwargs):
+        super().__init__(**kwargs)
+        self.func_name = func_name
+        self.reg = reg
+        self.last: Optional[tuple] = None  # 1-tuple holding the last value
+        self.primed = False
+
+    def what(self) -> str:
+        s = f"r{self.reg} in {self.func_name}"
+        if self.actor:
+            s += f" [{self.actor}]"
+        return s
+
+
 class FinishBreakpoint(BreakpointBase):
     """Fires when a specific frame returns (GDB's FinishBreakpoint)."""
 
@@ -229,6 +270,8 @@ class BreakpointRegistry:
         self._source_at: Dict[Tuple[str, int], List[SourceBreakpoint]] = {}
         self._function_at: Dict[str, List[FunctionBreakpoint]] = {}
         self._watch_at: Dict[str, List[Watchpoint]] = {}
+        self._isa_at: Dict[Tuple[str, int], List[IsaBreakpoint]] = {}
+        self._rwatch_at: Dict[str, List[RegisterWatchpoint]] = {}
         self._finish_at: Dict[int, List[FinishBreakpoint]] = {}
         self._flat: Dict[str, List[BreakpointBase]] = {}  # "api" / "catch"
         self._armed: Dict[str, int] = {}
@@ -248,6 +291,10 @@ class BreakpointRegistry:
             return self._function_at.setdefault(bp.symbol, [])
         if cat == "watch":
             return self._watch_at.setdefault(bp.actor, [])
+        if cat == "isa":
+            return self._isa_at.setdefault((bp.func_name, bp.pc), [])
+        if cat == "rwatch":
+            return self._rwatch_at.setdefault(bp.func_name, [])
         if cat == "finish":
             return self._finish_at.setdefault(id(bp.interp), [])
         if cat is not None:
@@ -262,6 +309,10 @@ class BreakpointRegistry:
             table, key = self._function_at, bp.symbol
         elif cat == "watch":
             table, key = self._watch_at, bp.actor
+        elif cat == "isa":
+            table, key = self._isa_at, (bp.func_name, bp.pc)
+        elif cat == "rwatch":
+            table, key = self._rwatch_at, bp.func_name
         elif cat == "finish":
             table, key = self._finish_at, id(bp.interp)
         elif cat is not None:
@@ -291,7 +342,8 @@ class BreakpointRegistry:
 
     def armed_count(self, category: str) -> int:
         """Enabled breakpoints in a category ('source', 'function',
-        'watch', 'finish', 'api', 'catch') — O(1), no allocation."""
+        'watch', 'isa', 'rwatch', 'finish', 'api', 'catch') — O(1), no
+        allocation."""
         return self._armed.get(category, 0)
 
     # ---------------------------------------------------------- life cycle
@@ -354,6 +406,20 @@ class BreakpointRegistry:
     def watchpoints_for(self, actor: str) -> Sequence[Watchpoint]:
         """Enabled watchpoints scoped to one actor qualname."""
         bucket = self._watch_at.get(actor)
+        if not bucket:
+            return ()
+        return [wp for wp in bucket if wp._enabled]
+
+    def isa_bps_at(self, func_name: str, pc: int) -> Sequence[IsaBreakpoint]:
+        """Enabled ISA breakpoints at exactly ``func_name+pc``."""
+        bucket = self._isa_at.get((func_name, pc))
+        if not bucket:
+            return ()
+        return [bp for bp in bucket if bp._enabled]
+
+    def register_watchpoints_for(self, func_name: str) -> Sequence[RegisterWatchpoint]:
+        """Enabled register watchpoints scoped to one VM function."""
+        bucket = self._rwatch_at.get(func_name)
         if not bucket:
             return ()
         return [wp for wp in bucket if wp._enabled]

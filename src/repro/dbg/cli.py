@@ -140,7 +140,9 @@ class CommandCli:
         reg(Command("continue", self._cmd_continue, "continue — resume execution", aliases=("c",)))
         reg(Command("step", self._cmd_step, "step — step one source line, entering calls", aliases=("s",)))
         reg(Command("next", self._cmd_next, "next — step one source line, over calls", aliases=("n",)))
-        reg(Command("stepi", self._cmd_stepi, "stepi — execute one statement", aliases=("si",)))
+        reg(Command("stepi", self._cmd_stepi,
+                    "stepi — execute one statement (one ISA instruction on the bytecode tier)",
+                    aliases=("si",)))
         reg(Command("finish", self._cmd_finish, "finish — run until the selected frame returns"))
         reg(Command("until", self._cmd_until,
                     "until LINE|FILE:LINE — run until the selected actor reaches a location"))
@@ -153,6 +155,15 @@ class CommandCli:
         reg(Command("tbreak", self._cmd_tbreak, "tbreak LOCATION — set a temporary breakpoint",
                     completer=self._complete_location))
         reg(Command("watch", self._cmd_watch, "watch EXPR — stop when EXPR changes (selected actor)"))
+        reg(Command("breaki", self._cmd_breaki,
+                    "breaki FUNC+PC — set an ISA breakpoint (bytecode tier)",
+                    aliases=("bi",), completer=self._complete_location))
+        reg(Command("rwatch", self._cmd_rwatch,
+                    "rwatch FUNC rN — stop when VM register rN of FUNC changes",
+                    completer=self._complete_location))
+        reg(Command("disas", self._cmd_disas,
+                    "disas [FUNC] — disassemble bytecode (current frame by default)",
+                    aliases=("disassemble",), completer=self._complete_location))
         reg(Command("delete", self._cmd_delete, "delete N — delete breakpoint N", aliases=("d",)))
         reg(Command("enable", self._cmd_enable, "enable N — enable breakpoint N"))
         reg(Command("disable", self._cmd_disable, "disable N — disable breakpoint N"))
@@ -167,7 +178,7 @@ class CommandCli:
         reg(Command("down", self._cmd_down, "down — select the callee frame"))
         reg(Command("list", self._cmd_list, "list [LINE] — show source around the stop", aliases=("l",)))
         reg(Command("info", self._cmd_info,
-                    "info breakpoints|actors|threads|locals|args|functions [SUBSTR]|platform",
+                    "info breakpoints|actors|threads|locals|args|functions [SUBSTR]|platform|registers",
                     completer=self._complete_info))
         reg(Command("actor", self._cmd_actor, "actor NAME — select an actor (thread)",
                     aliases=("thread",), completer=self._complete_actor))
@@ -229,6 +240,24 @@ class CommandCli:
             raise CommandError("watch: missing expression")
         wp = self.dbg.watch(arg)
         return [f"Watchpoint {wp.id}: {wp.what()}"]
+
+    def _cmd_breaki(self, arg: str) -> List[str]:
+        if not arg:
+            raise CommandError("breaki: missing location (FUNC+PC)")
+        bp = self.dbg.break_isa(arg)
+        return [f"ISA breakpoint {bp.id} at {bp.what()}"]
+
+    def _cmd_rwatch(self, arg: str) -> List[str]:
+        parts = arg.split()
+        if len(parts) != 2 or not parts[1].lstrip("r").isdigit():
+            raise CommandError("usage: rwatch FUNC rN")
+        reg = int(parts[1].lstrip("r"))
+        wp = self.dbg.watch_register(parts[0], reg)
+        return [f"Register watchpoint {wp.id}: {wp.what()}"]
+
+    def _cmd_disas(self, arg: str) -> List[str]:
+        text = self.dbg.disas_text(arg.strip() or None)
+        return text.rstrip("\n").split("\n")
 
     def _int_arg(self, arg: str, what: str) -> int:
         if not arg.strip().isdigit():
@@ -416,6 +445,13 @@ class CommandCli:
                     if acc.occupant is not None:
                         out.append(f"  {acc.name}: {getattr(acc.occupant, 'qualname', acc.occupant)}")
             return out
+        if topic == "registers":
+            rows = self.dbg.register_rows()
+            out = []
+            for i, name, v in rows:
+                label = f"r{i}" + (f" ({name})" if name else "")
+                out.append(f"{label:<20} {v!r}")
+            return out or ["No registers."]
         if topic == "functions":
             matches = self.dbg.debug_info.match_functions(rest.strip())
             return [str(f) for f in matches] or ["No matching functions."]
@@ -434,7 +470,7 @@ class CommandCli:
 
     def _complete_info(self, text: str) -> List[str]:
         topics = ["breakpoints", "actors", "threads", "locals", "args",
-                  "functions", "platform"] + sorted(self.info_topics)
+                  "functions", "platform", "registers"] + sorted(self.info_topics)
         return [s for s in topics if s.startswith(text)]
 
     def _complete_actor(self, text: str) -> List[str]:

@@ -28,6 +28,8 @@ from .breakpoints import (
     BreakpointRegistry,
     FinishBreakpoint,
     FunctionBreakpoint,
+    IsaBreakpoint,
+    RegisterWatchpoint,
     SourceBreakpoint,
     Watchpoint,
 )
@@ -37,7 +39,7 @@ from .stop import StopEvent, StopKind
 
 @dataclass
 class _StepState:
-    mode: str  # "step" | "next" | "stepi"
+    mode: str  # "step" | "next" | "stepi" | "isi"
     actor: str  # qualified name
     depth: int
     line: int
@@ -60,6 +62,12 @@ class _InterpHook(DebugHook):
 
     def on_trap(self, interp):
         return self.dbg._on_trap(interp)
+
+    def on_instruction(self, interp, act):
+        return self.dbg._on_instruction(interp, act)
+
+    def on_isa_break(self, interp, act):
+        return self.dbg._on_isa_break(interp, act)
 
 
 class Debugger:
@@ -112,7 +120,11 @@ class Debugger:
         when nothing can fire, interpreters skip instrumentation entirely."""
         reg = self.breakpoints
         caps = 0
-        if self._step is not None or reg.armed_count("source") or reg.armed_count("watch"):
+        # instruction stepping ("isi") rides CAP_ISA, not CAP_STATEMENTS —
+        # arming the statement path would deoptimize the VM frame out from
+        # under the very step that wants to observe it
+        stepping_stmts = self._step is not None and self._step.mode != "isi"
+        if stepping_stmts or reg.armed_count("source") or reg.armed_count("watch"):
             caps |= DebugHook.CAP_STATEMENTS
         if reg.armed_count("function"):
             caps |= DebugHook.CAP_CALLS
@@ -128,6 +140,14 @@ class Debugger:
             # likewise outside CAP_ALL: property monitors consume framework
             # events, so arming them must not drop the compiled tier
             caps |= DebugHook.CAP_RV
+        if (
+            (self._step is not None and self._step.mode == "isi")
+            or reg.armed_count("isa")
+            or reg.armed_count("rwatch")
+        ):
+            # instruction-level surface: outside CAP_ALL, so the bytecode
+            # tier stays resident — it just runs its instrumented prelude
+            caps |= DebugHook.CAP_ISA
         # Push unconditionally: interpreters cache tier-selection flags
         # locally (``_fast_ok``/``_want_*``), and an interpreter built or
         # adopted after the last mask *change* would otherwise keep stale
@@ -345,6 +365,92 @@ class Debugger:
         )
         return self._suspend(ev, actor)
 
+    # ---------------------------------------------------- hook: ISA level
+
+    def _on_instruction(self, interp: Interpreter, act) -> Optional[Suspend]:
+        """Fires before every VM instruction while CAP_ISA is armed."""
+        reg = self.breakpoints
+        actor = self._actor_of(interp)
+        fname = act.vmf.name
+
+        # 1. ISA breakpoints — O(1) (func, pc) lookup
+        if reg.armed_count("isa"):
+            for bp in reg.isa_bps_at(fname, act.pc):
+                if bp.actor and (actor is None or actor.qualname != bp.actor):
+                    continue
+                if not bp.register_hit():
+                    continue
+                if not bp.stop(act):
+                    continue
+                if bp.temporary:
+                    self.breakpoints.remove(bp.id)
+                ev = StopEvent(
+                    StopKind.ISA_BP,
+                    message=f"{fname}+{act.pc}",
+                    actor=actor.qualname if actor else None,
+                    filename=act.vmf.filename,
+                    line=act.line(),
+                    bp_id=bp.id,
+                )
+                return self._suspend(ev, actor)
+
+        # 2. register watchpoints scoped to this function
+        if reg.armed_count("rwatch"):
+            for wp in reg.register_watchpoints_for(fname):
+                if wp.actor and (actor is None or actor.qualname != wp.actor):
+                    continue
+                cur = act.regs[wp.reg] if wp.reg < len(act.regs) else None
+                if not wp.primed:
+                    wp.primed = True
+                    wp.last = (cur,)
+                    continue
+                if wp.last is not None and wp.last[0] == cur:
+                    continue
+                old = wp.last[0] if wp.last is not None else "<unset>"
+                wp.last = (cur,)
+                if not wp.register_hit():
+                    continue
+                if not wp.stop(cur):
+                    continue
+                ev = StopEvent(
+                    StopKind.REGISTER_WATCH,
+                    message=f"r{wp.reg} in {fname}: old = {old}, new = {cur}",
+                    actor=actor.qualname if actor else None,
+                    filename=act.vmf.filename,
+                    line=act.line(),
+                    bp_id=wp.id,
+                )
+                return self._suspend(ev, actor)
+
+        # 3. instruction stepping
+        if (
+            self._step is not None
+            and self._step.mode == "isi"
+            and actor is not None
+            and self._step.actor == actor.qualname
+        ):
+            ev = StopEvent(
+                StopKind.STEP,
+                message=f"{fname}+{act.pc}",
+                actor=actor.qualname,
+                filename=act.vmf.filename,
+                line=act.line(),
+            )
+            return self._suspend(ev, actor)
+        return None
+
+    def _on_isa_break(self, interp: Interpreter, act) -> Optional[Suspend]:
+        """The ``brk`` instruction (programmatic ISA-level int3)."""
+        actor = self._actor_of(interp)
+        ev = StopEvent(
+            StopKind.ISA_BP,
+            message=f"brk in {act.vmf.name}+{act.pc}",
+            actor=actor.qualname if actor else None,
+            filename=act.vmf.filename,
+            line=act.line(),
+        )
+        return self._suspend(ev, actor)
+
     # -------------------------------------------------------- breakpoints
 
     def break_source(self, spec: str, **kwargs) -> SourceBreakpoint:
@@ -463,6 +569,32 @@ class Debugger:
             wp.last = None
         return wp
 
+    def break_isa(self, spec: str, **kwargs) -> IsaBreakpoint:
+        """``FUNC+PC`` instruction breakpoint on the bytecode tier.
+
+        Arms CAP_ISA (the instrumented VM prelude) without deoptimizing:
+        the function keeps running as bytecode, stopping before the
+        instruction at ``PC`` executes."""
+        func_name, sep, pc_text = spec.rpartition("+")
+        if not sep or not func_name or not pc_text.isdigit():
+            raise DebuggerError(f"bad ISA location {spec!r} (expected FUNC+PC)")
+        if self.debug_info.lookup_function(func_name) is None:
+            raise DebuggerError(f"no function symbol {func_name!r}")
+        bp = IsaBreakpoint(func_name, int(pc_text), **kwargs)
+        self.breakpoints.add(bp)
+        return bp
+
+    def watch_register(self, func_name: str, reg: int, **kwargs) -> RegisterWatchpoint:
+        """Stop when VM register ``reg`` of ``func_name`` changes value.
+
+        Compared before each instruction while the function runs on the
+        bytecode tier; like ISA breakpoints it never deoptimizes."""
+        if self.debug_info.lookup_function(func_name) is None:
+            raise DebuggerError(f"no function symbol {func_name!r}")
+        wp = RegisterWatchpoint(func_name, reg, **kwargs)
+        self.breakpoints.add(wp)
+        return wp
+
     def finish_breakpoint(self, frame: Optional[Frame] = None, **kwargs) -> FinishBreakpoint:
         actor = self.selected_actor
         if actor is None or actor.interp is None:
@@ -570,7 +702,11 @@ class Debugger:
         return self._begin_step("next")
 
     def stepi(self) -> StopEvent:
-        """Execute exactly one statement of the selected actor."""
+        """Execute exactly one statement of the selected actor — or, when
+        the selected frame is live on the bytecode tier, exactly one VM
+        instruction (GDB's ``si`` at the ISA level)."""
+        if self.vm_activation() is not None:
+            return self._begin_step("isi")
         return self._begin_step("stepi")
 
     def finish(self) -> StopEvent:
@@ -658,6 +794,66 @@ class Debugger:
             marker = "->" if n == frame.line else "  "
             out.append(f"{marker} {n}\t{text}")
         return out
+
+    # ---------------------------------------------------- ISA inspection
+
+    def vm_activation(self, frame: Optional[Frame] = None):
+        """The VM :class:`~repro.cminus.vm.emulator.Activation` behind a
+        frame, or None when the frame runs on an AST tier (after tier
+        descent the attribute is cleared, so mixed stacks resolve
+        per-frame)."""
+        if frame is None:
+            actor = self.selected_actor
+            interp = getattr(actor, "interp", None) if actor is not None else None
+            frame = interp.frame if interp is not None else None
+        if frame is None:
+            return None
+        return getattr(frame, "vm", None)
+
+    def disas_text(self, func_name: Optional[str] = None) -> str:
+        """Pretty listing of one bytecode function (``disas [FUNC]``).
+
+        With no argument, disassembles the selected frame's function and
+        marks the current pc; otherwise compiles/fetches ``func_name``
+        from the selected actor's VM unit."""
+        from ..cminus.vm.asm import disassemble
+        from ..cminus.vm.compiler import vm_unit
+
+        act = self.vm_activation(self.current_frame())
+        if func_name is None:
+            if act is None:
+                raise DebuggerError(
+                    "selected frame is not running on the bytecode tier "
+                    "(give an explicit function name)"
+                )
+            vmf, pc = act.vmf, act.pc
+        else:
+            actor = self.selected_actor
+            interp = getattr(actor, "interp", None) if actor is not None else None
+            if interp is None:
+                raise DebuggerError("no actor selected")
+            try:
+                vu = vm_unit(interp.program)
+            except Exception as exc:
+                raise DebuggerError(f"bytecode compile failed: {exc}")
+            vmf = vu.funcs.get(func_name)
+            if vmf is None:
+                reason = vu.failed.get(func_name)
+                if reason is not None:
+                    raise DebuggerError(f"{func_name} not compilable: {reason}")
+                raise DebuggerError(f"no function symbol {func_name!r}")
+            pc = act.pc if act is not None and act.vmf is vmf else None
+        text = self.debug_info.sources.get(vmf.filename)
+        source = text.splitlines() if text else None
+        return disassemble(vmf, pretty=True, source_lines=source, pc=pc)
+
+    def register_rows(self) -> List[tuple]:
+        """``(index, name, value)`` rows for ``info registers`` — the
+        selected frame must be live on the bytecode tier."""
+        act = self.vm_activation(self.current_frame())
+        if act is None:
+            raise DebuggerError("selected frame is not running on the bytecode tier")
+        return act.registers()
 
     @property
     def finished(self) -> bool:

@@ -22,6 +22,8 @@ class StopKind(enum.Enum):
     ERROR = "error"
     PAUSED = "paused"  # external interrupt
     REPLAY = "replay"  # a time-travel target position was reached
+    ISA_BP = "isa-breakpoint"  # VM instruction breakpoint / brk instruction
+    REGISTER_WATCH = "register-watchpoint"  # a VM register changed value
 
 
 @dataclass
@@ -58,6 +60,10 @@ class StopEvent:
             lines.append(f"Step{who}{loc}")
         elif self.kind == StopKind.TRAP:
             lines.append(f"Program trap(){who}{loc}")
+        elif self.kind == StopKind.ISA_BP:
+            lines.append(f"ISA breakpoint{who} {self.message}{loc}")
+        elif self.kind == StopKind.REGISTER_WATCH:
+            lines.append(f"Register watchpoint {self.bp_id}:{who} {self.message}")
         elif self.kind == StopKind.DATAFLOW:
             lines.append(self.message)
         elif self.kind == StopKind.REPLAY:

@@ -118,6 +118,23 @@ class Telemetry:
                 cycles[actor.qualname] = interp.cycles_flushed
         return cycles
 
+    def opcode_cycles(self) -> Dict[str, int]:
+        """Aggregated per-opcode cycle counts from every live bytecode-tier
+        interpreter, keyed by mnemonic.  Counted only while telemetry is
+        armed: CAP_TELEMETRY flips the VM into its instrumented prelude,
+        which attributes each instruction's ISA cost to its opcode."""
+        from ..cminus.vm import isa
+
+        total: Dict[str, int] = {}
+        for actor in self.session.dbg.runtime.all_actors():
+            interp = getattr(actor, "interp", None)
+            if interp is None:
+                continue
+            for op, cyc in getattr(interp, "opcode_cycles", {}).items():
+                name = isa.NAMES[op]
+                total[name] = total.get(name, 0) + cyc
+        return total
+
     # ------------------------------------------------------------- export
 
     def export_json(self, process_name: str = "repro") -> str:

@@ -14,7 +14,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..cminus.debuginfo import DebugInfo
-from ..cminus.interp import CostModel, DebugHook, Interpreter
+from ..cminus.interp import VALID_TIERS, CostModel, DebugHook, Interpreter
 from ..cminus.typesys import CType
 from ..cminus.values import Raw
 from ..errors import PedfError
@@ -46,7 +46,9 @@ class RuntimeConfig:
     max_steps: Optional[int] = None
     #: Filter-C execution tier: "auto" runs the compiled closure tier
     #: whenever the hook-capability mask allows (deoptimizing on demand),
-    #: "slow" forces the per-statement resumable interpreter everywhere
+    #: "vm" runs the register-machine bytecode tier (descending through
+    #: closure to tree when hooks arm), "slow" forces the per-statement
+    #: resumable interpreter everywhere
     interp_tier: str = "auto"
 
 
@@ -65,6 +67,11 @@ class PedfRuntime:
         self.platform = platform
         self.decl = program
         self.config = config or RuntimeConfig()
+        if self.config.interp_tier not in VALID_TIERS:
+            raise PedfError(
+                f"unknown interpreter tier {self.config.interp_tier!r} "
+                f"(choose from {', '.join(VALID_TIERS)})"
+            )
         self.bus = FrameworkEventBus()
         self.api = FrameworkAPI(self.bus, scheduler)
         self.console: List[str] = []
@@ -74,7 +81,7 @@ class PedfRuntime:
         #: plan cuts become proxy links wired to cross-shard channels
         self.shard = shard
 
-        compile_program(program)
+        compile_program(program, self.config.interp_tier)
         program.validate()
 
         self.modules: Dict[str, ModuleInst] = {}

@@ -41,11 +41,15 @@ def run_tier(source, tier, fn="main", args=(), **kwargs):
     return value, interp
 
 
+#: every execution tier, differentially compared against the tree oracle
+TIERS = ("auto", "vm", "slow")
+
+
 def assert_tiers_agree(source, fn="main", args=(), context=None):
-    """Both tiers produce the same value/printed output/counters — or
-    raise the very same runtime error."""
+    """All three tiers produce the same value/printed output/counters —
+    or raise the very same runtime error."""
     results = {}
-    for tier in ("auto", "slow"):
+    for tier in TIERS:
         env = NullEnvironment()
         try:
             value, interp = run_tier(
@@ -61,6 +65,7 @@ def assert_tiers_agree(source, fn="main", args=(), context=None):
         except CMinusRuntimeError as exc:
             results[tier] = ("error", str(exc))
     assert results["auto"] == results["slow"], results
+    assert results["vm"] == results["slow"], results
     return results["auto"]
 
 
@@ -119,6 +124,15 @@ def test_compiled_tier_actually_engaged():
     assert value == value_slow
 
 
+def test_vm_tier_actually_engaged():
+    value, interp = run_tier(COMPREHENSIVE, "vm")
+    assert interp._vm_unit is not None, "vm tier never engaged"
+    assert interp._vm_unit.supports("main")
+    value_slow, interp_slow = run_tier(COMPREHENSIVE, "slow")
+    assert interp_slow._vm_unit is None, "slow tier must not compile bytecode"
+    assert value == value_slow
+
+
 def test_runtime_error_parity_division_by_zero():
     src = """
     S32 main() {
@@ -168,8 +182,9 @@ def drain_requests(interp, fn="main"):
 def test_timed_kernel_request_streams_identical():
     f_reqs, f_ret = drain_requests(build(COMPREHENSIVE, "auto", timed=True))
     s_reqs, s_ret = drain_requests(build(COMPREHENSIVE, "slow", timed=True))
-    assert f_ret == s_ret
-    assert f_reqs == s_reqs
+    v_reqs, v_ret = drain_requests(build(COMPREHENSIVE, "vm", timed=True))
+    assert f_ret == s_ret == v_ret
+    assert f_reqs == s_reqs == v_reqs
     assert f_reqs, "timed run yielded no kernel requests"
     assert all(kind == "Delay" for kind, _ in f_reqs)
 
@@ -210,14 +225,15 @@ def test_slow_tier_coalesces_delays_keeping_sim_time():
         COMPREHENSIVE, "slow", cost=CostModel(batch_cycles=1)
     )
     v_fast, sched_fast = sched_run(COMPREHENSIVE, "auto")
+    v_vm, sched_vm = sched_run(COMPREHENSIVE, "vm")
 
-    assert v_batched == v_perstmt == v_fast
+    assert v_batched == v_perstmt == v_fast == v_vm
     # sim-time totals identical no matter the batching or the tier
-    assert sched_batched.now == sched_perstmt.now == sched_fast.now
+    assert sched_batched.now == sched_perstmt.now == sched_fast.now == sched_vm.now
     # batching really reduced kernel round-trips in the slow tier
     assert sched_batched.dispatch_count < sched_perstmt.dispatch_count
     # dispatch counting is tier-invariant (the replay journal relies on it)
-    assert sched_batched.dispatch_count == sched_fast.dispatch_count
+    assert sched_batched.dispatch_count == sched_fast.dispatch_count == sched_vm.dispatch_count
 
 
 # --------------------------------------------------- io / blocking parity
@@ -261,12 +277,13 @@ def io_context():
 
 def test_blocking_io_identical_across_tiers():
     streams = {}
-    for tier in ("auto", "slow"):
+    for tier in TIERS:
         env = ScriptedIo([7, 9])
         interp = build(IO_SRC, tier, timed=True, context=io_context(), env=env)
         reqs, _ = drain_requests(interp, fn="work")
         streams[tier] = (reqs, env.written, interp.state.statements_executed)
     assert streams["auto"] == streams["slow"]
+    assert streams["vm"] == streams["slow"]
     assert streams["auto"][1][0][1] == 7 * 9 * 4 + 0 + 1 + 2 + 3
 
 
@@ -347,4 +364,5 @@ def test_property_random_programs_tier_equivalent(source):
         # timed mode: the kernel request streams must also be identical
         f_reqs, f_ret = drain_requests(build(source, "auto", timed=True))
         s_reqs, s_ret = drain_requests(build(source, "slow", timed=True))
-        assert (f_reqs, f_ret) == (s_reqs, s_ret)
+        v_reqs, v_ret = drain_requests(build(source, "vm", timed=True))
+        assert (f_reqs, f_ret) == (s_reqs, s_ret) == (v_reqs, v_ret)

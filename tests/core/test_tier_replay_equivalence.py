@@ -55,14 +55,16 @@ def journal_fingerprint(journal):
 def test_journal_fingerprints_identical_across_tiers():
     _, compiled = record_run("auto")
     _, interpreted = record_run("slow")
+    _, bytecode = record_run("vm")
     assert compiled.token_stream(), "run produced no tokens"
     assert compiled.checkpoints, "run crossed no checkpoint boundary"
     assert journal_fingerprint(compiled) == journal_fingerprint(interpreted)
+    assert journal_fingerprint(bytecode) == journal_fingerprint(interpreted)
 
 
 def test_framework_event_streams_identical_across_tiers():
     streams = {}
-    for tier in ("auto", "slow"):
+    for tier in ("auto", "vm", "slow"):
         session = fresh_session(tier)
         seen = []
         session.dbg.runtime.bus.subscribe(
@@ -76,11 +78,13 @@ def test_framework_event_streams_identical_across_tiers():
         assert run_to_exit(session.dbg).kind == StopKind.EXITED
         streams[tier] = seen
     assert streams["auto"] == streams["slow"]
+    assert streams["vm"] == streams["slow"]
     assert streams["auto"], "no framework events observed"
 
 
 @pytest.mark.parametrize(
-    "record_tier,replay_tier", [("auto", "slow"), ("slow", "auto")]
+    "record_tier,replay_tier",
+    [("auto", "slow"), ("slow", "auto"), ("vm", "slow"), ("auto", "vm")],
 )
 def test_record_one_tier_replay_on_the_other(record_tier, replay_tier):
     """The determinism self-check compares every recorded event and every
@@ -103,3 +107,57 @@ def test_record_one_tier_replay_on_the_other(record_tier, replay_tier):
     assert [t.value for t in mgr.session.dbg.runtime.sinks[0].received] == [
         t.value for t in session.dbg.runtime.sinks[0].received
     ]
+
+
+# ------------------------------------------------- other application graphs
+
+
+def _retier(runtime, tier):
+    runtime.config.interp_tier = tier
+    for actor in runtime.all_actors():
+        interp = getattr(actor, "interp", None)
+        if interp is not None:
+            interp.tier = tier
+
+
+def _amodule_fingerprint(tier):
+    from repro.apps.amodule.app import build_demo
+
+    sched, _platform, runtime, _source, sink = build_demo((1, 2, 3, 4))
+    _retier(runtime, tier)
+    session = DataflowSession(Debugger(sched, runtime))
+    mgr = session.replay
+    mgr.record_on(interval=8)
+    assert run_to_exit(session.dbg).kind == StopKind.EXITED
+    return journal_fingerprint(mgr.master), [t.value for t in sink.received]
+
+
+def test_amodule_journal_fingerprints_identical_across_tiers():
+    prints = {tier: _amodule_fingerprint(tier) for tier in ("auto", "vm", "slow")}
+    assert prints["auto"][0][0], "run produced no tokens"
+    assert prints["auto"] == prints["slow"]
+    assert prints["vm"] == prints["slow"]
+
+
+def _synthetic_fingerprint(tier):
+    from repro.apps.synthetic import build_synthetic_pipeline, lcg_reference
+    from repro.sim.sharding import PushStreamRecorder, fingerprint_streams
+
+    values = (3, 1, 4, 1, 5)
+    sched, runtime, sinks = build_synthetic_pipeline(values)
+    _retier(runtime, tier)
+    session = DataflowSession(Debugger(sched, runtime))
+    rec = PushStreamRecorder(runtime)
+    assert run_to_exit(session.dbg).kind == StopKind.EXITED
+    golden = lcg_reference(values, 25 * 9, 1)
+    for sink in sinks:
+        assert [t.value for t in sink.received] == golden
+    return fingerprint_streams(dict(rec.streams))
+
+
+def test_synthetic_1000_actor_fingerprints_identical_across_tiers():
+    """The headline 1000-actor fabric produces a byte-identical push
+    stream no matter which execution tier runs the Filter-C bodies."""
+    prints = {tier: _synthetic_fingerprint(tier) for tier in ("auto", "vm", "slow")}
+    assert prints["auto"] == prints["slow"]
+    assert prints["vm"] == prints["slow"]

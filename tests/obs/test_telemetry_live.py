@@ -77,7 +77,7 @@ def test_telemetry_adds_exactly_one_wildcard_subscription():
 # ---------------------------------------------------- counters vs. ground truth
 
 
-@pytest.mark.parametrize("tier", ["auto", "slow"])
+@pytest.mark.parametrize("tier", ["auto", "vm", "slow"])
 def test_live_metrics_match_runtime_totals(tier):
     session, _, sink = rle_session(tier=tier)
     session.telemetry.enable()
@@ -114,10 +114,10 @@ def test_live_metrics_match_runtime_totals(tier):
 
 
 def test_both_tiers_collect_identical_telemetry():
-    """The two execution tiers issue byte-identical kernel-request
+    """All execution tiers issue byte-identical kernel-request
     streams, so their telemetry must be byte-identical too."""
     by_tier = {}
-    for tier in ("auto", "slow"):
+    for tier in ("auto", "vm", "slow"):
         session, _, _ = rle_session(tier=tier)
         session.telemetry.enable()
         run_to_exit(session.dbg)
@@ -126,6 +126,7 @@ def test_both_tiers_collect_identical_telemetry():
             session.telemetry.export_json("rle"),
         )
     assert by_tier["auto"] == by_tier["slow"]
+    assert by_tier["vm"] == by_tier["slow"]
 
 
 def test_span_hierarchy_shapes():
