@@ -247,6 +247,59 @@ def test_telemetry_off_overhead_within_noise():
     )
 
 
+#: profiler-off shares the telemetry-off discipline: the charge callable
+#: lives *inside* the existing cycle-counting branch, so with CAP_PROFILE
+#: clear the flush hot path is bit-for-bit the pre-profiler code; 1.5x
+#: absorbs CI jitter
+PROFILER_OFF_NOISE_MARGIN = 1.5
+
+
+def test_profiler_on_attribution_row(benchmark):
+    """The profiler-on row: timed compiled tier with CAP_PROFILE armed
+    and a live charge sink attributing every flushed cycle to an
+    (actor, function, tier) call-tree node."""
+    from repro.obs.prof import Profile
+
+    prog = parse_program(LOOP_SRC)
+    info = analyze(prog, None, LOOP_SRC)
+    profile = Profile()
+
+    def charge(interp, cycles):
+        path = tuple(f.func.name for f in interp.frames) or ("<entry>",)
+        profile.add("bench", "compiled", path, cycles)
+
+    def run():
+        hook = _CapHook(DebugHook.CAP_PROFILE)
+        hook.profile_sink = charge
+        interp = Interpreter(prog, info, env=NullEnvironment(), hook=hook, timed=True)
+        run_sync(interp.run_function("main"))
+        return interp
+
+    interp = benchmark(lambda: _fresh_stack(run))
+    assert interp._fast_ok  # CAP_PROFILE never deoptimizes
+    assert interp.cycles_flushed > 0
+    assert profile.total > 0  # flushes were actually attributed
+
+
+def test_profiler_off_overhead_within_noise():
+    """The acceptance gate (runs under ``--benchmark-disable`` too):
+    with the profiler off, the timed compiled tier costs the same as the
+    no-debugger row — the charge branch only exists inside the
+    cycle-counting path, which caps=0 never enters."""
+    baseline_run = _timed_loop_runner(None)  # no debugger at all
+    off_run = _timed_loop_runner(0)  # debugger attached, nothing armed
+
+    interp = off_run()
+    assert interp._profile is None and interp.cycles_flushed == 0
+    baseline = _fresh_stack(lambda: _best_of(baseline_run))
+    off = _fresh_stack(lambda: _best_of(off_run))
+    assert off <= PROFILER_OFF_NOISE_MARGIN * baseline, (
+        f"profiler-off overhead {off / baseline:.2f}x exceeds the "
+        f"{PROFILER_OFF_NOISE_MARGIN}x noise margin "
+        f"(no-debugger {baseline:.4f}s, profiler-off {off:.4f}s)"
+    )
+
+
 #: monitors-off must stay within noise of a check-free run: with no
 #: checks armed there is no "*" bus listener (framework calls stay
 #: event-free via §V elision) and CAP_RV is clear, so the only residual

@@ -18,6 +18,15 @@ from pathlib import Path
 import pytest
 
 
+@pytest.fixture(autouse=True)
+def _flight_dumps_into_tmp(tmp_path, monkeypatch):
+    """Redirect automatic flight-recorder dumps away from the repo root
+    (the recorder is always armed — see tests/conftest.py)."""
+    from repro.obs.flight import FlightRecorder
+
+    monkeypatch.setattr(FlightRecorder, "dump_dir", str(tmp_path / "flight"))
+
+
 def _git_sha(root):
     """The commit the numbers were taken at (None outside a checkout) —
     lets CI and the experiment scripts line bench rows up across runs."""

@@ -163,6 +163,14 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--trace-out", metavar="FILE",
                         help="enable telemetry from the start and write a "
                              "Perfetto-loadable Chrome trace-event JSON on exit")
+    parser.add_argument("--metrics-out", metavar="FILE",
+                        help="enable telemetry from the start and write an "
+                             "OpenMetrics/Prometheus text exposition of the "
+                             "final metric snapshot on exit")
+    parser.add_argument("--profile", action="store_true",
+                        help="arm the attributed cycle profiler from the start "
+                             "(inspect with `prof top`, export flamegraphs "
+                             "with `prof flame FILE`)")
     parser.add_argument("--check", action="append", default=[], metavar="[ACTION:]PROPERTY",
                         help="arm a runtime-verification check once the graph is "
                              "reconstructed (repeatable); ACTION is stop (default), "
@@ -183,8 +191,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 1
 
-    if args.trace_out:
+    if args.trace_out or args.metrics_out:
         cli.dataflow_handler.session.telemetry.enable()
+    if args.profile:
+        cli.dataflow_handler.session.prof.enable()
 
     for spec in args.check:
         # property compilation needs the reconstructed graph, so the
@@ -206,10 +216,15 @@ def main(argv: Optional[List[str]] = None) -> int:
     else:
         repl(cli)
 
+    # session may have been rebuilt by a replay adoption mid-script;
+    # the handler always points at the live one.  Exit-time exports
+    # overwrite their targets (force): the user named them on the
+    # command line, so clobbering a stale artifact is the intent.
     if args.trace_out:
-        # session may have been rebuilt by a replay adoption mid-script;
-        # the handler always points at the live one
-        for out in cli.execute(f"trace export {args.trace_out}"):
+        for out in cli.execute(f"trace export {args.trace_out} force"):
+            print(out)
+    if args.metrics_out:
+        for out in cli.execute(f"metrics export {args.metrics_out} force"):
             print(out)
     return 0
 

@@ -158,6 +158,8 @@ def _flush_and_run(interp, frame, s: _S):
     interp._pending = 0
     if interp._count_cycles:
         interp.cycles_flushed += p
+        if interp._profile is not None:
+            interp._profile(interp, p)
     yield Delay(p)
     if not interp._fast_ok:
         yield from interp._exec_stmt(s.node)
@@ -1083,6 +1085,8 @@ def _compile_while(stmt: ast.While, ctx: _Ctx) -> _S:
                 i._pending = 0
                 if i._count_cycles:
                     i.cycles_flushed += p
+                    if i._profile is not None:
+                        i._profile(i, p)
                 yield Delay(p)
             if not i._fast_ok:
                 yield from i._while_from_header(node)
@@ -1149,6 +1153,8 @@ def _compile_dowhile(stmt: ast.DoWhile, ctx: _Ctx) -> _S:
                 i._pending = 0
                 if i._count_cycles:
                     i.cycles_flushed += p
+                    if i._profile is not None:
+                        i._profile(i, p)
                 yield Delay(p)
             if not i._fast_ok:
                 yield from i._dowhile_from_cond(node)
@@ -1215,6 +1221,8 @@ def _compile_for(stmt: ast.For, ctx: _Ctx) -> _S:
                     i._pending = 0
                     if i._count_cycles:
                         i.cycles_flushed += p
+                        if i._profile is not None:
+                            i._profile(i, p)
                     yield Delay(p)
                 if not i._fast_ok:
                     yield from i._for_from_header(node)

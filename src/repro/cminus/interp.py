@@ -153,8 +153,19 @@ class DebugHook:
     #: ISA-level extension of the hook-elision bitmask: disarmed, the VM
     #: pays one local bool test per instruction
     CAP_ISA = 0x40
+    #: attributed profiling (``repro.obs.prof``).  Outside CAP_ALL and
+    #: ignored by tier selection — arming it never deoptimizes.  It
+    #: implies cycle counting (the profiler charges the same flushed
+    #: cycles telemetry cross-checks) and routes each flush through
+    #: :attr:`profile_sink` so the cost can be attributed to the live
+    #: (actor, call path, tier) at the moment of the flush
+    CAP_PROFILE = 0x80
 
     capabilities: int = CAP_ALL
+    #: callable ``(interp, cycles)`` invoked at every cost flush while
+    #: CAP_PROFILE is armed (set by the profiler facade; the flush sites
+    #: read the cached :attr:`Interpreter._profile` copy)
+    profile_sink = None
 
     def on_statement(self, interp: "Interpreter", stmt: ast.Stmt) -> Optional[Suspend]:
         return None
@@ -290,6 +301,7 @@ class Interpreter:
         #: builder's busy-time cross-check
         self.cycles_flushed = 0
         self._count_cycles = False
+        self._profile = None
         self._rv_armed = False
         self._isa_armed = False
         self._vm_trace = False
@@ -340,8 +352,19 @@ class Interpreter:
                 & (DebugHook.CAP_STATEMENTS | DebugHook.CAP_CALLS | DebugHook.CAP_RETURNS)
             )
         # cycle counting is off when hook is None (caps defaults to
-        # CAP_ALL, which does not include the telemetry bit)
-        self._count_cycles = bool(caps & DebugHook.CAP_TELEMETRY)
+        # CAP_ALL, which includes neither the telemetry nor the profile
+        # bit); the profiler needs the same flushed-cycle accounting
+        self._count_cycles = bool(
+            caps & (DebugHook.CAP_TELEMETRY | DebugHook.CAP_PROFILE)
+        )
+        # attributed-profiling sink, cached so a flush site pays a single
+        # None test when profiling is disarmed (CAP_PROFILE must never
+        # flip _fast_ok)
+        self._profile = (
+            self.hook.profile_sink
+            if self.hook is not None and caps & DebugHook.CAP_PROFILE
+            else None
+        )
         # RV monitors observe framework events, never statements; the bit
         # is cached only so tooling can see it rode the same mask without
         # perturbing tier selection (CAP_RV must never flip _fast_ok)
@@ -525,6 +548,8 @@ class Interpreter:
             self._pending = 0
             if self._count_cycles:
                 self.cycles_flushed += p
+                if self._profile is not None:
+                    self._profile(self, p)
             yield Delay(p)
         hook = self.hook
         if hook is not None and self._want_stmt:
@@ -544,6 +569,8 @@ class Interpreter:
             self._pending = 0
             if self._count_cycles:
                 self.cycles_flushed += p
+                if self._profile is not None:
+                    self._profile(self, p)
             yield Delay(p)
 
     # Environment access points shared by both tiers: every genuine

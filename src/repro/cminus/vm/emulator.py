@@ -220,6 +220,8 @@ def _run(interp, act: Activation):
                 interp._pending = 0
                 if interp._count_cycles:
                     interp.cycles_flushed += p
+                    if interp._profile is not None:
+                        interp._profile(interp, p)
                 yield Delay(p)
                 tracing = interp._vm_trace
             if not interp._fast_ok:

@@ -1,0 +1,49 @@
+"""Per-opcode cycle accounting helpers for the bytecode tier.
+
+While ``CAP_TELEMETRY`` or ``CAP_PROFILE`` is armed the VM dispatch loop
+runs its instrumented prelude and attributes each executed instruction's
+ISA cost to ``Interpreter.opcode_cycles`` (keyed by opcode number —
+never added to ``_pending``, so Delay streams stay tier-exact).  This
+module is the read side: mnemonic-keyed aggregation shared by the
+telemetry facade (`info opcodes`), the attributed profiler, and the
+replay-side derivers.  Everything here is a pure fold over interpreter
+state, so live and re-executed runs produce identical tables.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable
+
+from . import isa
+
+
+def mnemonic_cycles(interp) -> Dict[str, int]:
+    """One interpreter's ``opcode_cycles`` keyed by mnemonic."""
+    out: Dict[str, int] = {}
+    for op, cyc in getattr(interp, "opcode_cycles", {}).items():
+        name = isa.NAMES[op]
+        out[name] = out.get(name, 0) + cyc
+    return out
+
+
+def aggregate_opcode_cycles(interps: Iterable) -> Dict[str, int]:
+    """Mnemonic-keyed cycle totals summed over several interpreters."""
+    total: Dict[str, int] = {}
+    for interp in interps:
+        for name, cyc in mnemonic_cycles(interp).items():
+            total[name] = total.get(name, 0) + cyc
+    return total
+
+
+def per_actor_opcode_cycles(actors: Iterable) -> Dict[str, Dict[str, int]]:
+    """``{actor qualname: {mnemonic: cycles}}`` over live actors, keeping
+    only actors that executed at least one instrumented instruction."""
+    out: Dict[str, Dict[str, int]] = {}
+    for actor in actors:
+        interp = getattr(actor, "interp", None)
+        if interp is None:
+            continue
+        table = mnemonic_cycles(interp)
+        if table:
+            out[actor.qualname] = table
+    return out

@@ -27,6 +27,46 @@ from ..errors import CommandError, DataflowDebugError
 from .session import BEHAVIORS, DataflowSession
 
 
+def _parse_export_target(rest: str, usage: str):
+    """Parse ``FILE [force]`` for the export-style commands; returns
+    ``(path, force)``."""
+    words = rest.split()
+    force = False
+    if words and words[-1] == "force":
+        force = True
+        words = words[:-1]
+    if not words:
+        raise CommandError(f"usage: {usage}")
+    return " ".join(words), force
+
+
+def _parse_listing_options(arg: str, sorts, usage: str, default_limit: int = 20):
+    """Parse the shared ``[N|all] [sort KEY]`` listing options used by
+    ``info spans`` / ``info metrics``; returns ``(limit, sort)`` with
+    ``limit=0`` meaning unlimited."""
+    limit = default_limit
+    sort = sorts[0]
+    words = arg.split()
+    i = 0
+    while i < len(words):
+        word = words[i]
+        if word.isdigit():
+            limit = int(word)
+            i += 1
+        elif word == "all":
+            limit = 0
+            i += 1
+        elif word == "limit" and i + 1 < len(words) and words[i + 1].isdigit():
+            limit = int(words[i + 1])
+            i += 2
+        elif word == "sort" and i + 1 < len(words) and words[i + 1] in sorts:
+            sort = words[i + 1]
+            i += 2
+        else:
+            raise CommandError(f"usage: {usage}")
+    return limit, sort
+
+
 def install_dataflow_commands(cli: CommandCli, session: DataflowSession) -> None:
     handler = _Commands(cli, session)
     # remembered so a replay adoption can rebind the handler to the rebuilt
@@ -90,6 +130,28 @@ def install_dataflow_commands(cli: CommandCli, session: DataflowSession) -> None
                              if s.startswith(t)],
     ))
     cli.register(Command(
+        "metrics", handler.cmd_metrics,
+        "metrics export FILE [force] | show — OpenMetrics/Prometheus text "
+        "exposition of the telemetry metrics registry",
+        completer=lambda t: [s for s in ("export", "show") if s.startswith(t)],
+    ))
+    cli.register(Command(
+        "prof", handler.cmd_prof,
+        "prof on | off | clear | status | top N | export FILE [force] | "
+        "flame FILE [force] — attributed profiler: flushed interpreter "
+        "cycles charged to (actor, function, tier), collapsed-stack and "
+        "flamegraph export; never deoptimizes",
+        completer=lambda t: [s for s in ("on", "off", "clear", "status", "top",
+                                         "export", "flame") if s.startswith(t)],
+    ))
+    cli.register(Command(
+        "flight", handler.cmd_flight,
+        "flight status | dump [FILE] [force] | auto on|off — always-on "
+        "bounded flight recorder; auto-dumps a post-mortem bundle on "
+        "violation/error/deadlock stops",
+        completer=lambda t: [s for s in ("status", "dump", "auto") if s.startswith(t)],
+    ))
+    cli.register(Command(
         "check", handler.cmd_check,
         "check add [stop|log|mark] PROPERTY | remove ID | enable ID | "
         "disable ID | list | derive — runtime-verification checks "
@@ -103,6 +165,9 @@ def install_dataflow_commands(cli: CommandCli, session: DataflowSession) -> None
     cli.info_topics["spans"] = handler.cmd_info_spans
     cli.info_topics["trace"] = handler.cmd_info_trace
     cli.info_topics["opcodes"] = handler.cmd_info_opcodes
+    cli.info_topics["profile"] = handler.cmd_info_profile
+    cli.info_topics["flight"] = handler.cmd_info_flight
+    cli.info_topics["aggregate"] = handler.cmd_info_aggregate
     cli.info_topics["checks"] = handler.cmd_info_checks
     cli.info_topics["verdict"] = handler.cmd_info_verdict
 
@@ -468,28 +533,82 @@ class _Commands:
         if verb in ("status", ""):
             return tel.status_lines()
         if verb == "export":
-            if not rest:
-                raise CommandError("usage: trace export FILE")
+            target, force = _parse_export_target(rest, "trace export FILE [force]")
             name = self.session.model.program_name or "repro"
-            count = tel.export_file(rest, process_name=name)
-            return [f"wrote {count} span(s) to {rest} (Chrome trace-event JSON)"]
+            count, nbytes = tel.export_file(target, process_name=name, force=force)
+            return [
+                f"wrote {count} span(s), {nbytes} byte(s) to {target} "
+                "(Chrome trace-event JSON)"
+            ]
         raise CommandError(f"trace: unknown verb {verb!r} (on/off/clear/status/export)")
 
     def cmd_info_metrics(self, arg: str) -> List[str]:
+        """``info metrics [N|all] [sort name|busy|traffic]`` — capped so
+        large synthetic graphs don't flood the CLI."""
         tel = self.session.telemetry
         if tel.metrics is None:
             return ["no telemetry collected (use `trace on`)"]
+        limit, sort = _parse_listing_options(
+            arg, ("name", "busy", "traffic"), "info metrics [N|all] [sort name|busy|traffic]"
+        )
+        metrics = tel.metrics
         lines: List[str] = []
         warn = tel.drop_warning()
         if warn:
             lines.append(warn)
-        lines.extend(tel.metrics.render())
+        lines.append(f"metrics through t={metrics.last_time}")
+
+        def actor_key(name):
+            m = metrics.actors[name]
+            if sort == "busy":
+                return (-m.busy, name)
+            if sort == "traffic":
+                return (-(m.produced + m.consumed), name)
+            return (name,)
+
+        def link_key(name):
+            m = metrics.links[name]
+            if sort == "busy" or sort == "traffic":
+                return (-(m.pushes + m.pops), name)
+            return (name,)
+
+        actors = sorted(metrics.actors, key=actor_key)
+        shown = actors if limit <= 0 else actors[:limit]
+        lines.append("actors:")
+        for name in shown:
+            lines.append(f"  {name}: {metrics.actors[name].render()}")
+        if not actors:
+            lines.append("  (none)")
+        elif len(shown) < len(actors):
+            lines.append(
+                f"  … ({len(actors) - len(shown)} more actor(s); "
+                "`info metrics all` shows all)"
+            )
+        links = sorted(metrics.links, key=link_key)
+        shown = links if limit <= 0 else links[:limit]
+        lines.append("links:")
+        for name in shown:
+            head, *detail = metrics.links[name].render(metrics.last_time)
+            lines.append(f"  {name}: {head}")
+            lines.extend(f"  {r}" for r in detail)
+        if not links:
+            lines.append("  (none)")
+        elif len(shown) < len(links):
+            lines.append(
+                f"  … ({len(links) - len(shown)} more link(s); "
+                "`info metrics all` shows all)"
+            )
         return lines
 
     def cmd_info_spans(self, arg: str) -> List[str]:
+        """``info spans [N|all] [sort time|dur|name]`` — most recent N by
+        default; duration/name sorts list the top N instead."""
         tel = self.session.telemetry
         if tel.sink is None:
             return ["no telemetry collected (use `trace on`)"]
+        limit, sort = _parse_listing_options(
+            arg, ("time", "dur", "name"), "info spans [N|all] [sort time|dur|name]"
+        )
         snap = tel.sink.snapshot()
         lines = []
         warn = tel.drop_warning()
@@ -497,10 +616,22 @@ class _Commands:
             lines.append(warn)
         by_name = ", ".join(f"{k}={v}" for k, v in sorted(snap.name_counts.items())) or "-"
         lines.append(f"{len(snap.spans)} span(s) stored; lifetime by name: {by_name}")
-        count = int(arg) if arg.strip().isdigit() else 20
-        shown = snap.spans[-count:] if count else snap.spans
-        if len(shown) < len(snap.spans):
-            lines.append(f"  ... ({len(snap.spans) - len(shown)} earlier span(s) not shown)")
+        spans = snap.spans
+        if sort == "dur":
+            spans = sorted(spans, key=lambda s: (-s.duration, s.begin, s.track, s.name))
+        elif sort == "name":
+            spans = sorted(spans, key=lambda s: (s.name, s.begin, s.track))
+        if limit <= 0 or limit >= len(spans):
+            shown = spans
+        elif sort == "time":
+            shown = spans[-limit:]  # most recent window
+        else:
+            shown = spans[:limit]  # top of the requested order
+        if len(shown) < len(spans):
+            lines.append(
+                f"  … ({len(spans) - len(shown)} more span(s); "
+                "`info spans all` shows all)"
+            )
         lines.extend("  " + span.describe() for span in shown)
         return lines
 
@@ -514,6 +645,107 @@ class _Commands:
             out.append(f"{name:<10} {cyc:>12}")
         out.append(f"{'total':<10} {sum(cycles.values()):>12}")
         return out
+
+    def cmd_metrics(self, arg: str) -> List[str]:
+        """``metrics export FILE [force]`` / ``metrics show`` — the
+        OpenMetrics (Prometheus-scrapeable) exposition of the registry."""
+        from ..obs.openmetrics import to_openmetrics
+
+        tel = self.session.telemetry
+        verb, _, rest = arg.strip().partition(" ")
+        rest = rest.strip()
+        if verb in ("export", "show") and tel.metrics is None:
+            raise DataflowDebugError("no telemetry collected (use `trace on` first)")
+        if verb == "export":
+            from ..obs.export import write_artifact
+
+            target, force = _parse_export_target(rest, "metrics export FILE [force]")
+            nbytes = write_artifact(target, to_openmetrics(tel.metrics), force=force)
+            return [f"wrote {nbytes} byte(s) of OpenMetrics text to {target}"]
+        if verb == "show":
+            return to_openmetrics(tel.metrics).rstrip("\n").split("\n")
+        raise CommandError("usage: metrics export FILE [force] | metrics show")
+
+    def cmd_prof(self, arg: str) -> List[str]:
+        """The attributed profiler (cycles → actor/function/tier)."""
+        prof = self.session.prof
+        verb, _, rest = arg.strip().partition(" ")
+        rest = rest.strip()
+        if verb == "on":
+            prof.enable()
+            return ["profiler enabled (attributing flushed cycles; tiers unchanged)"]
+        if verb == "off":
+            prof.disable()
+            return ["profiler disabled (profile retained)"]
+        if verb == "clear":
+            was_on = prof.enabled
+            prof.disable()
+            prof.clear()
+            if was_on:
+                prof.enable()
+            return ["profile cleared"]
+        if verb in ("status", ""):
+            return prof.status_lines()
+        if verb == "top":
+            n = int(rest) if rest.lstrip("-").isdigit() else 10
+            rows = prof._require().top(n)
+            out = [f"{'self':>10} {'incl':>10}  actor function"]
+            out.extend(
+                f"{self_c:>10} {incl:>10}  {actor} {func}"
+                for self_c, incl, actor, func in rows
+            )
+            return out
+        if verb == "export":
+            target, force = _parse_export_target(rest, "prof export FILE [force]")
+            nbytes = prof.export_collapsed(target, force=force)
+            return [f"wrote {nbytes} byte(s) of collapsed stacks to {target}"]
+        if verb == "flame":
+            target, force = _parse_export_target(rest, "prof flame FILE [force]")
+            nbytes = prof.export_flamegraph(target, force=force)
+            return [f"wrote {nbytes} byte(s) of flamegraph SVG to {target}"]
+        raise CommandError(
+            f"prof: unknown verb {verb!r} (on/off/clear/status/top/export/flame)"
+        )
+
+    def cmd_flight(self, arg: str) -> List[str]:
+        """The always-on flight recorder (post-mortem bundles)."""
+        flight = self.session.flight
+        verb, _, rest = arg.strip().partition(" ")
+        rest = rest.strip()
+        if verb in ("", "status"):
+            return flight.status_lines()
+        if verb == "dump":
+            if rest:
+                target, force = _parse_export_target(rest, "flight dump [FILE] [force]")
+                path = flight.dump(path=target, force=force)
+            else:
+                path = flight.dump()
+            return [f"flight bundle written to {path}"]
+        if verb == "auto":
+            if rest not in ("on", "off"):
+                raise CommandError("usage: flight auto on|off")
+            flight.auto_dump = rest == "on"
+            return [f"flight auto-dump {rest}"]
+        raise CommandError(f"flight: unknown verb {verb!r} (status/dump/auto)")
+
+    def cmd_info_profile(self, arg: str) -> List[str]:
+        return self.session.prof.status_lines()
+
+    def cmd_info_flight(self, arg: str) -> List[str]:
+        return self.session.flight.status_lines()
+
+    def cmd_info_aggregate(self, arg: str) -> List[str]:
+        """``info aggregate`` — the stitched run-level telemetry view
+        (cross-shard when the run is sharded, journal-derived otherwise)."""
+        from ..obs.aggregate import aggregate_journal, aggregate_sharded
+
+        sharding = getattr(self.session, "sharding", None)
+        if sharding is not None:
+            return aggregate_sharded(sharding).render()
+        master = self.session.replay.master
+        if master is not None and master.total_events:
+            return aggregate_journal(master).render()
+        return ["nothing to aggregate (record the run, or run sharded)"]
 
     def cmd_info_trace(self, arg: str) -> List[str]:
         lines: List[str] = []

@@ -89,6 +89,22 @@ class TokenRecorder:
             )
         return buf
 
+    def status_lines(self) -> List[str]:
+        """One block per recorded interface: counters first, then the
+        paper-style content listing.  The flight recorder folds these
+        into its post-mortem bundle so token content recorded up to a
+        violation survives in the dump."""
+        lines: List[str] = []
+        for qual in sorted(self.buffers):
+            buf = self.buffers[qual]
+            lines.append(
+                f"iface {qual}: {len(buf.entries)} stored "
+                f"(recorded={buf.recorded}, dropped={buf.dropped}, "
+                f"capacity={buf.capacity})"
+            )
+            lines.extend(f"  {line}" for line in buf.format_lines())
+        return lines
+
     def on_push(self, conn: DbgConnection, token: DbgToken) -> None:
         buf = self.buffers.get(conn.qualname)
         if buf is not None:

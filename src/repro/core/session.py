@@ -64,6 +64,17 @@ class DataflowSession:
         #: continuous observability (spans/metrics/trace export) — off
         #: until ``telemetry.enable()`` / the ``trace on`` command
         self.telemetry = Telemetry(self)
+        from ..obs.flight import FlightRecorder
+
+        #: always-on bounded flight recorder: rings of recent spans and
+        #: per-stop metric deltas, auto-dumping a post-mortem bundle on
+        #: violation/error/deadlock stops
+        self.flight = FlightRecorder(self)
+        from ..obs.prof import Profiler
+
+        #: attributed profiler (cycles → actor/function/tier call tree)
+        #: — off until ``prof.enable()`` / the ``prof on`` command
+        self.prof = Profiler(self)
         from ..rv.checks import Checks
 
         #: runtime-verification checks (declarative dataflow properties

@@ -109,6 +109,25 @@ class ShardedRun:
         byte-identical to the single-kernel run's, by contract."""
         return fingerprint_streams(self.link_streams())
 
+    # -------------------------------------------------------- observability
+
+    def aggregate(self):
+        """The stitched run-level telemetry view: per-shard journals
+        merged into one span/metric timeline with cross-shard causal
+        edges (see :mod:`repro.obs.aggregate`).  Its canonical
+        projection is byte-identical to the single-kernel run's — the
+        telemetry analogue of :meth:`fingerprint`."""
+        from ..obs.aggregate import aggregate_sharded
+
+        return aggregate_sharded(self)
+
+    def export_trace(self, path: str, force: bool = False) -> int:
+        """Write the merged multi-process Chrome trace; returns bytes
+        written."""
+        from ..obs.export import write_artifact
+
+        return write_artifact(path, self.aggregate().chrome_trace(), force=force)
+
     def barrier_states(self) -> Dict[int, Any]:
         """Latest per-shard deep MachineState captured at the quantum
         barrier (requires ``snapshots=True``).  Barrier states are a pure

@@ -130,6 +130,15 @@ class CommandCli:
                     lines.append(f"{num}: {expr} = {format_typed(ctype, raw)}")
                 except (DebuggerError, EvalError) as exc:
                     lines.append(f"{num}: {expr} = <error: {exc}>")
+        # the flight recorder never prints from library code; any pending
+        # auto-dump notice is surfaced with the stop banner instead
+        handler = getattr(self, "dataflow_handler", None)
+        if handler is not None:
+            flight = getattr(handler.session, "flight", None)
+            if flight is not None:
+                notice = flight.take_notice()
+                if notice:
+                    lines.append(notice)
         return lines
 
     # ------------------------------------------------------------- builtins

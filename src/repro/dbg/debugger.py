@@ -102,6 +102,10 @@ class Debugger:
         #: hook mask (monitors ride the framework event bus; the bit never
         #: deoptimizes the compiled tier)
         self.rv_armed = False
+        #: armed by the profiler facade: adds CAP_PROFILE to the hook mask
+        #: so interpreters attribute flushed cycles through
+        #: ``hook.profile_sink`` (never deoptimizes)
+        self.profiler_armed = False
         scheduler.pre_dispatch_hook = self._pre_dispatch
         # fast path: keep the kernel's pre-dispatch callback disarmed until
         # a pause is actually pending — zero per-dispatch cost otherwise
@@ -140,6 +144,10 @@ class Debugger:
             # likewise outside CAP_ALL: property monitors consume framework
             # events, so arming them must not drop the compiled tier
             caps |= DebugHook.CAP_RV
+        if self.profiler_armed:
+            # attributed profiling: outside CAP_ALL, implies cycle counting
+            # at the flush sites but never perturbs tier selection
+            caps |= DebugHook.CAP_PROFILE
         if (
             (self._step is not None and self._step.mode == "isi")
             or reg.armed_count("isa")

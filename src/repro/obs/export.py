@@ -15,11 +15,31 @@ the test suite and the CI smoke job; it returns a list of problems
 from __future__ import annotations
 
 import json
-from typing import Any, Dict, Iterable, List
+import os
+from typing import Any, Dict, Iterable, List, Sequence, Tuple
 
 from .spans import Span
 
 TRACE_PID = 1
+
+
+def write_artifact(path: str, text: str, force: bool = False) -> int:
+    """Write a text artifact, creating parent directories; refuses to
+    silently overwrite an existing file unless ``force``.  Returns the
+    byte count written (the CLI reports it)."""
+    from ..errors import DataflowDebugError
+
+    if os.path.exists(path) and not force:
+        raise DataflowDebugError(
+            f"refusing to overwrite existing file {path!r} (add `force`)"
+        )
+    parent = os.path.dirname(path)
+    if parent:
+        os.makedirs(parent, exist_ok=True)
+    data = text.encode("utf-8")
+    with open(path, "wb") as fh:
+        fh.write(data)
+    return len(data)
 
 
 def to_chrome_trace(spans: Iterable[Span], process_name: str = "repro") -> str:
@@ -65,6 +85,61 @@ def to_chrome_trace(spans: Iterable[Span], process_name: str = "repro") -> str:
         ),
         key=lambda e: (e["ts"], e["tid"], -e["dur"], e["name"]),
     )
+    doc = {"traceEvents": events + body, "displayTimeUnit": "ns"}
+    return json.dumps(doc, sort_keys=True, separators=(",", ":"))
+
+
+def to_chrome_trace_multi(
+    groups: Sequence[Tuple[str, Iterable[Span]]]
+) -> str:
+    """Serialise several span groups as one trace, one *process* per
+    group (``pid`` = group index + 1) — the merged cross-shard export,
+    where each shard keeps its own process lane.
+
+    pid/tid assignment is purely positional/sorted, so repeated exports
+    of the same run (and re-runs of a deterministic program) produce
+    byte-identical documents with a stable pid/tid mapping.
+    """
+    events: List[Dict[str, Any]] = []
+    body: List[Dict[str, Any]] = []
+    for gi, (process_name, spans) in enumerate(groups):
+        pid = gi + 1
+        spans = list(spans)
+        tracks = sorted({s.track for s in spans})
+        tids = {track: i + 1 for i, track in enumerate(tracks)}
+        events.append(
+            {
+                "ph": "M",
+                "name": "process_name",
+                "pid": pid,
+                "tid": 0,
+                "args": {"name": process_name},
+            }
+        )
+        for track in tracks:
+            events.append(
+                {
+                    "ph": "M",
+                    "name": "thread_name",
+                    "pid": pid,
+                    "tid": tids[track],
+                    "args": {"name": track},
+                }
+            )
+        body.extend(
+            {
+                "ph": "X",
+                "name": s.name,
+                "cat": s.cat,
+                "ts": s.begin,
+                "dur": s.duration,
+                "pid": pid,
+                "tid": tids[s.track],
+                "args": dict(s.args),
+            }
+            for s in spans
+        )
+    body.sort(key=lambda e: (e["ts"], e["pid"], e["tid"], -e["dur"], e["name"]))
     doc = {"traceEvents": events + body, "displayTimeUnit": "ns"}
     return json.dumps(doc, sort_keys=True, separators=(",", ":"))
 

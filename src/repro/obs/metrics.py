@@ -42,6 +42,55 @@ class Histogram:
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
+    def bounds(self) -> List[tuple]:
+        """Cumulative ``(upper_bound, count)`` pairs in ascending bound
+        order — the OpenMetrics bucket shape.  Empty histogram → ``[]``."""
+        out: List[tuple] = []
+        running = 0
+        for bound in sorted(self.buckets):
+            running += self.buckets[bound]
+            out.append((bound, running))
+        return out
+
+    def percentile(self, q: float) -> int:
+        """The q-th percentile (0..100) as a bucket upper bound, clamped
+        to the observed ``[min, max]`` range.
+
+        Well-defined at the edges rather than raising: an empty histogram
+        reports 0, and a single-bucket (or single-sample) histogram
+        reports the exact observed range endpoint instead of the coarse
+        power-of-two bound.
+        """
+        if not self.count:
+            return 0
+        if q <= 0:
+            return self.min or 0
+        target = self.count if q >= 100 else int(self.count * q / 100.0) + 1
+        if target > self.count:
+            target = self.count
+        for bound, cumulative in self.bounds():
+            if cumulative >= target:
+                # clamp the pow-2 bound to the observed range so degenerate
+                # shapes (one sample, one bucket) stay exact
+                lo = self.min or 0
+                hi = self.max if self.max is not None else bound
+                return max(lo, min(bound, hi))
+        return self.max if self.max is not None else 0  # pragma: no cover
+
+    def summary(self) -> Dict[str, float]:
+        """Fixed-key summary dict, total order defined for every shape
+        including zero samples (all zeros) and one bucket."""
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min if self.min is not None else 0,
+            "mean": round(self.mean, 4),
+            "p50": self.percentile(50),
+            "p90": self.percentile(90),
+            "p99": self.percentile(99),
+            "max": self.max if self.max is not None else 0,
+        }
+
     def render(self) -> str:
         if not self.count:
             return "(empty)"

@@ -1,0 +1,262 @@
+"""OpenMetrics text exposition of a :class:`MetricsRegistry` snapshot.
+
+The future debug daemon (ROADMAP) will be scraped by ordinary Prometheus
+tooling, so the exposition sticks to the OpenMetrics text format: one
+``# TYPE``/``# HELP`` header block per family, samples with sorted label
+sets, cumulative ``le`` histogram buckets ending at ``+Inf``, and a final
+``# EOF`` line.  Output is fully deterministic — families in a fixed
+order, actors/links sorted by name — so two snapshots of the same run
+compare byte-for-byte (the same contract the ``render()`` reports keep).
+
+``parse_openmetrics`` is the in-tree promtool-style validator used by
+the CI scrape check: it re-parses an exposition line by line and returns
+a list of problems (empty when the text is well-formed).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Tuple
+
+from .metrics import Histogram, MetricsRegistry
+
+PREFIX = "repro"
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r" (?P<value>[^ ]+)$"
+)
+_LABEL_RE = re.compile(r'^(?P<key>[a-zA-Z_][a-zA-Z0-9_]*)="(?P<val>(?:[^"\\]|\\.)*)"$')
+
+
+def _escape(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _labels(**kv: str) -> str:
+    inner = ",".join(f'{k}="{_escape(v)}"' for k, v in sorted(kv.items()))
+    return "{" + inner + "}"
+
+
+def _num(value: float) -> str:
+    if isinstance(value, bool):  # pragma: no cover - defensive
+        value = int(value)
+    if isinstance(value, int):
+        return str(value)
+    if value == int(value):
+        return str(int(value))
+    return repr(value)
+
+
+class _Family:
+    def __init__(self, name: str, kind: str, help_text: str) -> None:
+        self.name = name
+        self.kind = kind
+        self.help = help_text
+        self.samples: List[str] = []
+
+    def add(self, suffix: str, labels: str, value: float) -> None:
+        self.samples.append(f"{self.name}{suffix}{labels} {_num(value)}")
+
+    def lines(self) -> List[str]:
+        if not self.samples:
+            return []
+        return [
+            f"# HELP {self.name} {self.help}",
+            f"# TYPE {self.name} {self.kind}",
+            *self.samples,
+        ]
+
+
+def _histogram_samples(fam: _Family, hist: Histogram, labels_kv: Dict[str, str]) -> None:
+    cumulative = hist.bounds()
+    for bound, count in cumulative:
+        fam.add("_bucket", _labels(le=str(bound), **labels_kv), count)
+    fam.add("_bucket", _labels(le="+Inf", **labels_kv), hist.count)
+    fam.add("_sum", _labels(**labels_kv), hist.total)
+    fam.add("_count", _labels(**labels_kv), hist.count)
+
+
+def to_openmetrics(metrics: MetricsRegistry, prefix: str = PREFIX) -> str:
+    """Render ``metrics`` as OpenMetrics text (ends with ``# EOF``)."""
+    p = prefix
+    run_time = _Family(f"{p}_run_last_time", "gauge", "Simulated time of the last observed event.")
+    run_time.add("", "", metrics.last_time)
+
+    firings = _Family(f"{p}_actor_firings", "counter", "WORK invocations per actor.")
+    steps = _Family(f"{p}_actor_steps", "counter", "Scheduling steps per actor.")
+    produced = _Family(f"{p}_actor_produced", "counter", "Tokens pushed per actor.")
+    consumed = _Family(f"{p}_actor_consumed", "counter", "Tokens popped per actor.")
+    busy = _Family(f"{p}_actor_busy_cycles", "counter", "Sim ticks executing Filter-C per actor.")
+    blocked = _Family(f"{p}_actor_blocked_cycles", "counter",
+                      "Sim ticks blocked in framework calls per actor.")
+    for name in sorted(metrics.actors):
+        m = metrics.actors[name]
+        lab = _labels(actor=name)
+        firings.add("_total", lab, m.firings)
+        steps.add("_total", lab, m.steps)
+        produced.add("_total", lab, m.produced)
+        consumed.add("_total", lab, m.consumed)
+        busy.add("_total", lab, m.busy)
+        blocked.add("_total", lab, m.blocked)
+
+    pushes = _Family(f"{p}_link_pushes", "counter", "Tokens pushed per link.")
+    pops = _Family(f"{p}_link_pops", "counter", "Tokens popped per link.")
+    occupancy = _Family(f"{p}_link_occupancy", "gauge", "Tokens currently queued per link.")
+    high_water = _Family(f"{p}_link_high_water", "gauge", "Peak queued tokens per link.")
+    push_lat = _Family(f"{p}_link_push_latency", "histogram",
+                       "Push call duration per link, sim ticks.")
+    pop_lat = _Family(f"{p}_link_pop_latency", "histogram",
+                      "Pop call duration per link, sim ticks.")
+    for name in sorted(metrics.links):
+        m = metrics.links[name]
+        lab = _labels(link=name)
+        pushes.add("_total", lab, m.pushes)
+        pops.add("_total", lab, m.pops)
+        occupancy.add("", lab, m.occupancy)
+        high_water.add("", lab, m.high_water)
+        _histogram_samples(push_lat, m.push_latency, {"link": name})
+        _histogram_samples(pop_lat, m.pop_latency, {"link": name})
+
+    lines: List[str] = []
+    for fam in (run_time, firings, steps, produced, consumed, busy, blocked,
+                pushes, pops, occupancy, high_water, push_lat, pop_lat):
+        lines.extend(fam.lines())
+    lines.append("# EOF")
+    return "\n".join(lines) + "\n"
+
+
+def _parse_value(text: str) -> float:
+    if text in ("+Inf", "-Inf", "NaN"):
+        return float(text.replace("Inf", "inf").replace("NaN", "nan"))
+    return float(text)
+
+
+def parse_openmetrics(text: str) -> List[str]:
+    """Promtool-style line validator.  Returns a list of problems; an
+    empty list means the exposition is well-formed OpenMetrics text."""
+    problems: List[str] = []
+    lines = text.split("\n")
+    if lines and lines[-1] == "":
+        lines.pop()
+    if not lines:
+        return ["empty exposition"]
+    if lines[-1] != "# EOF":
+        problems.append("missing terminal # EOF line")
+    declared: Dict[str, str] = {}  # family name -> type
+    seen_samples: Dict[Tuple[str, str], float] = {}
+    family_done: List[str] = []
+    current: str = ""
+    buckets: Dict[str, List[Tuple[float, float]]] = {}  # labels-sans-le -> (le, count)
+    sums: Dict[str, float] = {}
+    counts: Dict[str, float] = {}
+
+    def close_histogram(name: str) -> None:
+        if declared.get(name) != "histogram":
+            return
+        for key, series in sorted(buckets.items()):
+            les = [le for le, _ in series]
+            if not les or les[-1] != float("inf"):
+                problems.append(f"{name}{{{key}}}: histogram missing le=\"+Inf\" bucket")
+            vals = [v for _, v in series]
+            if any(b > a for a, b in zip(vals[1:], vals)):
+                problems.append(f"{name}{{{key}}}: histogram buckets not cumulative")
+            if key not in sums:
+                problems.append(f"{name}{{{key}}}: histogram missing _sum")
+            if key not in counts:
+                problems.append(f"{name}{{{key}}}: histogram missing _count")
+            elif les and les[-1] == float("inf") and counts[key] != vals[-1]:
+                problems.append(f"{name}{{{key}}}: _count != +Inf bucket")
+        buckets.clear()
+        sums.clear()
+        counts.clear()
+
+    for lineno, line in enumerate(lines, start=1):
+        where = f"line {lineno}"
+        if line == "# EOF":
+            if lineno != len(lines):
+                problems.append(f"{where}: # EOF before end of exposition")
+            continue
+        if line.startswith("# HELP ") or line.startswith("# TYPE "):
+            parts = line.split(" ", 3)
+            if len(parts) < 4 or not _NAME_RE.match(parts[2]):
+                problems.append(f"{where}: malformed {parts[1]} line")
+                continue
+            name = parts[2]
+            if parts[1] == "TYPE":
+                if name in declared:
+                    problems.append(f"{where}: duplicate TYPE for {name}")
+                if parts[3] not in ("counter", "gauge", "histogram", "summary",
+                                    "info", "stateset", "unknown"):
+                    problems.append(f"{where}: unknown metric type {parts[3]!r}")
+                if current and current != name:
+                    close_histogram(current)
+                    family_done.append(current)
+                declared[name] = parts[3]
+                current = name
+            continue
+        if line.startswith("#"):
+            problems.append(f"{where}: unexpected comment {line!r}")
+            continue
+        m = _SAMPLE_RE.match(line)
+        if not m:
+            problems.append(f"{where}: unparsable sample {line!r}")
+            continue
+        sample_name, labels_text, value_text = m.group("name", "labels", "value")
+        base = sample_name
+        for suffix in ("_bucket", "_sum", "_count", "_total"):
+            if sample_name.endswith(suffix) and sample_name[: -len(suffix)] in declared:
+                base = sample_name[: -len(suffix)]
+                break
+        if base not in declared:
+            problems.append(f"{where}: sample {sample_name!r} has no TYPE declaration")
+            continue
+        if base in family_done:
+            problems.append(f"{where}: family {base} interleaved after another family")
+        kind = declared[base]
+        if kind == "counter" and not sample_name.endswith("_total"):
+            problems.append(f"{where}: counter sample {sample_name!r} must end in _total")
+        label_pairs: List[Tuple[str, str]] = []
+        le_value = None
+        if labels_text:
+            for item in labels_text.split(","):
+                lm = _LABEL_RE.match(item)
+                if not lm:
+                    problems.append(f"{where}: malformed label {item!r}")
+                    continue
+                if lm.group("key") == "le":
+                    le_value = lm.group("val")
+                else:
+                    label_pairs.append((lm.group("key"), lm.group("val")))
+            keys = [k for k, _ in label_pairs]
+            if keys != sorted(keys):
+                problems.append(f"{where}: labels not sorted: {labels_text!r}")
+        try:
+            value = _parse_value(value_text)
+        except ValueError:
+            problems.append(f"{where}: bad sample value {value_text!r}")
+            continue
+        if kind in ("counter", "histogram") and value < 0:
+            problems.append(f"{where}: negative {kind} value {value_text}")
+        key = ",".join(f"{k}={v}" for k, v in label_pairs)
+        dedup = (sample_name, key + (f",le={le_value}" if le_value is not None else ""))
+        if dedup in seen_samples:
+            problems.append(f"{where}: duplicate sample {dedup}")
+        seen_samples[dedup] = value
+        if kind == "histogram":
+            if sample_name.endswith("_bucket"):
+                if le_value is None:
+                    problems.append(f"{where}: histogram bucket without le label")
+                else:
+                    buckets.setdefault(key, []).append((_parse_value(le_value), value))
+            elif sample_name.endswith("_sum"):
+                sums[key] = value
+            elif sample_name.endswith("_count"):
+                counts[key] = value
+            else:
+                problems.append(f"{where}: histogram sample {sample_name!r} "
+                                "must end in _bucket/_sum/_count")
+    close_histogram(current)
+    return problems

@@ -74,7 +74,13 @@ class Telemetry:
         self.builder = None
 
     def _on_event(self, event):
-        self.builder.feed(from_framework_event(event))
+        te = from_framework_event(event)
+        self.builder.feed(te)
+        # the flight recorder rides the same tap (bounded ring insert) so
+        # it never needs its own bus subscription
+        flight = getattr(self.session, "flight", None)
+        if flight is not None:
+            flight.feed(te)
         return None
 
     # ------------------------------------------------------------ queries
@@ -120,20 +126,18 @@ class Telemetry:
 
     def opcode_cycles(self) -> Dict[str, int]:
         """Aggregated per-opcode cycle counts from every live bytecode-tier
-        interpreter, keyed by mnemonic.  Counted only while telemetry is
-        armed: CAP_TELEMETRY flips the VM into its instrumented prelude,
-        which attributes each instruction's ISA cost to its opcode."""
-        from ..cminus.vm import isa
+        interpreter, keyed by mnemonic.  Counted only while telemetry (or
+        the profiler) is armed: either bit flips the VM into its
+        instrumented prelude, which attributes each instruction's ISA
+        cost to its opcode."""
+        from ..cminus.vm.telemetry import aggregate_opcode_cycles
 
-        total: Dict[str, int] = {}
-        for actor in self.session.dbg.runtime.all_actors():
-            interp = getattr(actor, "interp", None)
-            if interp is None:
-                continue
-            for op, cyc in getattr(interp, "opcode_cycles", {}).items():
-                name = isa.NAMES[op]
-                total[name] = total.get(name, 0) + cyc
-        return total
+        interps = [
+            interp
+            for actor in self.session.dbg.runtime.all_actors()
+            if (interp := getattr(actor, "interp", None)) is not None
+        ]
+        return aggregate_opcode_cycles(interps)
 
     # ------------------------------------------------------------- export
 
@@ -144,9 +148,14 @@ class Telemetry:
             raise DataflowDebugError("no telemetry collected (use `trace on` first)")
         return to_chrome_trace(self.sink.snapshot().spans, process_name)
 
-    def export_file(self, path: str, process_name: str = "repro") -> int:
-        """Write the Chrome trace JSON to ``path``; returns span count."""
+    def export_file(
+        self, path: str, process_name: str = "repro", force: bool = False
+    ) -> "tuple[int, int]":
+        """Write the Chrome trace JSON to ``path``, creating parent
+        directories and refusing to silently overwrite unless ``force``.
+        Returns ``(span count, bytes written)``."""
+        from .export import write_artifact
+
         text = self.export_json(process_name)
-        with open(path, "w", encoding="utf-8") as fh:
-            fh.write(text)
-        return len(self.sink)
+        nbytes = write_artifact(path, text, force=force)
+        return len(self.sink), nbytes

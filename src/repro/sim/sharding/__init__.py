@@ -15,6 +15,7 @@ from .merge import (
     fingerprint_streams,
     merge_link_streams,
     stable_value_text,
+    stream_digest,
 )
 from .plan import (
     CrossLink,
@@ -38,6 +39,7 @@ __all__ = [
     "fingerprint_streams",
     "merge_link_streams",
     "stable_value_text",
+    "stream_digest",
     "CrossLink",
     "HostSpec",
     "ShardPlan",

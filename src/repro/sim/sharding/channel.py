@@ -47,6 +47,11 @@ class CrossShardChannel:
         self.src_shard: Optional[int] = None
         self.dst_shard: Optional[int] = None
         self.total_forwarded = 0
+        #: bounded log of the most recent forwards, as ``(ordinal,
+        #: send_time)`` pairs (ordinal is 1-based FIFO position — the
+        #: cross-shard token identity the observability plane keys on)
+        self.recent: Deque[Tuple[int, int]] = deque(maxlen=16)
+        self.high_water = 0
         self._data_avail = None  # consumer-shard Event
         self._space_avail = None  # producer-shard Event
 
@@ -69,12 +74,37 @@ class CrossShardChannel:
     def head_time(self) -> Optional[int]:
         return self.queue[0][0] if self.queue else None
 
+    def stats(self) -> Dict[str, Any]:
+        """Deterministic forward statistics for the observability plane
+        (flight-recorder bundles, ``info aggregate`` cross-checks)."""
+        return {
+            "link": self.name,
+            "route": f"{self.src_shard}->{self.dst_shard}",
+            "forwarded": self.total_forwarded,
+            "in_flight": len(self.queue),
+            "high_water": self.high_water,
+            "horizon": "inf" if self.horizon >= INFINITE_TIME else self.horizon,
+            "closed": self.closed,
+            "recent": list(self.recent),
+        }
+
+    def describe(self) -> str:
+        s = self.stats()
+        return (
+            f"channel {s['link']} [{s['route']}]: forwarded={s['forwarded']} "
+            f"in_flight={s['in_flight']} high_water={s['high_water']} "
+            f"horizon={s['horizon']}{' closed' if s['closed'] else ''}"
+        )
+
     # ------------------------------------------------------------- producer
 
     def send(self, time: int, token: Any) -> None:
         """Forward one token with its producer-side timestamp."""
         self.queue.append((time, token))
         self.total_forwarded += 1
+        self.recent.append((self.total_forwarded, time))
+        if len(self.queue) > self.high_water:
+            self.high_water = len(self.queue)
         if time > self.horizon:
             self.horizon = time
         if self._data_avail is not None:

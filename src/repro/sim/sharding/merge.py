@@ -88,6 +88,13 @@ def merge_link_streams(parts: Iterable[Mapping[str, List[str]]]) -> Dict[str, Li
     return merged
 
 
+def stream_digest(values: Iterable[str]) -> str:
+    """Short digest of one link's ordered value stream — the per-link
+    unit the run-level fingerprint and the canonical telemetry
+    projection both build on."""
+    return hashlib.sha256("\x01".join(values).encode("utf-8")).hexdigest()[:16]
+
+
 def fingerprint_streams(streams: Mapping[str, List[str]]) -> str:
     """SHA-256 over the canonical serialisation of the link streams."""
     h = hashlib.sha256()

@@ -279,6 +279,12 @@ class ShardedScheduler:
 
     # ----------------------------------------------------------- inspection
 
+    def channel_stats(self) -> List[Dict[str, object]]:
+        """Deterministic per-channel forward statistics (sorted by link
+        name) — the cross-shard detail the flight recorder bundles and
+        ``info aggregate`` cross-checks against journal-derived edges."""
+        return [self.channels[name].stats() for name in sorted(self.channels)]
+
     def info_lines(self) -> List[str]:
         """``info shards``: per-shard counters and channel horizons."""
         lines: List[str] = []

@@ -1,0 +1,18 @@
+"""Suite-wide fixtures."""
+
+import pytest
+
+
+@pytest.fixture(autouse=True)
+def _flight_dumps_into_tmp(tmp_path, monkeypatch):
+    """Keep automatic flight-recorder dumps out of the working tree.
+
+    The recorder is always armed, so any test that drives a run into a
+    violation/error/deadlock stop would otherwise drop a
+    ``flight_*.json`` bundle into the repo root.  Tests that care about
+    the dump location set ``session.flight.dump_dir`` explicitly, which
+    overrides this class-level redirect.
+    """
+    from repro.obs.flight import FlightRecorder
+
+    monkeypatch.setattr(FlightRecorder, "dump_dir", str(tmp_path / "flight"))

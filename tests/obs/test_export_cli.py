@@ -1,0 +1,172 @@
+"""Export hygiene and CLI listing controls.
+
+``write_artifact`` is the single choke point every observability export
+goes through: parent directories are created, silent overwrite is
+refused without ``force``, and the byte count is reported.  On top sit
+the ``trace export``/``metrics export`` CLI verbs and the sort/limit
+options of ``info spans``/``info metrics``.
+"""
+
+import pytest
+
+from repro.apps.rle import build_rle_pipeline
+from repro.core import DataflowSession
+from repro.dbg import CommandCli, Debugger, StopKind
+from repro.errors import DataflowDebugError
+from repro.obs import parse_openmetrics, validate_chrome_trace, write_artifact
+
+
+def rle_cli(values=(5, 5, 5, 2, 7, 7)):
+    sched, runtime, _sink = build_rle_pipeline(list(values))
+    dbg = Debugger(sched, runtime)
+    cli = CommandCli(dbg)
+    session = DataflowSession(dbg, cli=cli)
+    return session, cli
+
+
+def run_traced(session):
+    session.telemetry.enable()
+    ev = session.dbg.run()
+    while ev.kind not in (StopKind.EXITED, StopKind.DEADLOCK, StopKind.ERROR):
+        ev = session.dbg.cont()
+    assert ev.kind == StopKind.EXITED
+
+
+# ----------------------------------------------------------- write_artifact
+
+
+def test_write_artifact_creates_parent_dirs_and_counts_bytes(tmp_path):
+    target = tmp_path / "a" / "b" / "out.txt"
+    nbytes = write_artifact(str(target), "hello\n")
+    assert nbytes == 6 and target.read_text() == "hello\n"
+
+
+def test_write_artifact_refuses_silent_overwrite(tmp_path):
+    target = tmp_path / "out.txt"
+    write_artifact(str(target), "first")
+    with pytest.raises(DataflowDebugError, match="refusing to overwrite"):
+        write_artifact(str(target), "second")
+    assert target.read_text() == "first"
+    assert write_artifact(str(target), "second", force=True) == 6
+    assert target.read_text() == "second"
+
+
+# ----------------------------------------------------------- trace export
+
+
+def test_trace_export_reports_spans_and_bytes(tmp_path):
+    session, cli = rle_cli()
+    run_traced(session)
+    target = tmp_path / "nested" / "trace.json"
+    out = cli.execute(f"trace export {target}")
+    assert len(out) == 1 and out[0].startswith("wrote ")
+    assert "span(s)" in out[0] and "byte(s)" in out[0]
+    nbytes = int(out[0].split("span(s), ")[1].split(" byte(s)")[0])
+    assert nbytes == len(target.read_bytes())
+    assert validate_chrome_trace(target.read_text()) == []
+
+
+def test_trace_export_overwrite_needs_force(tmp_path):
+    session, cli = rle_cli()
+    run_traced(session)
+    target = tmp_path / "trace.json"
+    assert cli.execute(f"trace export {target}")[0].startswith("wrote ")
+    out = cli.execute(f"trace export {target}")
+    assert out and "refusing to overwrite" in out[0]
+    assert cli.execute(f"trace export {target} force")[0].startswith("wrote ")
+
+
+def test_metrics_export_and_show(tmp_path):
+    session, cli = rle_cli()
+    run_traced(session)
+    target = tmp_path / "m" / "metrics.om"
+    out = cli.execute(f"metrics export {target}")
+    assert out[0].startswith("wrote ") and "OpenMetrics" in out[0]
+    assert parse_openmetrics(target.read_text()) == []
+    shown = cli.execute("metrics show")
+    assert shown[-1] == "# EOF"
+    # before any collection the verbs refuse with a hint
+    fresh_session, fresh_cli = rle_cli()
+    out = fresh_cli.execute("metrics show")
+    assert out and "trace on" in out[0]
+
+
+# ------------------------------------------------- info spans/metrics knobs
+
+
+def test_info_spans_default_cap_and_footer():
+    session, cli = rle_cli()
+    run_traced(session)
+    total = len(session.telemetry.sink)
+    assert total > 20  # the default cap must actually bite
+    out = cli.execute("info spans")
+    assert out[0].endswith(f"lifetime by name: {_names_summary(session)}")
+    footer = [l for l in out if "more span(s)" in l]
+    assert len(footer) == 1 and "`info spans all` shows all" in footer[0]
+    # default shows 20 spans (+ header + footer)
+    assert len(out) == 22
+
+
+def _names_summary(session):
+    snap = session.telemetry.sink.snapshot()
+    return ", ".join(f"{k}={v}" for k, v in sorted(snap.name_counts.items()))
+
+
+def test_info_spans_limit_all_and_sorts():
+    session, cli = rle_cli()
+    run_traced(session)
+    total = len(session.telemetry.sink)
+    assert len(cli.execute("info spans all")) == total + 1  # no footer
+    out = cli.execute("info spans 5")
+    assert len(out) == 7
+    # `sort dur` lists the longest spans first
+    durs = _shown_durations(cli.execute("info spans 5 sort dur"))
+    assert durs == sorted(durs, reverse=True)
+    # time sort shows the *most recent* window: the exit-side spans
+    assert cli.execute("info spans 1")[-1] == cli.execute("info spans all")[-1]
+
+
+def _shown_durations(lines):
+    durs = []
+    for line in lines:
+        line = line.strip()
+        if "dur=" in line:
+            durs.append(int(line.split("dur=")[1].split(")")[0]))
+    return durs
+
+
+def test_info_metrics_limit_and_footers():
+    session, cli = rle_cli()
+    run_traced(session)
+    out = cli.execute("info metrics 1")
+    assert sum("more actor(s)" in l for l in out) == 1
+    assert sum("more link(s)" in l for l in out) == 1
+    assert "`info metrics all` shows all" in "".join(out)
+    full = cli.execute("info metrics all")
+    assert not any("more actor(s)" in l or "more link(s)" in l for l in full)
+
+
+def test_info_metrics_sort_busy_orders_actors():
+    session, cli = rle_cli()
+    run_traced(session)
+    out = cli.execute("info metrics all sort busy")
+    busy = []
+    in_actors = False
+    for line in out:
+        if line == "actors:":
+            in_actors = True
+            continue
+        if line == "links:":
+            break
+        if in_actors and "busy=" in line:
+            busy.append(int(line.split("busy=")[1].split(" ")[0]))
+    assert len(busy) >= 2 and busy == sorted(busy, reverse=True)
+
+
+def test_listing_rejects_bad_options():
+    session, cli = rle_cli()
+    run_traced(session)
+    out = cli.execute("info spans sort sideways")
+    assert out and out[0].startswith("error:")
+    out = cli.execute("info metrics nonsense")
+    assert out and out[0].startswith("error:")

@@ -1,0 +1,85 @@
+"""Histogram percentile/summary edge cases (regression coverage).
+
+The pow-2 bucketing makes percentiles coarse by design; the edge cases
+that used to be undefined — zero samples, a single sample, everything
+in one bucket — must be exact and total, never raise, and the summary
+dict must carry a fixed key set for every shape.
+"""
+
+import pytest
+
+from repro.obs.metrics import Histogram
+
+
+def _hist(*values):
+    h = Histogram()
+    for v in values:
+        h.add(v)
+    return h
+
+
+def test_empty_histogram_is_total():
+    h = Histogram()
+    assert h.bounds() == []
+    for q in (0, 50, 99, 100):
+        assert h.percentile(q) == 0
+    assert h.summary() == {
+        "count": 0, "sum": 0, "min": 0, "mean": 0.0,
+        "p50": 0, "p90": 0, "p99": 0, "max": 0,
+    }
+    assert h.render() == "(empty)"
+
+
+def test_single_sample_is_exact_at_every_percentile():
+    h = _hist(7)
+    # 7 lands in the <=8 pow-2 bucket, but the clamp keeps it exact
+    for q in (0, 1, 50, 90, 99, 100):
+        assert h.percentile(q) == 7
+    s = h.summary()
+    assert s["min"] == s["p50"] == s["p99"] == s["max"] == 7
+    assert s["count"] == 1 and s["sum"] == 7
+
+
+def test_single_bucket_many_samples_clamps_to_observed_range():
+    h = _hist(5, 6, 7, 8)  # all in the <=8 bucket
+    assert h.bounds() == [(8, 4)]
+    assert h.percentile(0) == 5
+    assert h.percentile(100) == 8
+    # interior percentiles clamp the coarse bound into [min, max]
+    for q in (25, 50, 90, 99):
+        assert 5 <= h.percentile(q) <= 8
+
+
+def test_zero_and_negative_samples_share_the_zero_bucket():
+    h = _hist(0, 0, -3)
+    assert h.bounds() == [(0, 3)]
+    assert h.percentile(50) == 0
+    assert h.summary()["min"] == -3  # min tracks the raw value
+
+
+def test_percentile_edges_and_monotonicity():
+    h = _hist(*range(1, 101))
+    assert h.percentile(-5) == 1
+    assert h.percentile(0) == 1
+    assert h.percentile(100) == 100
+    assert h.percentile(200) == 100
+    values = [h.percentile(q) for q in range(0, 101, 5)]
+    assert values == sorted(values)
+    # p50 of 1..100: 51st sample = 51, bucket bound 64
+    assert h.percentile(50) == 64
+
+
+def test_bounds_are_cumulative_and_ascending():
+    h = _hist(1, 2, 3, 4, 5, 100)
+    bounds = h.bounds()
+    assert [b for b, _ in bounds] == sorted(b for b, _ in bounds)
+    counts = [c for _, c in bounds]
+    assert counts == sorted(counts)
+    assert counts[-1] == h.count
+
+
+def test_summary_key_order_is_fixed():
+    assert list(_hist(3).summary()) == [
+        "count", "sum", "min", "mean", "p50", "p90", "p99", "max",
+    ]
+    assert list(Histogram().summary()) == list(_hist(1, 2, 3).summary())

@@ -1,0 +1,149 @@
+"""OpenMetrics exposition + the in-tree promtool-style validator.
+
+The exposition must round-trip its own validator cleanly, stay
+byte-deterministic across identical runs, and the validator must
+actually catch malformed documents (it gates the CI scrape check, so a
+vacuous parser would make that job meaningless).
+"""
+
+import pytest
+
+from repro.apps.rle import build_rle_pipeline
+from repro.core import DataflowSession
+from repro.dbg import Debugger, StopKind
+from repro.obs import parse_openmetrics, to_openmetrics
+
+
+def _collected_metrics():
+    sched, runtime, _sink = build_rle_pipeline([5, 5, 5, 2, 7, 7])
+    session = DataflowSession(Debugger(sched, runtime))
+    session.telemetry.enable()
+    ev = session.dbg.run()
+    while ev.kind not in (StopKind.EXITED, StopKind.DEADLOCK, StopKind.ERROR):
+        ev = session.dbg.cont()
+    assert ev.kind == StopKind.EXITED
+    return session.telemetry.metrics
+
+
+def test_exposition_passes_own_validator():
+    text = to_openmetrics(_collected_metrics())
+    assert parse_openmetrics(text) == []
+    assert text.endswith("# EOF\n")
+
+
+def test_exposition_is_deterministic_across_runs():
+    assert to_openmetrics(_collected_metrics()) == to_openmetrics(_collected_metrics())
+
+
+def test_exposition_shape():
+    lines = to_openmetrics(_collected_metrics()).splitlines()
+    # counters end _total, every family has HELP+TYPE, histograms carry
+    # cumulative buckets ending at +Inf with matching _count
+    assert any(l.startswith("# TYPE repro_actor_firings counter") for l in lines)
+    assert any(l.startswith("repro_actor_firings_total{actor=") for l in lines)
+    assert any(l.startswith("# TYPE repro_link_push_latency histogram") for l in lines)
+    assert any('le="+Inf"' in l for l in lines)
+    assert any(l.startswith("repro_link_push_latency_count{") for l in lines)
+    assert any(l.startswith("repro_run_last_time ") for l in lines)
+
+
+def test_prefix_is_configurable():
+    text = to_openmetrics(_collected_metrics(), prefix="acme")
+    assert parse_openmetrics(text) == []
+    assert "acme_actor_firings_total" in text and "repro_" not in text
+
+
+# ------------------------------------------------- validator negative cases
+
+
+def _doc(*lines):
+    return "\n".join(lines) + "\n"
+
+
+GOOD = _doc(
+    "# HELP t_x_total A counter.",
+    "# TYPE t_x counter",
+    't_x_total{a="1"} 3',
+    "# EOF",
+)
+
+
+def test_validator_accepts_minimal_document():
+    assert parse_openmetrics(GOOD) == []
+
+
+def test_validator_requires_terminal_eof():
+    broken = GOOD.replace("# EOF\n", "")
+    assert any("EOF" in p for p in parse_openmetrics(broken))
+
+
+def test_validator_rejects_counter_sample_without_total_suffix():
+    doc = _doc(
+        "# HELP t_x A counter.",
+        "# TYPE t_x counter",
+        't_x{a="1"} 3',
+        "# EOF",
+    )
+    assert any("_total" in p for p in parse_openmetrics(doc))
+
+
+def test_validator_rejects_unsorted_labels():
+    doc = _doc(
+        "# HELP t_x_total A counter.",
+        "# TYPE t_x counter",
+        't_x_total{b="2",a="1"} 3',
+        "# EOF",
+    )
+    assert any("sorted" in p for p in parse_openmetrics(doc))
+
+
+def test_validator_rejects_unknown_type():
+    doc = _doc("# HELP t_x Something.", "# TYPE t_x widget", "t_x 1", "# EOF")
+    assert any("type" in p.lower() for p in parse_openmetrics(doc))
+
+
+def test_validator_rejects_non_cumulative_histogram():
+    doc = _doc(
+        "# HELP t_h A histogram.",
+        "# TYPE t_h histogram",
+        't_h_bucket{le="1"} 5',
+        't_h_bucket{le="2"} 3',  # decreasing: not cumulative
+        't_h_bucket{le="+Inf"} 5',
+        "t_h_sum 9",
+        "t_h_count 5",
+        "# EOF",
+    )
+    assert parse_openmetrics(doc) != []
+
+
+def test_validator_rejects_histogram_without_inf_bucket():
+    doc = _doc(
+        "# HELP t_h A histogram.",
+        "# TYPE t_h histogram",
+        't_h_bucket{le="1"} 5',
+        "t_h_sum 9",
+        "t_h_count 5",
+        "# EOF",
+    )
+    assert any("+Inf" in p for p in parse_openmetrics(doc))
+
+
+def test_validator_rejects_duplicate_samples():
+    doc = _doc(
+        "# HELP t_x_total A counter.",
+        "# TYPE t_x counter",
+        't_x_total{a="1"} 3',
+        't_x_total{a="1"} 4',
+        "# EOF",
+    )
+    assert any("duplicate" in p.lower() for p in parse_openmetrics(doc))
+
+
+def test_validator_reports_malformed_sample_lines():
+    doc = _doc(
+        "# HELP t_x_total A counter.",
+        "# TYPE t_x counter",
+        "t_x_total{unclosed 3",
+        "# EOF",
+    )
+    assert parse_openmetrics(doc) != []

@@ -1,5 +1,6 @@
 """The `python -m repro` entry point (script mode)."""
 
+import os
 import subprocess
 import sys
 import textwrap
@@ -11,7 +12,22 @@ def run_main(args, script_text=None, tmp_path=None):
         script = tmp_path / "session.gdb"
         script.write_text(script_text)
         argv += ["--script", str(script)]
-    return subprocess.run(argv, capture_output=True, text=True, timeout=180)
+    # run inside tmp_path so artifacts the CLI writes into its cwd
+    # (e.g. automatic flight-recorder dumps on a deadlock stop) land in
+    # the test sandbox, not the repo root; absolutize PYTHONPATH entries
+    # so a relative `PYTHONPATH=src` still resolves from there
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        os.path.abspath(p) for p in env.get("PYTHONPATH", "").split(os.pathsep) if p
+    )
+    return subprocess.run(
+        argv,
+        capture_output=True,
+        text=True,
+        timeout=180,
+        cwd=str(tmp_path) if tmp_path is not None else None,
+        env=env,
+    )
 
 
 def test_demo_amodule_scripted(tmp_path):
