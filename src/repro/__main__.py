@@ -24,82 +24,21 @@ from .errors import ReproError
 
 
 def _apply_tier(session, tier: str) -> None:
-    """Force every live interpreter onto ``tier`` ("auto" is the default:
-    compiled closures with debugger-triggered deoptimization; "vm" is the
-    register-machine bytecode tier; "slow" is the per-statement resumable
-    tier, useful as a differential oracle)."""
-    from .cminus.interp import VALID_TIERS
+    from .serve.builders import apply_tier
 
-    if tier not in VALID_TIERS:
-        raise ReproError(
-            f"unknown interpreter tier {tier!r} (choose from {', '.join(VALID_TIERS)})"
-        )
-    runtime = session.dbg.runtime
-    runtime.config.interp_tier = tier
-    for actor in runtime.all_actors():
-        interp = getattr(actor, "interp", None)
-        if interp is not None:
-            interp.tier = tier
+    apply_tier(session, tier)
 
 
 def _build_demo(name: str, bug: Optional[str], tier: str = "auto"):
-    from .core import DataflowSession
-    from .dbg import CommandCli, Debugger
+    from .serve.builders import build_program_cli
 
-    if name == "amodule":
-        from .apps.amodule import build_demo
-
-        def fresh():
-            sched, platform, runtime, source, sink = build_demo()
-            dbg = Debugger(sched, runtime)
-            session = DataflowSession(dbg, stop_on_init=True)
-            _apply_tier(session, tier)
-            return session, sink
-
-    elif name == "rle":
-        from .apps.rle.app import build_rle_pipeline
-
-        def fresh():
-            sched, runtime, sink = build_rle_pipeline([5, 5, 5, 2, 7, 7])
-            dbg = Debugger(sched, runtime)
-            session = DataflowSession(dbg, stop_on_init=True)
-            _apply_tier(session, tier)
-            return session, sink
-
-    elif name == "h264":
-        from .apps.h264.app import build_decoder
+    if name == "h264" and bug is not None:
         from .apps.h264.bugs import BUG_VARIANTS
 
-        variant = None
-        if bug is not None:
-            variant = BUG_VARIANTS.get(bug)
-            if variant is None:
-                raise ReproError(f"unknown bug variant {bug!r} (choose from {', '.join(BUG_VARIANTS)})")
+        variant = BUG_VARIANTS.get(bug)
+        if variant is not None:
             print(f"[loaded h264 decoder with injected bug: {variant.symptom}]")
-
-        def fresh():
-            if variant is not None:
-                sched, platform, runtime, source, sink, mbs = variant.build()
-            else:
-                sched, platform, runtime, source, sink, mbs = build_decoder(n_mbs=8)
-            dbg = Debugger(sched, runtime)
-            session = DataflowSession(dbg, stop_on_init=True)
-            _apply_tier(session, tier)
-            return session, sink
-
-    else:
-        raise ReproError(f"unknown demo {name!r} (amodule/rle/h264)")
-
-    session, sink = fresh()
-    cli = CommandCli(session.dbg)
-    from .core import install_dataflow_commands
-
-    install_dataflow_commands(cli, session)
-    session.cli = cli
-    # the demos are self-contained, so time travel works out of the box:
-    # replay rebuilds the whole application from the same factory
-    session.replay.register_builder(lambda: fresh()[0])
-    return cli, sink
+    return build_program_cli(name, bug=bug, tier=tier)
 
 
 def _build_from_adl(adl_path: str, src_paths: List[str], values: List[int], tier: str = "auto"):
@@ -143,6 +82,12 @@ def repl(cli) -> None:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    if argv and argv[0] == "serve":
+        # the debug-server daemon: many concurrent wire-attached sessions
+        from .serve.daemon import serve_main
+
+        return serve_main(argv[1:])
     parser = argparse.ArgumentParser(prog="python -m repro", description=__doc__)
     parser.add_argument("--demo", choices=["amodule", "rle", "h264"],
                         help="load a built-in demo")

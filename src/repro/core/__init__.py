@@ -57,6 +57,7 @@ from .replay import ReplayManager, RunRecorder
 from .dot import render_dot
 from .session import BEHAVIORS, DataflowSession
 from .commands import install_dataflow_commands
+from .service import CommandResult, CommandService, stop_to_dict
 
 __all__ = [
     "DataflowModel",
@@ -81,4 +82,7 @@ __all__ = [
     "BEHAVIORS",
     "DataflowSession",
     "install_dataflow_commands",
+    "CommandResult",
+    "CommandService",
+    "stop_to_dict",
 ]

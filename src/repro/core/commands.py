@@ -23,48 +23,13 @@ import re
 from typing import List, Optional
 
 from ..dbg.cli import Command, CommandCli
+from ..dbg.cmdparse import (
+    parse_export_target as _parse_export_target,
+    parse_keyword_options,
+    parse_listing_options as _parse_listing_options,
+)
 from ..errors import CommandError, DataflowDebugError
 from .session import BEHAVIORS, DataflowSession
-
-
-def _parse_export_target(rest: str, usage: str):
-    """Parse ``FILE [force]`` for the export-style commands; returns
-    ``(path, force)``."""
-    words = rest.split()
-    force = False
-    if words and words[-1] == "force":
-        force = True
-        words = words[:-1]
-    if not words:
-        raise CommandError(f"usage: {usage}")
-    return " ".join(words), force
-
-
-def _parse_listing_options(arg: str, sorts, usage: str, default_limit: int = 20):
-    """Parse the shared ``[N|all] [sort KEY]`` listing options used by
-    ``info spans`` / ``info metrics``; returns ``(limit, sort)`` with
-    ``limit=0`` meaning unlimited."""
-    limit = default_limit
-    sort = sorts[0]
-    words = arg.split()
-    i = 0
-    while i < len(words):
-        word = words[i]
-        if word.isdigit():
-            limit = int(word)
-            i += 1
-        elif word == "all":
-            limit = 0
-            i += 1
-        elif word == "limit" and i + 1 < len(words) and words[i + 1].isdigit():
-            limit = int(words[i + 1])
-            i += 2
-        elif word == "sort" and i + 1 < len(words) and words[i + 1] in sorts:
-            sort = words[i + 1]
-            i += 2
-        else:
-            raise CommandError(f"usage: {usage}")
-    return limit, sort
 
 
 def install_dataflow_commands(cli: CommandCli, session: DataflowSession) -> None:
@@ -72,6 +37,11 @@ def install_dataflow_commands(cli: CommandCli, session: DataflowSession) -> None
     # remembered so a replay adoption can rebind the handler to the rebuilt
     # session (see repro.core.replay.ReplayManager._adopt)
     cli.dataflow_handler = handler
+    # structured dispatch front-end: the interactive loop, scripted tests
+    # and the serve daemon all execute through this one service
+    from .service import CommandService
+
+    cli.service = CommandService(cli, session)
     cli.register(Command(
         "filter", handler.cmd_filter,
         "filter NAME catch work|IF=N,...|*in=N|IFACE [if COND] "
@@ -427,37 +397,18 @@ class _Commands:
         mgr = self.session.replay
         verb, _, rest = arg.strip().partition(" ")
         if verb == "on":
-            interval = limit = window = snapshot_every = None
-            segment_dir = None
-            words = rest.split()
-            i = 0
-            while i < len(words):
-                if words[i] == "every" and i + 1 < len(words) and words[i + 1].isdigit():
-                    interval = int(words[i + 1])
-                    i += 2
-                elif words[i] == "limit" and i + 1 < len(words) and words[i + 1].isdigit():
-                    limit = int(words[i + 1])
-                    i += 2
-                elif words[i] == "segments" and i + 1 < len(words):
-                    segment_dir = words[i + 1]
-                    i += 2
-                elif words[i] == "window" and i + 1 < len(words) and words[i + 1].isdigit():
-                    window = int(words[i + 1])
-                    i += 2
-                elif words[i] == "snapshot" and i + 1 < len(words) and words[i + 1].isdigit():
-                    snapshot_every = int(words[i + 1])
-                    i += 2
-                else:
-                    raise CommandError(
-                        "usage: record on [every N] [limit N] [segments DIR] "
-                        "[window N] [snapshot M]"
-                    )
+            opts = parse_keyword_options(
+                rest,
+                "record on [every N] [limit N] [segments DIR] [window N] [snapshot M]",
+                int_keys=("every", "limit", "window", "snapshot"),
+                str_keys=("segments",),
+            )
             return mgr.record_on(
-                interval=interval,
-                limit=limit,
-                segment_dir=segment_dir,
-                window=window,
-                snapshot_every=snapshot_every,
+                interval=opts.get("every"),
+                limit=opts.get("limit"),
+                segment_dir=opts.get("segments"),
+                window=opts.get("window"),
+                snapshot_every=opts.get("snapshot"),
             )
         if verb == "off":
             return mgr.record_off()
@@ -505,20 +456,11 @@ class _Commands:
         verb, _, rest = arg.strip().partition(" ")
         rest = rest.strip()
         if verb == "on":
-            limit = None
-            ring = False
-            words = rest.split()
-            i = 0
-            while i < len(words):
-                if words[i] == "limit" and i + 1 < len(words) and words[i + 1].isdigit():
-                    limit = int(words[i + 1])
-                    i += 2
-                elif words[i] == "ring":
-                    ring = True
-                    i += 1
-                else:
-                    raise CommandError("usage: trace on [limit N] [ring]")
-            tel.enable(limit=limit, ring=ring)
+            opts = parse_keyword_options(
+                rest, "trace on [limit N] [ring]",
+                int_keys=("limit",), flags=("ring",),
+            )
+            tel.enable(limit=opts.get("limit"), ring=bool(opts.get("ring")))
             return ["telemetry enabled (spans + metrics collecting)"]
         if verb == "off":
             tel.disable()

@@ -93,6 +93,17 @@ class ShardedRun:
             raise DataflowDebugError("sharded run not started (use run())")
         return self.engine.run()
 
+    def request_pause(self) -> None:
+        """Async-safe fabric-wide suspend (callable from any thread while
+        another drives :meth:`run`): arm every shard's pre-dispatch pause
+        trap.  The first shard to reach a dispatch boundary suspends its
+        quantum, and by the lookahead contract its peers are already
+        parked at (or before) their own barriers — so the engine returns
+        a ``suspended`` :class:`ShardedStop` that is a *consistent global
+        pause*, the same stop a breakpoint in any shard produces."""
+        for session in self.sessions:
+            session.dbg.request_pause()
+
     # ---------------------------------------------------------- determinism
 
     def link_streams(self) -> Dict[str, List[str]]:

@@ -17,6 +17,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence
 
 from ..errors import CommandError, DebuggerError, ReproError
+from .cmdparse import parse_break_args, parse_int_arg
 from .debugger import Debugger
 from .eval import EvalError
 from .stop import StopEvent, StopKind
@@ -43,6 +44,10 @@ class CommandCli:
         # auto-display expressions: id -> expression text
         self._displays: Dict[int, str] = {}
         self._next_display = 1
+        # machine-readable dispatch front-end; attached by the dataflow
+        # extension (core.commands) so wire clients and the interactive
+        # loop share one execution path
+        self.service = None
         self._install_builtin_commands()
 
     # ------------------------------------------------------------ registry
@@ -58,7 +63,8 @@ class CommandCli:
         expressions, history of the *session*) survives the swap."""
         self.dbg = debugger
 
-    def _resolve(self, name: str) -> Command:
+    def resolve(self, name: str) -> Command:
+        """Resolve a command name, alias or unambiguous prefix."""
         cmd = self.commands.get(name)
         if cmd is not None:
             return cmd
@@ -73,15 +79,20 @@ class CommandCli:
             raise CommandError(f"ambiguous command {name!r}: {names}")
         raise CommandError(f'undefined command: "{name}". Try "help".')
 
+    # kept for extensions written against the old private name
+    _resolve = resolve
+
     # ------------------------------------------------------------- execute
 
     def execute(self, line: str) -> List[str]:
+        if self.service is not None:
+            return self.service.execute(line).lines
         line = line.strip()
         if not line or line.startswith("#"):
             return []
         name, _, rest = line.partition(" ")
         try:
-            cmd = self._resolve(name)
+            cmd = self.resolve(name)
             return cmd.handler(rest.strip())
         except ReproError as exc:
             # any library-level failure is reported GDB-style instead of
@@ -223,12 +234,7 @@ class CommandCli:
     # -- breakpoints ----------------------------------------------------------
 
     def _parse_break_args(self, arg: str):
-        condition = None
-        if " if " in arg:
-            arg, _, condition = arg.partition(" if ")
-        elif arg.startswith("if "):
-            raise CommandError("break: missing location")
-        return arg.strip(), (condition.strip() if condition else None)
+        return parse_break_args(arg, "break")
 
     def _cmd_break(self, arg: str) -> List[str]:
         if not arg:
@@ -269,9 +275,7 @@ class CommandCli:
         return text.rstrip("\n").split("\n")
 
     def _int_arg(self, arg: str, what: str) -> int:
-        if not arg.strip().isdigit():
-            raise CommandError(f"{what}: expected a breakpoint number")
-        return int(arg.strip())
+        return parse_int_arg(arg, what)
 
     def _cmd_delete(self, arg: str) -> List[str]:
         self.dbg.delete(self._int_arg(arg, "delete"))

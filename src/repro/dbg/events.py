@@ -1,0 +1,116 @@
+"""Async-safe stop delivery: stops as awaitable, fanned-out events.
+
+The kernel is synchronous: a stop happens inside whatever thread called
+``Debugger.cont``.  Detached observers — wire-attached clients, editor
+front-ends, watchdogs — need those stops *pushed* to them instead of
+polling ``last_stop`` (DeWiz's event-based analysis over a wire is the
+model).  :class:`StopFanout` is the bridge:
+
+- ``subscribe(fn)`` registers a plain callable, invoked in the stopping
+  thread (cheap, lock-held only for the snapshot);
+- ``async_stream(loop)`` returns an :class:`AsyncStopStream` whose
+  queue is fed via ``loop.call_soon_threadsafe`` — an ``async for``
+  over stops, safe no matter which thread drives the kernel;
+- a subscriber raising never breaks the stopping thread or the other
+  subscribers (session isolation starts here).
+
+The debugger publishes into its fanout from the ordinary
+``stop_callbacks`` path, so every existing stop source — breakpoints,
+RV violations, deadlocks, replay stops, consistent-barrier shard
+pauses — arrives without new plumbing.
+"""
+
+from __future__ import annotations
+
+import threading
+from itertools import count
+from typing import Callable, Dict, List, Optional
+
+from .stop import StopEvent
+
+Subscriber = Callable[[StopEvent], None]
+
+
+class StopFanout:
+    """Thread-safe one-to-many stop distribution."""
+
+    def __init__(self) -> None:
+        self._subs: Dict[int, Subscriber] = {}
+        self._lock = threading.Lock()
+        self._ids = count(1)
+        #: total stops published (diagnostic; monotonically increasing)
+        self.published = 0
+        #: per-subscriber exceptions swallowed (isolation accounting)
+        self.subscriber_errors = 0
+
+    def subscribe(self, fn: Subscriber) -> int:
+        with self._lock:
+            handle = next(self._ids)
+            self._subs[handle] = fn
+        return handle
+
+    def unsubscribe(self, handle: int) -> None:
+        with self._lock:
+            self._subs.pop(handle, None)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._subs)
+
+    def publish(self, ev: StopEvent) -> None:
+        with self._lock:
+            self.published += 1
+            subs = list(self._subs.values())
+        for fn in subs:
+            try:
+                fn(ev)
+            except Exception:
+                # a broken observer must never kill the kernel thread
+                # (or starve its sibling subscribers)
+                self.subscriber_errors += 1
+
+    # ------------------------------------------------------------- asyncio
+
+    def async_stream(self, loop) -> "AsyncStopStream":
+        """An awaitable stream of stops for ``loop`` — feedable from any
+        thread, consumed with ``await stream.get()`` / ``async for``."""
+        return AsyncStopStream(self, loop)
+
+
+class AsyncStopStream:
+    """Stops delivered onto an asyncio loop from kernel threads."""
+
+    def __init__(self, fanout: StopFanout, loop) -> None:
+        import asyncio
+
+        self._fanout = fanout
+        self._loop = loop
+        self.queue: "asyncio.Queue[StopEvent]" = asyncio.Queue()
+        self._handle: Optional[int] = fanout.subscribe(self._feed)
+        self._closed = False
+
+    def _feed(self, ev: StopEvent) -> None:
+        if self._closed:
+            return
+        try:
+            self._loop.call_soon_threadsafe(self.queue.put_nowait, ev)
+        except RuntimeError:
+            # the loop is gone (daemon draining); detach quietly
+            self.close()
+
+    async def get(self) -> StopEvent:
+        return await self.queue.get()
+
+    def __aiter__(self) -> "AsyncStopStream":
+        return self
+
+    async def __anext__(self) -> StopEvent:
+        if self._closed and self.queue.empty():
+            raise StopAsyncIteration
+        return await self.queue.get()
+
+    def close(self) -> None:
+        self._closed = True
+        if self._handle is not None:
+            self._fanout.unsubscribe(self._handle)
+            self._handle = None

@@ -1,0 +1,74 @@
+"""User-facing output sinks.
+
+Library code never prints (the flight recorder set the precedent: it
+*returns* a notice and lets the stop banner render it).  Everything a
+debugging session says to its user — stop banners, command output,
+error lines — flows through an :class:`OutputSink`, so the same session
+can be driven by the interactive terminal (:class:`StdoutSink`), a test
+(:class:`BufferSink`) or a wire-attached daemon connection, which
+captures output per connection instead of spraying the daemon's stdout.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Callable, Iterable, List, Optional
+
+
+class OutputSink:
+    """Where user-facing lines go.  Subclasses override :meth:`emit`."""
+
+    def emit(self, lines: Iterable[str]) -> None:
+        raise NotImplementedError
+
+    def emit_line(self, line: str) -> None:
+        self.emit([line])
+
+    def emit_error(self, message: str) -> None:
+        """Errors are ordinary lines by default; terminal sinks may
+        route them to stderr instead."""
+        self.emit([message])
+
+
+class StdoutSink(OutputSink):
+    """The interactive terminal: lines to stdout, errors to stderr."""
+
+    def __init__(self, out=None, err=None):
+        self._out = out
+        self._err = err
+
+    def emit(self, lines: Iterable[str]) -> None:
+        out = self._out or sys.stdout
+        for line in lines:
+            print(line, file=out)
+
+    def emit_error(self, message: str) -> None:
+        print(message, file=self._err or sys.stderr)
+
+
+class BufferSink(OutputSink):
+    """Collects lines in memory — scripted tests and wire sessions
+    drain it per command / per connection."""
+
+    def __init__(self) -> None:
+        self.lines: List[str] = []
+
+    def emit(self, lines: Iterable[str]) -> None:
+        self.lines.extend(lines)
+
+    def drain(self) -> List[str]:
+        drained, self.lines = self.lines, []
+        return drained
+
+
+class CallbackSink(OutputSink):
+    """Forwards every batch to a callable — the daemon hands each
+    connection one of these so output fans out to the right socket."""
+
+    def __init__(self, fn: Callable[[List[str]], None]):
+        self.fn = fn
+
+    def emit(self, lines: Iterable[str]) -> None:
+        batch = list(lines)
+        if batch:
+            self.fn(batch)

@@ -67,6 +67,10 @@ class FlightRecorder:
         self.last_dump: Optional[str] = None
         self.dumps_written = 0
         self._notice: Optional[str] = None
+        #: hooks fired after every dump with ``(path, reason)`` — the
+        #: serve daemon pushes these to subscribed wire clients; hook
+        #: exceptions are swallowed (observers never break the recorder)
+        self.on_dump: List[Any] = []
         session.dbg.stop_callbacks.append(self._on_stop)
 
     # ------------------------------------------------------------ capture
@@ -202,6 +206,11 @@ class FlightRecorder:
         write_artifact(path, text, force=force)
         self.last_dump = path
         self.dumps_written += 1
+        for hook in list(self.on_dump):
+            try:
+                hook(path, reason)
+            except Exception:
+                pass
         return path
 
     # ------------------------------------------------------------- status

@@ -1,0 +1,62 @@
+"""The debug-server daemon: many wire-attached debugging sessions.
+
+The paper's workflow is one developer, one gdb prompt, one machine.
+This package serves the same machinery over a socket so that editors,
+scripted clients and dashboards attach *concurrently*: one asyncio
+daemon hosts many independent debug sessions — each wrapping its own
+scheduler, runtime, debugger, replay journal, telemetry and RV state —
+and speaks two protocols on one port:
+
+- **line-delimited JSON-RPC** (:mod:`repro.serve.protocol`): create,
+  attach and drive sessions, run any debugger command, and subscribe to
+  pushed stop / violation / flight-dump event streams;
+- a thin **Debug Adapter Protocol** bridge (:mod:`repro.serve.dap`):
+  initialize / launch / setBreakpoints / continue / stackTrace /
+  variables / stepIn plus the time-travel extensions ``replayTo`` and
+  ``reverseContinue``, so a stock DAP front-end (VS Code) can drive a
+  dataflow machine;
+- plain **HTTP GET** for per-session OpenMetrics scrapes
+  (``/sessions/<id>/metrics``), so ordinary Prometheus tooling monitors
+  live debug sessions.
+
+Sessions are isolated (one session's failure never takes the daemon or a
+sibling down), quota-bounded (events, journal bytes, command wall-clock)
+and reaped when idle.  Start one with ``python -m repro serve`` and talk
+to it with :class:`repro.serve.client.DebugClient`.
+"""
+
+from .builders import KNOWN_PROGRAMS, build_program_cli
+from .client import DebugClient, RpcError
+from .daemon import DebugDaemon
+from .embed import DaemonThread
+from .protocol import (
+    ERR_INTERNAL,
+    ERR_INVALID_PARAMS,
+    ERR_METHOD_NOT_FOUND,
+    ERR_NO_SESSION,
+    ERR_PARSE,
+    ERR_QUOTA,
+    ERR_SESSION_FAILED,
+    ERR_SHUTTING_DOWN,
+)
+from .sessions import QuotaExceeded, SessionQuota, SessionRegistry
+
+__all__ = [
+    "DaemonThread",
+    "DebugClient",
+    "DebugDaemon",
+    "KNOWN_PROGRAMS",
+    "QuotaExceeded",
+    "RpcError",
+    "SessionQuota",
+    "SessionRegistry",
+    "build_program_cli",
+    "ERR_INTERNAL",
+    "ERR_INVALID_PARAMS",
+    "ERR_METHOD_NOT_FOUND",
+    "ERR_NO_SESSION",
+    "ERR_PARSE",
+    "ERR_QUOTA",
+    "ERR_SESSION_FAILED",
+    "ERR_SHUTTING_DOWN",
+]

@@ -1,0 +1,27 @@
+"""Fixtures for the debug-server suite: a real daemon on a real socket.
+
+The daemon runs on a background-thread event loop via the library's own
+embedding harness (:class:`repro.serve.DaemonThread`) — the same shape
+`python -m repro serve` has — bound to port 0 so suites never collide.
+Tests talk to it with the blocking `DebugClient`, the same client the
+CI smoke script and the load test use.
+"""
+
+import pytest
+
+from repro.serve.embed import DaemonThread
+
+__all__ = ["DaemonThread"]
+
+
+@pytest.fixture
+def daemon():
+    d = DaemonThread()
+    yield d
+    d.stop()
+
+
+@pytest.fixture
+def client(daemon):
+    with daemon.connect() as c:
+        yield c

@@ -1,0 +1,75 @@
+"""The acceptance load test: 100 concurrent wire clients, each owning a
+session, all doing break → run → inspect → continue at once.  Verifies
+zero cross-session leakage (every session's first breakpoint is #1, every
+stop names the right session) and that latency percentiles stay sane."""
+
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+N_CLIENTS = 100
+
+
+def _percentile(samples, q):
+    ordered = sorted(samples)
+    return ordered[min(len(ordered) - 1, int(len(ordered) * q))]
+
+
+def _one_client(daemon, index):
+    timings = {}
+    with daemon.connect(timeout=120) as c:
+        t0 = time.perf_counter()
+        created = c.create("rle", name=f"load-{index}")
+        timings["create_ms"] = (time.perf_counter() - t0) * 1000
+        sid = created["session"]
+        c.subscribe(sid)
+
+        t0 = time.perf_counter()
+        placed = c.execute(sid, "break pack.c:7")
+        timings["command_ms"] = (time.perf_counter() - t0) * 1000
+        assert placed["ok"]
+
+        first_bp = c.breakpoints(sid)[0]["id"]
+        assert c.execute(sid, "run")["ok"]
+        hit = c.execute(sid, "continue")
+        assert hit["stop"]["kind"] == "breakpoint"
+
+        # inspect: the stopped frame is this session's own machine
+        frames = c.frames(sid, "codec.pack")
+        assert frames[0]["name"] == "PackFilter_work_function"
+        assert c.evaluate(sid, "value")["ok"]
+
+        # the pushed stop events name this session and no other
+        event_sessions = {e["session"] for e in c.drain_events()}
+        assert event_sessions <= {sid}
+
+        resumed = c.execute(sid, "continue")
+        assert resumed["ok"]
+        c.destroy(sid)
+    return sid, first_bp, timings
+
+
+def test_hundred_concurrent_clients(daemon):
+    with ThreadPoolExecutor(max_workers=N_CLIENTS) as pool:
+        results = list(
+            pool.map(lambda i: _one_client(daemon, i), range(N_CLIENTS))
+        )
+
+    sids = [sid for sid, _, _ in results]
+    assert len(set(sids)) == N_CLIENTS  # every client got its own session
+
+    # zero cross-session leakage: had any two sessions shared a
+    # breakpoint registry, later creates would see ids > 1
+    assert all(first_bp == 1 for _, first_bp, _ in results)
+
+    # latency sanity (the CI smoke job applies the strict gate on an
+    # idle runner; here we only refuse pathological serialisation)
+    create_p95 = _percentile([t["create_ms"] for _, _, t in results], 0.95)
+    command_p95 = _percentile([t["command_ms"] for _, _, t in results], 0.95)
+    assert create_p95 < 60_000, f"create p95 {create_p95:.0f}ms"
+    assert command_p95 < 30_000, f"command p95 {command_p95:.0f}ms"
+
+    # the daemon survived the stampede and is empty again
+    assert len(daemon.daemon.registry) == 0
+    with daemon.connect() as c:
+        assert c.ping()["pong"]
+        assert c.sessions() == []
